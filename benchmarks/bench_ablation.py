@@ -1,0 +1,78 @@
+"""Ablation benches for the design choices of Sec. IV-A3.
+
+* computed table on/off — the memoization of Algorithm 1;
+* dict vs. Cantor-pairing unique/computed tables — the paper's hashing
+  machinery against native hashing;
+* sifting on/off — the re-ordering contribution to node counts.
+
+Each ablation runs the same fixed workload (build the `comp`, `my_adder`
+and `parity` benchmarks) so runtimes are directly comparable within a
+report.
+"""
+
+import pytest
+
+from repro.circuits import mcnc
+from repro.core.reorder import sift
+from repro.harness.table1 import run_benchmark
+from repro.network.build import build_bbdd
+
+_WORKLOAD = [mcnc.comp(10), mcnc.my_adder(10), mcnc.parity(12)]
+
+
+def _build_all(computed_backend="dict", unique_backend="dict"):
+    total = 0
+    for net in _WORKLOAD:
+        manager, fns = build_bbdd(
+            net,
+            unique_backend=unique_backend,
+            computed_backend=computed_backend,
+        )
+        total += manager.node_count(list(fns.values()))
+    return total
+
+
+@pytest.mark.parametrize("computed", ["dict", "disabled"])
+def test_ablation_computed_table(benchmark, computed):
+    nodes = benchmark.pedantic(
+        _build_all, kwargs={"computed_backend": computed}, rounds=1, iterations=1
+    )
+    benchmark.extra_info["nodes"] = nodes
+    benchmark.extra_info["computed_table"] = computed
+
+
+@pytest.mark.parametrize("backend", ["dict", "cantor"])
+def test_ablation_table_backend(benchmark, backend):
+    nodes = benchmark.pedantic(
+        _build_all,
+        kwargs={"unique_backend": backend, "computed_backend": backend},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["nodes"] = nodes
+    benchmark.extra_info["backend"] = backend
+
+
+@pytest.mark.parametrize("use_sift", [False, True])
+def test_ablation_sifting(benchmark, use_sift):
+    net = mcnc.comp(12)
+
+    def pipeline():
+        manager, fns = build_bbdd(net)
+        if use_sift:
+            sift(manager)
+        return manager.node_count(list(fns.values()))
+
+    nodes = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+    benchmark.extra_info["nodes"] = nodes
+    benchmark.extra_info["sift"] = use_sift
+
+
+@pytest.mark.parametrize("package", ["bbdd", "bdd"])
+def test_ablation_package_on_xor_rich(benchmark, package):
+    """The paper's motivating contrast on an XOR-rich circuit."""
+    net = mcnc.parity(16)
+    result = benchmark.pedantic(
+        run_benchmark, args=(net, package), rounds=1, iterations=1
+    )
+    benchmark.extra_info["nodes"] = result.nodes

@@ -1,0 +1,46 @@
+"""Table I reproduction bench: BBDD package vs. baseline BDD package.
+
+One benchmark per MCNC row and package (build + sift pipeline), plus a
+summary benchmark that prints the full Table I layout with the paper
+reference averages.  Default profile scales the heaviest generators down
+for pure-Python tractability; ``REPRO_FULL=1`` selects paper-scale
+circuits (see DESIGN.md §3.5).
+"""
+
+import pytest
+
+from repro.circuits.registry import TABLE1_ROWS
+from repro.harness.table1 import render_table1, run_benchmark, run_table1
+
+_ROWS = {row.name: row for row in TABLE1_ROWS}
+
+# Rows light enough to run per-row benches on every invocation.
+_PER_ROW = [
+    "C1355", "C1908", "C499", "my_adder", "comp", "count", "cordic",
+    "alu4", "C17", "9symml", "z4ml", "decod", "parity", "misex1",
+]
+
+
+@pytest.mark.parametrize("name", _PER_ROW)
+@pytest.mark.parametrize("package", ["bbdd", "bdd"])
+def test_build_and_sift(benchmark, name, package):
+    row = _ROWS[name]
+    network = row.build(full=False)
+
+    def pipeline():
+        return run_benchmark(network, package)
+
+    result = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+    benchmark.extra_info["nodes"] = result.nodes
+    benchmark.extra_info["paper_nodes"] = (
+        row.paper_bbdd_nodes if package == "bbdd" else row.paper_bdd_nodes
+    )
+
+
+def test_table1_summary(benchmark, capsys):
+    """Full Table I pipeline; prints the paper-style table."""
+    summary = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(render_table1(summary))
+    assert summary["rows"]

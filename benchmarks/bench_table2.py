@@ -1,0 +1,41 @@
+"""Table II reproduction bench: the datapath synthesis case study.
+
+One benchmark per datapath row and flow, plus the full-table summary with
+the paper's Average-row deltas (-11.02% area / -32.29% delay reference).
+"""
+
+import pytest
+
+from repro.circuits.registry import TABLE2_ROWS
+from repro.harness.table2 import render_table2, run_table2
+from repro.synth.flow import baseline_flow, bbdd_flow
+from repro.synth.library import default_library
+
+_ROWS = {row.name: row for row in TABLE2_ROWS}
+_LIBRARY = default_library()
+
+
+@pytest.mark.parametrize("name", sorted(_ROWS))
+@pytest.mark.parametrize("flow", ["bbdd", "commercial"])
+def test_flow(benchmark, name, flow):
+    row = _ROWS[name]
+    rtl = row.build(full=False)
+    runner = bbdd_flow if flow == "bbdd" else baseline_flow
+
+    def pipeline():
+        return runner(rtl, _LIBRARY, check_equivalence=False)
+
+    result = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+    benchmark.extra_info["area_um2"] = round(result.area, 2)
+    benchmark.extra_info["delay_ns"] = round(result.delay_ns, 3)
+    benchmark.extra_info["gates"] = result.gate_count
+    paper = row.paper_bbdd if flow == "bbdd" else row.paper_commercial
+    benchmark.extra_info["paper_area_delay_gates"] = paper
+
+
+def test_table2_summary(benchmark, capsys):
+    summary = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(render_table2(summary))
+    assert summary["all_equivalent"]

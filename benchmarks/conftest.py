@@ -1,0 +1,22 @@
+"""Shared pytest-benchmark configuration.
+
+Every benchmark runs its workload once per measurement (``pedantic`` with
+one round) — the workloads are full experiment pipelines, not
+micro-kernels, and the paper's Table I/II numbers are single-run
+measurements as well.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single round/iteration and return its value."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

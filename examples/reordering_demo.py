@@ -1,0 +1,49 @@
+"""Chain variable re-ordering demo (the paper's Sec. IV-A4).
+
+Builds the classic order-sensitive function — the equality of two bit
+vectors — under a hostile order (all of ``a`` before all of ``b``), then
+lets sifting find the interleaved order where the BBDD is a linear
+comparator chain.
+
+Run:  python examples/reordering_demo.py
+"""
+
+from repro import BBDDManager
+from repro.core.reorder import sift, swap_adjacent
+
+
+def main() -> None:
+    width = 6
+    names = [f"a{i}" for i in range(width)] + [f"b{i}" for i in range(width)]
+    manager = BBDDManager(names)
+
+    equal = manager.true()
+    for i in range(width):
+        equal = equal & manager.var(f"a{i}").xnor(manager.var(f"b{i}"))
+
+    print("function: a == b over", width, "bit operands")
+    print("initial order:", " ".join(manager.current_order()))
+    print("initial size:", equal.node_count(), "nodes (exponential separation)")
+
+    # A single adjacent swap is local and pointer-stable (Fig. 2 theory).
+    root_before = equal.node
+    swap_adjacent(manager, width - 1)
+    print(
+        "\nafter one swap: size",
+        equal.node_count(),
+        "| root pointer unchanged:",
+        equal.node is root_before,
+    )
+
+    result = sift(manager, converge=True)
+    print("\nafter sifting (Rudell's algorithm on the CVO):")
+    print("order:", " ".join(manager.current_order()))
+    print(
+        f"size: {result.initial_size} -> {result.final_size} nodes "
+        f"({result.swaps} swaps, {result.duration:.3f}s)"
+    )
+    print("the comparator chain is linear:", equal.node_count(), "nodes")
+
+
+if __name__ == "__main__":
+    main()

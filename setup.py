@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Enables ``pip install -e .`` in offline environments that lack the
+``wheel`` package (pip falls back to ``setup.py develop`` when PEP 517 is
+disabled).  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

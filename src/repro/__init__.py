@@ -1,0 +1,23 @@
+"""repro — reproduction of "An Efficient Manipulation Package for
+Biconditional Binary Decision Diagrams" (Amaru, Gaillardon, De Micheli,
+DATE 2014).
+
+Public entry points:
+
+* :class:`repro.core.BBDDManager` / :class:`repro.core.Function` — the
+  BBDD manipulation package (the paper's contribution).
+* :class:`repro.bdd.BDDManager` — the baseline ROBDD package (the paper's
+  CUDD comparator substitute).
+* :mod:`repro.network` — combinational logic networks with BLIF/Verilog
+  frontends.
+* :mod:`repro.circuits` — MCNC/ISCAS/datapath benchmark generators.
+* :mod:`repro.synth` — the datapath synthesis case study (Table II).
+* :mod:`repro.harness` — experiment drivers reproducing the paper's
+  tables and figures.
+"""
+
+from repro.core import BBDDManager, Function
+
+__version__ = "1.0.0"
+
+__all__ = ["BBDDManager", "Function", "__version__"]

@@ -1,0 +1,17 @@
+"""Baseline ROBDD package — the paper's CUDD comparator substitute.
+
+A from-scratch Reduced Ordered Binary Decision Diagram package with the
+same algorithmic content as a state-of-the-art BDD package (Brace/Rudell/
+Bryant): complement edges (on else-edges and external edges, then-edges
+regular), a strong-canonical unique table, a computed table, the recursive
+apply over Shannon expansions, reference-counted garbage collection and
+Rudell's sifting with in-place level swaps.
+
+It mirrors the BBDD package API (``BDDManager`` / ``BDDFunction``), so the
+Table I harness drives both packages identically.
+"""
+
+from repro.bdd.manager import BDDManager
+from repro.bdd.function import BDDFunction
+
+__all__ = ["BDDManager", "BDDFunction"]

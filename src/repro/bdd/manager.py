@@ -1,0 +1,379 @@
+"""The baseline BDD manager (CUDD-substitute).
+
+Implements the classic recursive apply over Shannon expansions with a
+computed table, complement-edge normalization (then-edges regular), a
+strong-canonical unique table and reference-counting garbage collection —
+the same machinery CUDD uses, so that Table I compares the *representations*
+(BBDD vs. BDD) rather than implementation substrates.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.bdd.node import BDDEdge, BDDNode, make_bdd_sink
+from repro.core.computed_table import make_computed_table
+from repro.core.exceptions import BBDDError, VariableError
+from repro.core.operations import (
+    OP_AND,
+    OP_OR,
+    OP_XOR,
+    UNARY_FALSE,
+    UNARY_ID,
+    UNARY_TRUE,
+    diagonal,
+    flip_a,
+    flip_b,
+    is_commutative,
+    op_from_name,
+    restrict_a,
+    restrict_b,
+)
+from repro.core.order import ChainVariableOrder
+from repro.core.unique_table import make_unique_table
+
+_RECURSION_HEADROOM = 100_000
+
+
+class BDDManager:
+    """Shared manager for a forest of ROBDDs (mirrors BBDDManager's API)."""
+
+    def __init__(
+        self,
+        variables: Union[int, Sequence[str]],
+        unique_backend: str = "dict",
+        computed_backend: str = "dict",
+    ) -> None:
+        if isinstance(variables, int):
+            names = [f"x{i}" for i in range(variables)]
+        else:
+            names = list(variables)
+        if len(set(names)) != len(names):
+            raise VariableError("variable names must be distinct")
+        self._names: List[str] = names
+        self._index: Dict[str, int] = {n: i for i, n in enumerate(names)}
+        self._order = ChainVariableOrder(range(len(names)))
+
+        self._uid = 0
+        self.sink = make_bdd_sink(self._next_uid())
+        self._unique = make_unique_table(unique_backend)
+        self._cache = make_computed_table(computed_backend)
+        self._by_var: Dict[int, set] = {i: set() for i in range(len(names))}
+        self._node_count = 0
+        self.gc_count = 0
+
+        if sys.getrecursionlimit() < _RECURSION_HEADROOM:
+            sys.setrecursionlimit(_RECURSION_HEADROOM)
+
+    # ------------------------------------------------------------------
+    # identifiers, variables, order
+    # ------------------------------------------------------------------
+
+    def _next_uid(self) -> int:
+        self._uid += 1
+        return self._uid
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._names)
+
+    @property
+    def var_names(self) -> tuple:
+        return tuple(self._names)
+
+    def var_index(self, var: Union[int, str]) -> int:
+        if isinstance(var, str):
+            try:
+                return self._index[var]
+            except KeyError:
+                raise VariableError(f"unknown variable {var!r}") from None
+        if not 0 <= var < len(self._names):
+            raise VariableError(f"variable index {var} out of range")
+        return var
+
+    def var_name(self, index: int) -> str:
+        return self._names[index]
+
+    @property
+    def order(self) -> ChainVariableOrder:
+        return self._order
+
+    def current_order(self) -> tuple:
+        return tuple(self._names[v] for v in self._order.order)
+
+    # ------------------------------------------------------------------
+    # terminals and literals
+    # ------------------------------------------------------------------
+
+    @property
+    def true_edge(self) -> BDDEdge:
+        return (self.sink, False)
+
+    @property
+    def false_edge(self) -> BDDEdge:
+        return (self.sink, True)
+
+    def literal_edge(self, var: Union[int, str], positive: bool = True) -> BDDEdge:
+        index = self.var_index(var)
+        edge = self._make(index, self.true_edge, self.false_edge)
+        if not positive:
+            edge = (edge[0], not edge[1])
+        return edge
+
+    # ------------------------------------------------------------------
+    # canonical node construction
+    # ------------------------------------------------------------------
+
+    def _make(self, var: int, t: BDDEdge, e: BDDEdge) -> BDDEdge:
+        """Get-or-create node ``(var, then=t, else=e)`` in canonical form."""
+        tn, ta = t
+        en, ea = e
+        if tn is en and ta == ea:
+            return t
+        attr = False
+        if ta:
+            # Then-edges are stored regular: complement both children and
+            # return a complemented external edge.
+            attr = True
+            ta = False
+            ea = not ea
+        key = (var, tn.uid, en.uid, ea)
+        node = self._unique.lookup(key)
+        if node is None:
+            node = BDDNode(var, tn, en, ea, self._next_uid())
+            self._unique.insert(key, node)
+            tn.ref += 1
+            en.ref += 1
+            self._by_var[var].add(node)
+            self._node_count += 1
+        return (node, attr)
+
+    # ------------------------------------------------------------------
+    # recursive apply (Shannon expansion)
+    # ------------------------------------------------------------------
+
+    def apply_edges(self, f: BDDEdge, g: BDDEdge, op: int) -> BDDEdge:
+        fn, fa = f
+        if fa:
+            op = flip_a(op)
+        gn, ga = g
+        if ga:
+            op = flip_b(op)
+        return self._apply(fn, gn, op)
+
+    def apply_named(self, f: BDDEdge, g: BDDEdge, name: str) -> BDDEdge:
+        return self.apply_edges(f, g, op_from_name(name))
+
+    def _unary(self, outcome: str, node: BDDNode) -> BDDEdge:
+        if outcome == UNARY_FALSE:
+            return (self.sink, True)
+        if outcome == UNARY_TRUE:
+            return (self.sink, False)
+        if outcome == UNARY_ID:
+            return (node, False)
+        return (node, True)
+
+    def _apply(self, fn: BDDNode, gn: BDDNode, op: int) -> BDDEdge:
+        if fn.is_sink:
+            return self._unary(restrict_a(op, 1), gn)
+        if gn.is_sink:
+            return self._unary(restrict_b(op, 1), fn)
+        if fn is gn:
+            return self._unary(diagonal(op), fn)
+        if ((op >> 1) & 0b101) == (op & 0b101):
+            return self._unary(restrict_b(op, 0), fn)
+        if ((op >> 2) & 0b11) == (op & 0b11):
+            return self._unary(restrict_a(op, 0), gn)
+
+        if is_commutative(op) and gn.uid < fn.uid:
+            fn, gn = gn, fn
+        key = (fn.uid, gn.uid, op)
+        cached = self._cache.lookup(key)
+        if cached is not None:
+            return cached
+
+        pf = self._order.position(fn.var)
+        pg = self._order.position(gn.var)
+        if pf <= pg:
+            var = fn.var
+            f_t, f_e = (fn.then, False), (fn.else_, fn.else_attr)
+        else:
+            var = gn.var
+            f_t = f_e = (fn, False)
+        if pg <= pf:
+            g_t, g_e = (gn.then, False), (gn.else_, gn.else_attr)
+        else:
+            g_t = g_e = (gn, False)
+
+        t = self.apply_edges(f_t, g_t, op)
+        e = self.apply_edges(f_e, g_e, op)
+        result = self._make(var, t, e)
+        self._cache.insert(key, result)
+        return result
+
+    def and_edges(self, f: BDDEdge, g: BDDEdge) -> BDDEdge:
+        return self.apply_edges(f, g, OP_AND)
+
+    def or_edges(self, f: BDDEdge, g: BDDEdge) -> BDDEdge:
+        return self.apply_edges(f, g, OP_OR)
+
+    def xor_edges(self, f: BDDEdge, g: BDDEdge) -> BDDEdge:
+        return self.apply_edges(f, g, OP_XOR)
+
+    @staticmethod
+    def not_edge(f: BDDEdge) -> BDDEdge:
+        return (f[0], not f[1])
+
+    def ite_edges(self, f: BDDEdge, g: BDDEdge, h: BDDEdge) -> BDDEdge:
+        fg = self.and_edges(f, g)
+        fh = self.and_edges((f[0], not f[1]), h)
+        return self.or_edges(fg, fh)
+
+    # ------------------------------------------------------------------
+    # semantics
+    # ------------------------------------------------------------------
+
+    def evaluate(self, edge: BDDEdge, values: Dict[int, bool]) -> bool:
+        node, attr = edge
+        while not node.is_sink:
+            if values[node.var]:
+                node = node.then
+            else:
+                attr ^= node.else_attr
+                node = node.else_
+        return not attr
+
+    def sat_count(self, edge: BDDEdge) -> int:
+        n = self.num_vars
+        order = self._order
+        memo: Dict[BDDNode, int] = {}
+
+        def count(node: BDDNode) -> int:
+            cached = memo.get(node)
+            if cached is not None:
+                return cached
+            p = order.position(node.var)
+            span = n - p
+            total = 0
+            for child, attr in ((node.then, False), (node.else_, node.else_attr)):
+                if child.is_sink:
+                    sub = 0 if attr else (1 << (span - 1))
+                else:
+                    q = order.position(child.var)
+                    sub = count(child)
+                    if attr:
+                        sub = (1 << (n - q)) - sub
+                    sub <<= q - (p + 1)
+                total += sub
+            memo[node] = total
+            return total
+
+        node, attr = edge
+        if node.is_sink:
+            return 0 if attr else (1 << n)
+        p = order.position(node.var)
+        c = count(node)
+        if attr:
+            c = (1 << (n - p)) - c
+        return c << p
+
+    def count_nodes(self, edges: Iterable[BDDEdge]) -> int:
+        seen: set = set()
+        stack: List[BDDNode] = []
+        for node, _attr in edges:
+            if not node.is_sink and node not in seen:
+                seen.add(node)
+                stack.append(node)
+        while stack:
+            node = stack.pop()
+            for child in (node.then, node.else_):
+                if not child.is_sink and child not in seen:
+                    seen.add(child)
+                    stack.append(child)
+        return len(seen)
+
+    # ------------------------------------------------------------------
+    # memory management
+    # ------------------------------------------------------------------
+
+    def size(self) -> int:
+        return self._node_count
+
+    def inc_ref(self, edge: BDDEdge) -> None:
+        edge[0].ref += 1
+
+    def dec_ref(self, edge: BDDEdge) -> None:
+        edge[0].ref -= 1
+
+    def gc(self) -> int:
+        self._cache.clear()
+        dead = [n for n in list(self._unique.values()) if n.ref == 0]
+        reclaimed = 0
+        for node in dead:
+            if node.ref == 0:
+                reclaimed += self._sweep(node)
+        self.gc_count += 1
+        return reclaimed
+
+    def _sweep(self, node: BDDNode) -> int:
+        reclaimed = 0
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if n.ref != 0 or n.is_sink:
+                continue
+            n.ref = -1
+            self._unique.delete(n.key())
+            self._node_count -= 1
+            self._by_var[n.var].discard(n)
+            for child in (n.then, n.else_):
+                child.ref -= 1
+                if child.ref == 0:
+                    stack.append(child)
+            reclaimed += 1
+        return reclaimed
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    def nodes_with_pv(self, var: int) -> set:
+        """Nodes labelled ``var`` (name kept parallel to the BBDD manager
+        so the shared sifting driver works on both packages)."""
+        return self._by_var[var]
+
+    def table_stats(self) -> dict:
+        return {
+            "unique": self._unique.stats(),
+            "computed": self._cache.stats(),
+            "nodes": self._node_count,
+            "gc_runs": self.gc_count,
+        }
+
+    # ------------------------------------------------------------------
+    # debugging
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        from repro.core.exceptions import InvariantViolation
+
+        order = self._order
+        seen = set()
+        for node in list(self._unique.values()):
+            key = node.key()
+            if key in seen:
+                raise InvariantViolation(f"duplicate key {key}")
+            seen.add(key)
+            if self._unique.lookup(key) is not node:
+                raise InvariantViolation(f"key {key} does not map back to node")
+            if node.ref < 0:
+                raise InvariantViolation(f"swept node in table: {node!r}")
+            if node.then is node.else_ and not node.else_attr:
+                raise InvariantViolation(f"identical children: {node!r}")
+            pos = order.position(node.var)
+            for child in (node.then, node.else_):
+                if not child.is_sink and order.position(child.var) <= pos:
+                    raise InvariantViolation(f"order violation {node!r} -> {child!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BDDManager vars={len(self._names)} nodes={self._node_count}>"

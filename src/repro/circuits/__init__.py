@@ -1,0 +1,19 @@
+"""Benchmark circuit generators.
+
+Deterministic generators for every workload of the paper's evaluation:
+
+* :mod:`repro.circuits.arith` — reusable arithmetic builders (adders,
+  comparators, shifters, decoders, counting networks);
+* :mod:`repro.circuits.iscas` — ISCAS-85 rows of Table I (exact C17;
+  same-family error-correction substitutes for C499/C1355/C1908);
+* :mod:`repro.circuits.mcnc` — the remaining MCNC rows of Table I;
+* :mod:`repro.circuits.pla` — seeded PLA covers for the random-logic rows;
+* :mod:`repro.circuits.datapath` — Table II datapath RTL (adder, equality,
+  magnitude, barrel shifter at 32/64 bits);
+* :mod:`repro.circuits.registry` — the name -> generator catalogue with
+  the paper's reference numbers.
+"""
+
+from repro.circuits.registry import TABLE1_ROWS, TABLE2_ROWS, get_circuit
+
+__all__ = ["TABLE1_ROWS", "TABLE2_ROWS", "get_circuit"]

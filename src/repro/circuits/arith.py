@@ -1,0 +1,228 @@
+"""Reusable gate-level arithmetic builders.
+
+All builders operate on an existing :class:`~repro.network.network.LogicNetwork`
+and return signal names, so generators can compose them freely.  The
+structures are the textbook ones a synthesis front-end would instantiate
+(ripple carry, XNOR equality trees, mux-based barrel stages) — i.e. the
+"conventional architectures" the Table II baseline flow is meant to
+represent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+def full_adder(net, a: str, b: str, cin: str) -> Tuple[str, str]:
+    """(sum, carry) via two XORs and a majority."""
+    axb = net.xor(a, b)
+    s = net.xor(axb, cin)
+    c = net.maj(a, b, cin)
+    return s, c
+
+
+def half_adder(net, a: str, b: str) -> Tuple[str, str]:
+    return net.xor(a, b), net.and_(a, b)
+
+
+def ripple_adder(
+    net,
+    a_bits: Sequence[str],
+    b_bits: Sequence[str],
+    cin: Optional[str] = None,
+) -> Tuple[List[str], str]:
+    """LSB-first ripple-carry adder; returns (sum bits, carry out)."""
+    if len(a_bits) != len(b_bits):
+        raise ValueError("operand widths differ")
+    sums: List[str] = []
+    carry = cin
+    for a, b in zip(a_bits, b_bits):
+        if carry is None:
+            s, carry = half_adder(net, a, b)
+        else:
+            s, carry = full_adder(net, a, b, carry)
+        sums.append(s)
+    return sums, carry
+
+
+def incrementer(net, bits: Sequence[str], en: str) -> Tuple[List[str], str]:
+    """LSB-first conditional incrementer; returns (next bits, carry out)."""
+    outs: List[str] = []
+    carry = en
+    for bit in bits:
+        outs.append(net.xor(bit, carry))
+        carry = net.and_(bit, carry)
+    return outs, carry
+
+
+def equality(net, a_bits: Sequence[str], b_bits: Sequence[str]) -> str:
+    """``a == b`` as a balanced AND tree over per-bit XNORs."""
+    terms = [net.xnor(a, b) for a, b in zip(a_bits, b_bits)]
+    return balanced_tree(net, "AND", terms)
+
+
+def magnitude_less_than(
+    net, a_bits: Sequence[str], b_bits: Sequence[str]
+) -> str:
+    """``a < b`` (unsigned, LSB-first operands) as a ripple chain.
+
+    ``lt_i = (~a_i & b_i) | ((a_i xnor b_i) & lt_{i-1})`` — a 2:1 mux with
+    an XNOR select per stage, the comparator structure a BBDD node
+    expresses natively (Sec. V-A).
+    """
+    lt = None
+    for a, b in zip(a_bits, b_bits):  # LSB to MSB; MSB decided last
+        bit_lt = net.and_(net.inv(a), b)
+        if lt is None:
+            lt = bit_lt
+        else:
+            eq = net.xnor(a, b)
+            lt = net.or_(bit_lt, net.and_(eq, lt))
+    return lt
+
+
+def magnitude_compare(
+    net, a_bits: Sequence[str], b_bits: Sequence[str]
+) -> Tuple[str, str, str]:
+    """(lt, eq, gt) for unsigned LSB-first operands."""
+    lt = magnitude_less_than(net, a_bits, b_bits)
+    eq = equality(net, a_bits, b_bits)
+    gt = net.add_gate("NOR", [lt, eq])
+    return lt, eq, gt
+
+
+def balanced_tree(net, op: str, signals: Sequence[str]) -> str:
+    """Reduce ``signals`` with a balanced tree of 2-input ``op`` gates."""
+    level = list(signals)
+    if not level:
+        raise ValueError("cannot reduce an empty signal list")
+    while len(level) > 1:
+        nxt: List[str] = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(net.add_gate(op, [level[i], level[i + 1]]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def parity_tree(net, signals: Sequence[str]) -> str:
+    return balanced_tree(net, "XOR", signals)
+
+
+def decoder(net, select: Sequence[str], enable: Optional[str] = None) -> List[str]:
+    """Full decoder: ``2**len(select)`` one-hot outputs (LSB-first select)."""
+    inverted = [net.inv(s) for s in select]
+    outs: List[str] = []
+    for code in range(1 << len(select)):
+        literals = [
+            select[j] if (code >> j) & 1 else inverted[j]
+            for j in range(len(select))
+        ]
+        if enable is not None:
+            literals.append(enable)
+        outs.append(balanced_tree(net, "AND", literals) if len(literals) > 1 else literals[0])
+    return outs
+
+
+def mux_tree(net, select: Sequence[str], leaves: Sequence[str]) -> str:
+    """Select one of ``2**len(select)`` leaves (select LSB-first)."""
+    if len(leaves) != 1 << len(select):
+        raise ValueError("leaf count must be 2**len(select)")
+    level = list(leaves)
+    for s in select:
+        level = [
+            net.mux(s, level[i + 1], level[i]) for i in range(0, len(level), 2)
+        ]
+    return level[0]
+
+
+def barrel_rotate_left(net, data: Sequence[str], shamt: Sequence[str]) -> List[str]:
+    """Logarithmic barrel rotator (LSB-first data, LSB-first shamt)."""
+    n = len(data)
+    stage = list(data)
+    for j, s in enumerate(shamt):
+        k = (1 << j) % n
+        rotated = [stage[(i - k) % n] for i in range(n)]
+        stage = [net.mux(s, rotated[i], stage[i]) for i in range(n)]
+    return stage
+
+
+def barrel_shift_or_rotate(
+    net,
+    data: Sequence[str],
+    shamt: Sequence[str],
+    left: str,
+    rotate: str,
+) -> List[str]:
+    """Bidirectional barrel shifter/rotator with control inputs.
+
+    ``left`` selects the shift direction, ``rotate`` selects rotation
+    versus zero-fill shifting.  Logarithmic mux stages.
+    """
+    n = len(data)
+    zero = net.const(False)
+    stage = list(data)
+    for j, s in enumerate(shamt):
+        k = (1 << j) % n
+        moved: List[str] = []
+        for i in range(n):
+            li = (i - k) % n
+            ri = (i + k) % n
+            l_in_range = i >= k
+            r_in_range = i < n - k
+            left_shift = stage[li] if l_in_range else zero
+            left_rot = stage[li]
+            right_shift = stage[ri] if r_in_range else zero
+            right_rot = stage[ri]
+            lval = net.mux(rotate, left_rot, left_shift)
+            rval = net.mux(rotate, right_rot, right_shift)
+            moved.append(net.mux(left, lval, rval))
+        stage = [net.mux(s, moved[i], stage[i]) for i in range(n)]
+    return stage
+
+
+def popcount(net, signals: Sequence[str]) -> List[str]:
+    """Counting network: LSB-first binary count of set inputs.
+
+    Built from full/half adders (a carry-save style reduction), used by
+    symmetric-function benchmarks such as 9symml.
+    """
+    columns: List[List[str]] = [list(signals)]
+    result: List[str] = []
+    while columns:
+        col = columns[0]
+        carries: List[str] = []
+        while len(col) >= 3:
+            a, b, c = col.pop(), col.pop(), col.pop()
+            s, cy = full_adder(net, a, b, c)
+            col.append(s)
+            carries.append(cy)
+        if len(col) == 2:
+            a, b = col.pop(), col.pop()
+            s, cy = half_adder(net, a, b)
+            col.append(s)
+            carries.append(cy)
+        result.append(col[0])
+        columns = columns[1:]
+        if carries:
+            if columns:
+                columns[0].extend(carries)
+            else:
+                columns.append(carries)
+    return result
+
+
+def constant_compare_range(
+    net, count_bits: Sequence[str], low: int, high: int
+) -> str:
+    """``low <= value(count_bits) <= high`` for an LSB-first counter value."""
+    terms: List[str] = []
+    width = len(count_bits)
+    for value in range(low, high + 1):
+        literals = [
+            count_bits[j] if (value >> j) & 1 else net.inv(count_bits[j])
+            for j in range(width)
+        ]
+        terms.append(balanced_tree(net, "AND", literals) if len(literals) > 1 else literals[0])
+    return balanced_tree(net, "OR", terms) if len(terms) > 1 else terms[0]

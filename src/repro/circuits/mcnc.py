@@ -1,0 +1,255 @@
+"""MCNC rows of Table I (non-ISCAS).
+
+Exact-function rows: ``my_adder`` (16+16+cin ripple adder), ``parity``
+(16-input XOR tree), ``9symml`` (count-in-[3,6] symmetric function),
+``decod`` (4-to-16 decoder with enable), ``comp`` (16-bit magnitude
+comparator with LT/EQ/GT), ``z4ml`` (2-bit three-operand adder).
+
+Family substitutes with the paper's I/O signature: ``alu4`` (4-bit ALU
+slice with the 74181 port list), ``count`` (16-bit loadable counter next-
+state logic), ``cordic`` (rotation-direction decision step), and the
+seeded PLA rows ``misex1``, ``misex3``, ``seq``, ``frg1``
+(:mod:`repro.circuits.pla`).  DESIGN.md §5 tabulates the fidelity of every
+row.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.circuits import arith
+from repro.circuits.pla import seeded_pla
+from repro.network.network import LogicNetwork
+
+
+def my_adder(width: int = 16) -> LogicNetwork:
+    """Ripple-carry adder: ``width*2 + 1`` inputs, ``width + 1`` outputs.
+
+    The input list interleaves the operand buses bit by bit (``cin a0 b0
+    a1 b1 ..``) — the effective order of the original benchmark file,
+    under which the pre-sift diagrams are linear-sized (an operand-after-
+    operand order is exponential for both BDDs and BBDDs).
+    """
+    net = LogicNetwork("my_adder" if width == 16 else f"my_adder_{width}")
+    cin = net.add_input("cin")
+    a: list = []
+    b: list = []
+    for i in range(width):
+        a.append(net.add_input(f"a{i}"))
+        b.append(net.add_input(f"b{i}"))
+    sums, cout = arith.ripple_adder(net, a, b, cin)
+    for i, s in enumerate(sums):
+        net.set_output(f"s{i}", s)
+    net.set_output("cout", cout)
+    return net
+
+
+def parity(width: int = 16) -> LogicNetwork:
+    net = LogicNetwork("parity" if width == 16 else f"parity_{width}")
+    bits = net.add_inputs([f"x{i}" for i in range(width)])
+    net.set_output("p", arith.parity_tree(net, bits))
+    return net
+
+
+def nine_symml() -> LogicNetwork:
+    """9-input symmetric function: 1 iff the input weight is in [3, 6]."""
+    net = LogicNetwork("9symml")
+    bits = net.add_inputs([f"x{i}" for i in range(9)])
+    count = arith.popcount(net, bits)
+    net.set_output("f", arith.constant_compare_range(net, count, 3, 6))
+    return net
+
+
+def decod() -> LogicNetwork:
+    """4-to-16 decoder with enable: 5 inputs, 16 outputs."""
+    net = LogicNetwork("decod")
+    select = net.add_inputs([f"a{i}" for i in range(4)])
+    enable = net.add_input("en")
+    outs = arith.decoder(net, select, enable)
+    for i, sig in enumerate(outs):
+        net.set_output(f"d{i}", sig)
+    return net
+
+
+def comp(width: int = 16) -> LogicNetwork:
+    """Magnitude comparator: 2*width inputs, LT/EQ/GT outputs.
+
+    Operand buses interleaved in the input list (see :func:`my_adder`).
+    """
+    net = LogicNetwork("comp" if width == 16 else f"comp_{width}")
+    a: list = []
+    b: list = []
+    for i in range(width):
+        a.append(net.add_input(f"a{i}"))
+        b.append(net.add_input(f"b{i}"))
+    lt, eq, gt = arith.magnitude_compare(net, a, b)
+    net.set_output("lt", lt)
+    net.set_output("eq", eq)
+    net.set_output("gt", gt)
+    return net
+
+
+def z4ml() -> LogicNetwork:
+    """Three 2-bit operands plus carry-in: 7 inputs, 4 sum outputs."""
+    net = LogicNetwork("z4ml")
+    a1, b1, c1 = net.add_inputs(["a1", "b1", "c1"])
+    a0, b0, c0 = net.add_inputs(["a0", "b0", "c0"])
+    cin = net.add_input("cin")
+    a, b, c = [a0, a1], [b0, b1], [c0, c1]
+    s_ab, cout_ab = arith.ripple_adder(net, a, b, cin)
+    # Second addition: (a+b+cin) + c; the first stage carry extends the word.
+    word = s_ab + [cout_ab]
+    c_ext = c + [net.const(False)]
+    s, cout = arith.ripple_adder(net, word, c_ext)
+    for i in range(3):
+        net.set_output(f"s{i}", s[i])
+    net.set_output("s3", cout)
+    return net
+
+
+def count(width: int = 16) -> LogicNetwork:
+    """Loadable/clearable counter next-state logic.
+
+    Inputs: current value ``q`` (width), load data ``d`` (width), and
+    ``clear``/``load``/``en`` controls — ``2*width + 3`` inputs, ``width``
+    next-state outputs (35/16 at the paper's signature).
+    """
+    net = LogicNetwork("count" if width == 16 else f"count_{width}")
+    clear = net.add_input("clear")
+    load = net.add_input("load")
+    en = net.add_input("en")
+    q: list = []
+    d: list = []
+    for i in range(width):
+        q.append(net.add_input(f"q{i}"))
+        d.append(net.add_input(f"d{i}"))
+    inc, _carry = arith.incrementer(net, q, en)
+    nclear = net.inv(clear)
+    for i in range(width):
+        held = net.mux(load, d[i], inc[i])
+        net.set_output(f"n{i}", net.and_(nclear, held))
+    return net
+
+
+def cordic(angle_width: int = 11) -> LogicNetwork:
+    """CORDIC rotation-direction decision step.
+
+    Inputs: residual angle ``z`` and target ``t`` (``angle_width`` bits
+    each) plus a mode bit — 23 inputs at the paper signature.  Outputs:
+    the two micro-rotation direction decisions (2 outputs), computed from
+    sign/magnitude comparisons, the decision kernel of a CORDIC stage.
+    """
+    net = LogicNetwork("cordic" if angle_width == 11 else f"cordic_{angle_width}")
+    z: list = []
+    t: list = []
+    for i in range(angle_width):
+        z.append(net.add_input(f"z{i}"))
+        t.append(net.add_input(f"t{i}"))
+    mode = net.add_input("m")
+    lt = arith.magnitude_less_than(net, z, t)
+    eq = arith.equality(net, z, t)
+    sign = z[-1]
+    d1 = net.mux(mode, lt, sign)
+    d2 = net.add_gate("NOR", [net.mux(mode, eq, lt), sign])
+    net.set_output("d1", d1)
+    net.set_output("d2", d2)
+    return net
+
+
+def alu4() -> LogicNetwork:
+    """4-bit ALU slice with the 74181 port signature (14 in, 8 out).
+
+    Logic mode (``m = 1``): the four select bits are the truth table of
+    the bitwise function ``F_i = S[(A_i, B_i)]`` (how the 74181's logic
+    mode behaves conceptually).  Arithmetic mode (``m = 0``):
+    ``F = A + ((S3 & B) | (S2 & ~B)) + cn`` with ripple carries.  Outputs:
+    ``F0..F3``, carry-out, group propagate/generate, and ``A=B``.  The
+    exact 74181 S-encoding is not bit-matched (family substitute).
+    """
+    net = LogicNetwork("alu4")
+    m = net.add_input("m")
+    cn = net.add_input("cn")
+    s = net.add_inputs([f"s{i}" for i in range(4)])
+    a: List[str] = []
+    b: List[str] = []
+    for i in reversed(range(4)):
+        a.append(net.add_input(f"a{i}"))
+        b.append(net.add_input(f"b{i}"))
+    a.reverse()
+    b.reverse()
+
+    # Logic mode: F_i = mux over (a_i, b_i) of the S truth table.
+    logic_bits: List[str] = []
+    for i in range(4):
+        low = net.mux(b[i], s[1], s[0])
+        high = net.mux(b[i], s[3], s[2])
+        logic_bits.append(net.mux(a[i], high, low))
+
+    # Arithmetic mode: operand transform then ripple addition.
+    operand: List[str] = []
+    for i in range(4):
+        t_pos = net.and_(s[3], b[i])
+        t_neg = net.and_(s[2], net.inv(b[i]))
+        operand.append(net.or_(t_pos, t_neg))
+    sums, cout = arith.ripple_adder(net, a, operand, cn)
+
+    f_bits = [net.mux(m, logic_bits[i], sums[i]) for i in range(4)]
+    for i in range(4):
+        net.set_output(f"f{i}", f_bits[i])
+    net.set_output("cn4", net.and_(net.inv(m), cout))
+    # Group propagate / generate over the arithmetic operands.
+    p_bits = [net.or_(a[i], operand[i]) for i in range(4)]
+    g_terms = []
+    for i in range(4):
+        g_i = net.and_(a[i], operand[i])
+        chain = [g_i] + [p_bits[j] for j in range(i + 1, 4)]
+        g_terms.append(arith.balanced_tree(net, "AND", chain) if len(chain) > 1 else g_i)
+    net.set_output("p", arith.balanced_tree(net, "AND", p_bits))
+    net.set_output("g", arith.balanced_tree(net, "OR", g_terms))
+    net.set_output("aeqb", arith.balanced_tree(net, "AND", f_bits))
+    return net
+
+
+def misex1() -> LogicNetwork:
+    return seeded_pla("misex1", 8, 7, 12, seed=0x1501)
+
+
+def misex3(num_inputs: int = 14) -> LogicNetwork:
+    return seeded_pla(
+        "misex3" if num_inputs == 14 else f"misex3_{num_inputs}",
+        num_inputs,
+        14,
+        40,
+        seed=0x1503,
+        care_density=0.5,
+        xor_fraction=0.4,
+        xor_span=4,
+    )
+
+
+def seq(num_inputs: int = 41) -> LogicNetwork:
+    return seeded_pla(
+        "seq" if num_inputs == 41 else f"seq_{num_inputs}",
+        num_inputs,
+        35,
+        max(12, int(1.2 * num_inputs)),
+        seed=0x0541,
+        care_density=0.3,
+        output_density=0.15,
+        xor_fraction=0.5,
+        xor_span=6,
+    )
+
+
+def frg1(num_inputs: int = 28) -> LogicNetwork:
+    return seeded_pla(
+        "frg1" if num_inputs == 28 else f"frg1_{num_inputs}",
+        num_inputs,
+        3,
+        25,
+        seed=0x0F01,
+        care_density=0.3,
+        output_density=0.5,
+        xor_fraction=0.34,
+        xor_span=5,
+    )

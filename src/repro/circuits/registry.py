@@ -1,0 +1,189 @@
+"""Benchmark catalogue: name -> generator, with the paper's reference data.
+
+``TABLE1_ROWS`` reproduces the row order of Table I; each row records the
+paper's input/output counts, node counts and timings so the harness can
+print paper-vs-measured comparisons.  ``fast_kwargs`` scale the heaviest
+generators down for the default benchmark profile (pure-Python speed; see
+DESIGN.md §3.5) — setting the environment variable ``REPRO_FULL=1``
+selects the paper-scale versions.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional
+
+from repro.circuits import datapath, iscas, mcnc
+from repro.network.network import LogicNetwork
+
+
+class Table1Row:
+    """One Table I benchmark with the paper's reference numbers."""
+
+    __slots__ = (
+        "name",
+        "generator",
+        "fast_kwargs",
+        "paper_inputs",
+        "paper_outputs",
+        "paper_bbdd_nodes",
+        "paper_bbdd_build",
+        "paper_bbdd_sift",
+        "paper_bdd_nodes",
+        "paper_bdd_build",
+        "paper_bdd_sift",
+        "fidelity",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        generator: Callable[..., LogicNetwork],
+        paper_inputs: int,
+        paper_outputs: int,
+        paper_bbdd: tuple,
+        paper_bdd: tuple,
+        fidelity: str,
+        fast_kwargs: Optional[dict] = None,
+    ) -> None:
+        self.name = name
+        self.generator = generator
+        self.fast_kwargs = fast_kwargs or {}
+        self.paper_inputs = paper_inputs
+        self.paper_outputs = paper_outputs
+        self.paper_bbdd_nodes, self.paper_bbdd_build, self.paper_bbdd_sift = paper_bbdd
+        self.paper_bdd_nodes, self.paper_bdd_build, self.paper_bdd_sift = paper_bdd
+        self.fidelity = fidelity
+
+    def build(self, full: Optional[bool] = None) -> LogicNetwork:
+        """Instantiate the benchmark (paper scale when ``full``)."""
+        if full is None:
+            full = full_profile()
+        kwargs = {} if full else dict(self.fast_kwargs)
+        return self.generator(**kwargs)
+
+
+def full_profile() -> bool:
+    """True when the paper-scale benchmark profile is requested."""
+    return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "no")
+
+
+#: Table I rows in paper order.  Paper columns: (nodes, build s, sift s);
+#: "<0.01" entries are recorded as 0.005.
+TABLE1_ROWS = [
+    Table1Row("C1355", iscas.c1355, 41, 32, (54225, 0.23, 0.11), (74056, 0.06, 0.59),
+              "family substitute (SEC-32, NAND-expanded XORs)",
+              fast_kwargs={"data_width": 16}),
+    Table1Row("C1908", iscas.c1908, 33, 25, (14918, 0.06, 0.23), (17980, 0.09, 0.34),
+              "family substitute (SEC/DED-16)",
+              fast_kwargs={"data_width": 8}),
+    Table1Row("C499", iscas.c499, 41, 32, (135784, 1.56, 3.21), (160691, 3.04, 4.28),
+              "family substitute (SEC-32, XOR form)",
+              fast_kwargs={"data_width": 16}),
+    Table1Row("seq", mcnc.seq, 41, 35, (4554, 0.07, 0.33), (5607, 0.14, 0.44),
+              "signature substitute (seeded PLA)",
+              fast_kwargs={"num_inputs": 18}),
+    Table1Row("my_adder", mcnc.my_adder, 33, 17, (166, 0.13, 0.15), (1006, 0.15, 0.14),
+              "exact (ripple adder)"),
+    Table1Row("frg1", mcnc.frg1, 28, 3, (284, 0.005, 0.005), (296, 0.005, 0.005),
+              "signature substitute (seeded PLA)",
+              fast_kwargs={"num_inputs": 20}),
+    Table1Row("misex3", mcnc.misex3, 14, 14, (745, 0.02, 0.005), (885, 0.03, 0.02),
+              "signature substitute (seeded PLA)"),
+    Table1Row("misex1", mcnc.misex1, 8, 7, (51, 0.005, 0.005), (68, 0.005, 0.005),
+              "signature substitute (seeded PLA)"),
+    Table1Row("comp", mcnc.comp, 32, 3, (97, 0.005, 0.005), (330, 0.23, 0.67),
+              "exact family (16-bit magnitude comparator)"),
+    Table1Row("count", mcnc.count, 35, 16, (328, 0.005, 0.005), (342, 0.005, 0.01),
+              "family substitute (loadable counter)"),
+    Table1Row("cordic", mcnc.cordic, 23, 2, (54, 0.005, 0.005), (80, 0.005, 0.01),
+              "family substitute (rotation decision)"),
+    Table1Row("alu4", mcnc.alu4, 14, 8, (1076, 0.005, 0.005), (897, 0.005, 0.005),
+              "family substitute (74181-signature ALU)"),
+    Table1Row("C17", iscas.c17, 5, 2, (15, 0.005, 0.005), (13, 0.005, 0.005),
+              "exact"),
+    Table1Row("9symml", mcnc.nine_symml, 9, 1, (19, 0.005, 0.005), (25, 0.005, 0.005),
+              "exact"),
+    Table1Row("z4ml", mcnc.z4ml, 7, 4, (21, 0.005, 0.005), (37, 0.005, 0.005),
+              "exact family (2-bit 3-operand adder)"),
+    Table1Row("decod", mcnc.decod, 5, 16, (46, 0.005, 0.005), (96, 0.005, 0.005),
+              "exact family (4-to-16 decoder)"),
+    Table1Row("parity", mcnc.parity, 16, 1, (9, 0.005, 0.005), (17, 0.005, 0.005),
+              "exact"),
+]
+
+
+class Table2Row:
+    """One Table II datapath with the paper's reference numbers."""
+
+    __slots__ = (
+        "name",
+        "generator",
+        "width",
+        "fast_width",
+        "paper_inputs",
+        "paper_outputs",
+        "paper_bbdd",  # (area um^2, delay ns, gates)
+        "paper_commercial",
+    )
+
+    def __init__(self, name, generator, width, fast_width,
+                 paper_inputs, paper_outputs, paper_bbdd, paper_commercial) -> None:
+        self.name = name
+        self.generator = generator
+        self.width = width
+        self.fast_width = fast_width
+        self.paper_inputs = paper_inputs
+        self.paper_outputs = paper_outputs
+        self.paper_bbdd = paper_bbdd
+        self.paper_commercial = paper_commercial
+
+    def build(self, full: Optional[bool] = None) -> LogicNetwork:
+        if full is None:
+            full = full_profile()
+        return self.generator(self.width if full else self.fast_width)
+
+
+def _barrel_with_controls(width: int):
+    return datapath.barrel(width, controls=True)
+
+
+def _barrel_rotator(width: int):
+    return datapath.barrel(width, controls=False)
+
+
+TABLE2_ROWS = [
+    Table2Row("Adder 32", datapath.adder, 32, 16, 64, 33,
+              (41.01, 2.17, 186), (45.98, 3.42, 216)),
+    Table2Row("Adder 64", datapath.adder, 64, 24, 128, 65,
+              (83.05, 4.46, 380), (93.02, 7.01, 440)),
+    Table2Row("Equality 32", datapath.equality_dp, 32, 16, 64, 1,
+              (17.78, 0.11, 63), (18.27, 0.18, 72)),
+    Table2Row("Equality 64", datapath.equality_dp, 64, 24, 128, 1,
+              (35.57, 0.13, 119), (36.18, 0.20, 136)),
+    Table2Row("Magnitude 32", datapath.magnitude_dp, 32, 16, 64, 1,
+              (13.65, 0.82, 41), (21.77, 1.16, 186)),
+    Table2Row("Magnitude 64", datapath.magnitude_dp, 64, 24, 128, 1,
+              (29.44, 1.64, 102), (44.17, 2.30, 378)),
+    Table2Row("Barrel 32", _barrel_with_controls, 32, 8, 39, 32,
+              (71.68, 0.50, 545), (76.44, 0.50, 569)),
+    Table2Row("Barrel 64", _barrel_rotator, 64, 16, 70, 64,
+              (165.42, 0.58, 1255), (178.50, 0.60, 1320)),
+]
+
+
+_CIRCUITS: Dict[str, Callable[[], LogicNetwork]] = {
+    row.name: row.build for row in TABLE1_ROWS
+}
+_CIRCUITS.update({row.name: row.build for row in TABLE2_ROWS})
+
+
+def get_circuit(name: str, full: Optional[bool] = None) -> LogicNetwork:
+    """Instantiate a benchmark by its Table I / Table II row name."""
+    try:
+        builder = _CIRCUITS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(_CIRCUITS)}"
+        ) from None
+    return builder(full=full)

@@ -1,0 +1,36 @@
+"""BBDD core package: the paper's primary contribution.
+
+This subpackage implements the Biconditional Binary Decision Diagram
+manipulation package of Amaru, Gaillardon and De Micheli (DATE 2014):
+strong-canonical node storage, recursive Boolean operations over
+biconditional expansions, performance-oriented memory management and
+chain-variable re-ordering.
+"""
+
+from repro.core.exceptions import BBDDError, OrderError, VariableError
+from repro.core.function import Function
+from repro.core.manager import BBDDManager
+from repro.core.operations import (
+    OP_AND,
+    OP_NAND,
+    OP_NOR,
+    OP_OR,
+    OP_XNOR,
+    OP_XOR,
+    op_name,
+)
+
+__all__ = [
+    "BBDDManager",
+    "Function",
+    "BBDDError",
+    "OrderError",
+    "VariableError",
+    "OP_AND",
+    "OP_OR",
+    "OP_XOR",
+    "OP_XNOR",
+    "OP_NAND",
+    "OP_NOR",
+    "op_name",
+]

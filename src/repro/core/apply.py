@@ -1,0 +1,136 @@
+"""Extended Boolean operations built on Algorithm 1.
+
+The recursive two-operand core lives in
+:meth:`repro.core.manager.BBDDManager.apply_edges`; this module adds the
+derived operations a manipulation package is expected to provide:
+
+* :func:`ite` — if-then-else;
+* :func:`restrict` — cofactor w.r.t. a variable assignment (the
+  biconditional analogue of the Shannon cofactor: restricting either
+  member of a couple re-expresses the branching condition over the
+  surviving variable);
+* :func:`compose` — substitute a function for a variable;
+* :func:`exists` / :func:`forall` — Boolean quantification;
+* :func:`support` — the true functional support (note: in a BBDD the set
+  of primary variables of reachable nodes is *not* the support, because a
+  secondary variable can cancel along both branches).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.core.node import SV_ONE, BBDDNode, Edge
+from repro.core.operations import OP_AND, OP_OR
+
+
+def ite(manager, f: Edge, g: Edge, h: Edge) -> Edge:
+    """If-then-else: ``f ? g : h`` == (f AND g) OR (NOT f AND h)."""
+    fg = manager.apply_edges(f, g, OP_AND)
+    fh = manager.apply_edges((f[0], not f[1]), h, OP_AND)
+    return manager.apply_edges(fg, fh, OP_OR)
+
+
+def restrict(manager, edge: Edge, var, value: bool) -> Edge:
+    """Cofactor ``f`` with ``var = value``.
+
+    Three structural cases per node (couple ``(v, w)`` at position ``p``):
+
+    * ``v == var`` — the branching condition collapses onto ``w``:
+      ``f|v=c = ITE(w, f_eq, f_neq)`` if ``c == 1`` else with the branches
+      swapped (for literal nodes the cofactor is the constant).
+    * ``w == var`` — both the condition and the children mention ``var``:
+      restrict the children, then ``f|w=c = ITE(v, ..)``.
+    * otherwise — restrict the children and rebuild the node in place.
+    """
+    var = manager.var_index(var)
+    var_pos = manager.order.position(var)
+    order = manager.order
+    memo: Dict[Tuple[int, bool], Edge] = {}
+
+    def rec(node: BBDDNode, attr: bool) -> Edge:
+        if node.is_sink or order.position(node.pv) > var_pos:
+            return (node, attr)
+        key = (node.uid, attr)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        pv = node.pv
+        if node.sv == SV_ONE:
+            if pv == var:
+                result = (manager.sink, attr ^ (not value))
+            else:
+                result = (node, attr)
+            memo[key] = result
+            return result
+        d: Edge = (node.neq, attr ^ node.neq_attr)
+        e: Edge = (node.eq, attr)
+        sv = node.sv
+        if pv == var:
+            w_lit = manager.literal_edge(sv)
+            result = ite(manager, w_lit, e, d) if value else ite(manager, w_lit, d, e)
+        elif sv == var:
+            d2 = rec(d[0], d[1])
+            e2 = rec(e[0], e[1])
+            v_lit = manager.literal_edge(pv)
+            result = ite(manager, v_lit, e2, d2) if value else ite(manager, v_lit, d2, e2)
+        else:
+            d2 = rec(d[0], d[1])
+            e2 = rec(e[0], e[1])
+            result = manager._make(pv, node.sv, d2, e2)
+        memo[key] = result
+        return result
+
+    return rec(edge[0], edge[1])
+
+
+def compose(manager, edge: Edge, var, g: Edge) -> Edge:
+    """Substitute the function ``g`` for variable ``var`` in ``f``."""
+    f1 = restrict(manager, edge, var, True)
+    f0 = restrict(manager, edge, var, False)
+    return ite(manager, g, f1, f0)
+
+
+def exists(manager, edge: Edge, variables) -> Edge:
+    """Existential quantification over ``variables``."""
+    result = edge
+    for var in _as_iterable(variables):
+        f1 = restrict(manager, result, var, True)
+        f0 = restrict(manager, result, var, False)
+        result = manager.apply_edges(f1, f0, OP_OR)
+    return result
+
+
+def forall(manager, edge: Edge, variables) -> Edge:
+    """Universal quantification over ``variables``."""
+    result = edge
+    for var in _as_iterable(variables):
+        f1 = restrict(manager, result, var, True)
+        f0 = restrict(manager, result, var, False)
+        result = manager.apply_edges(f1, f0, OP_AND)
+    return result
+
+
+def support(manager, edge: Edge) -> frozenset:
+    """Variables ``f`` truly depends on (as indices).
+
+    Under the support-chained canonical form every node carries an exact
+    support mask (couples pair consecutive support variables, so no
+    cancellation survives reduction); the mask is read off the root.
+    """
+    node, _attr = edge
+    result = set()
+    mask = node.supp
+    var = 0
+    while mask:
+        if mask & 1:
+            result.add(var)
+        mask >>= 1
+        var += 1
+    return frozenset(result)
+
+
+def _as_iterable(variables) -> Iterable:
+    if isinstance(variables, (int, str)):
+        return (variables,)
+    return tuple(variables)

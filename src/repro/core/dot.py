@@ -1,0 +1,53 @@
+"""Graphviz/DOT export for BBDD and BDD forests (debugging/teaching aid)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.core.node import SV_ONE
+from repro.core.traversal import reachable_nodes
+
+
+def to_dot(manager, functions, names: Iterable[str] = ()) -> str:
+    """Render a forest of :class:`~repro.core.function.Function` handles.
+
+    ``!=``-edges are dashed (dot-terminated when complemented); ``=``-edges
+    solid.  Literal (R4) nodes are drawn as boxes.
+    """
+    edges = [f.edge if hasattr(f, "edge") else f for f in functions]
+    labels = list(names) or [f"f{i}" for i in range(len(edges))]
+    nodes = reachable_nodes(edges)
+    lines: List[str] = ["digraph BBDD {", "  rankdir=TB;"]
+    lines.append('  sink [shape=box, label="1"];')
+    for node in nodes:
+        if node.sv == SV_ONE:
+            lines.append(
+                f"  n{node.uid} [shape=box, label=\"{manager.var_name(node.pv)}\"];"
+            )
+        else:
+            lines.append(
+                f"  n{node.uid} [shape=ellipse, "
+                f"label=\"{manager.var_name(node.pv)},{manager.var_name(node.sv)}\"];"
+            )
+    for node in nodes:
+        if node.sv == SV_ONE:
+            continue
+        neq_target = "sink" if node.neq.is_sink else f"n{node.neq.uid}"
+        eq_target = "sink" if node.eq.is_sink else f"n{node.eq.uid}"
+        arrow = "odot" if node.neq_attr else "normal"
+        lines.append(
+            f"  n{node.uid} -> {neq_target} [style=dashed, arrowhead={arrow}, label=\"!=\"];"
+        )
+        lines.append(f"  n{node.uid} -> {eq_target} [label=\"=\"];")
+        # Literal nodes point at the sink implicitly; draw for completeness.
+    for node in nodes:
+        if node.sv == SV_ONE:
+            lines.append(f"  n{node.uid} -> sink [style=dashed, arrowhead=odot];")
+            lines.append(f"  n{node.uid} -> sink;")
+    for label, (root, attr) in zip(labels, edges):
+        lines.append(f'  {label} [shape=plaintext];')
+        target = "sink" if root.is_sink else f"n{root.uid}"
+        arrow = "odot" if attr else "normal"
+        lines.append(f"  {label} -> {target} [arrowhead={arrow}];")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the BBDD package."""
+
+
+class BBDDError(Exception):
+    """Base class for all errors raised by the BBDD package."""
+
+
+class VariableError(BBDDError):
+    """An unknown or ill-typed variable was supplied."""
+
+
+class OrderError(BBDDError):
+    """A variable order is inconsistent with the manager's variables."""
+
+
+class ForeignManagerError(BBDDError):
+    """Functions from two different managers were combined."""
+
+
+class InvariantViolation(BBDDError):
+    """An internal canonical-form invariant was violated.
+
+    Raised only by the debugging ``check_invariants`` facilities; seeing
+    this exception in the wild indicates a bug in the package itself.
+    """

@@ -1,0 +1,282 @@
+"""User-facing handle on a BBDD function.
+
+A :class:`Function` owns a reference on its root node (released on
+garbage collection of the handle), overloads the Boolean operators, and
+exposes the package API: evaluation, satisfiability, counting, cofactors,
+composition, quantification and export helpers.
+
+Because reduced and ordered BBDDs are canonical, ``f == g`` is a pointer
+comparison on ``(node, attr)`` — the strong-canonical-form payoff of
+Sec. IV-A1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Union
+
+from repro.core import apply as _ops
+from repro.core import traversal as _trav
+from repro.core.exceptions import ForeignManagerError
+from repro.core.node import Edge
+from repro.core.operations import (
+    OP_AND,
+    OP_GT,
+    OP_LE,
+    OP_OR,
+    OP_XNOR,
+    OP_XOR,
+    op_from_name,
+)
+
+
+class Function:
+    """A Boolean function represented by a BBDD edge.
+
+    Create instances through :class:`~repro.core.manager.BBDDManager`
+    helpers (``manager.var``, ``manager.true``, ...) or by combining other
+    functions with the overloaded operators.
+    """
+
+    __slots__ = ("manager", "node", "attr", "__weakref__")
+
+    def __init__(self, manager, edge: Edge) -> None:
+        self.manager = manager
+        self.node = edge[0]
+        self.attr = edge[1]
+        self.node.ref += 1
+
+    def __del__(self) -> None:
+        # Interpreter shutdown may have torn down attributes already.
+        node = getattr(self, "node", None)
+        if node is not None:
+            node.ref -= 1
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def edge(self) -> Edge:
+        return (self.node, self.attr)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Function):
+            return NotImplemented
+        return (
+            self.manager is other.manager
+            and self.node is other.node
+            and self.attr == other.attr
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.manager), self.node.uid, self.attr))
+
+    def _wrap(self, edge: Edge) -> "Function":
+        return Function(self.manager, edge)
+
+    def _coerce(self, other) -> Edge:
+        if isinstance(other, Function):
+            if other.manager is not self.manager:
+                raise ForeignManagerError(
+                    "cannot combine functions from different managers"
+                )
+            return other.edge
+        if other is True or other == 1:
+            return self.manager.true_edge
+        if other is False or other == 0:
+            return self.manager.false_edge
+        raise TypeError(f"cannot combine Function with {type(other).__name__}")
+
+    # -- Boolean operators ----------------------------------------------------
+
+    def apply(self, other, op: Union[int, str]) -> "Function":
+        """Apply any of the 16 two-operand operators (table or name)."""
+        if isinstance(op, str):
+            op = op_from_name(op)
+        return self._wrap(self.manager.apply_edges(self.edge, self._coerce(other), op))
+
+    def __and__(self, other) -> "Function":
+        return self.apply(other, OP_AND)
+
+    __rand__ = __and__
+
+    def __or__(self, other) -> "Function":
+        return self.apply(other, OP_OR)
+
+    __ror__ = __or__
+
+    def __xor__(self, other) -> "Function":
+        return self.apply(other, OP_XOR)
+
+    __rxor__ = __xor__
+
+    def __invert__(self) -> "Function":
+        return self._wrap((self.node, not self.attr))
+
+    def xnor(self, other) -> "Function":
+        """Biconditional (equality) of two functions."""
+        return self.apply(other, OP_XNOR)
+
+    def implies(self, other) -> "Function":
+        return self.apply(other, OP_LE)
+
+    def and_not(self, other) -> "Function":
+        return self.apply(other, OP_GT)
+
+    def ite(self, g, h) -> "Function":
+        """``self ? g : h``."""
+        return self._wrap(
+            _ops.ite(self.manager, self.edge, self._coerce(g), self._coerce(h))
+        )
+
+    # -- constants -------------------------------------------------------------
+
+    @property
+    def is_true(self) -> bool:
+        return self.node.is_sink and not self.attr
+
+    @property
+    def is_false(self) -> bool:
+        return self.node.is_sink and self.attr
+
+    @property
+    def is_constant(self) -> bool:
+        return self.node.is_sink
+
+    # -- semantics ---------------------------------------------------------------
+
+    def _values_from(self, assignment: Mapping) -> Dict[int, bool]:
+        values: Dict[int, bool] = {}
+        for key, bit in assignment.items():
+            values[self.manager.var_index(key)] = bool(bit)
+        return values
+
+    def evaluate(self, assignment: Mapping) -> bool:
+        """Evaluate at an assignment keyed by variable name or index.
+
+        The assignment must cover the function's structural variables.
+        """
+        values = self._values_from(assignment)
+        for var in range(self.manager.num_vars):
+            values.setdefault(var, False)
+        return _trav.evaluate(self.edge, values)
+
+    def __call__(self, **kwargs) -> bool:
+        return self.evaluate(kwargs)
+
+    def sat_count(self) -> int:
+        """Number of satisfying assignments over all manager variables."""
+        return _trav.sat_count(self.manager, self.edge)
+
+    def sat_one(self) -> Optional[Dict[str, bool]]:
+        """One satisfying assignment (by name), or None if unsatisfiable."""
+        for constraints, value in _trav.iter_paths(self.manager, self.edge):
+            if not value:
+                continue
+            return self._assignment_from_path(constraints)
+        return None
+
+    def _assignment_from_path(self, constraints: Dict[int, str]) -> Dict[str, bool]:
+        values: Dict[int, bool] = {}
+        order = self.manager.order
+        # Resolve chain constraints bottom-up: the deepest couple pins an
+        # absolute value (literal nodes / bottom couple), relations then
+        # propagate upwards.
+        for var in sorted(constraints, key=order.position, reverse=True):
+            rel = constraints[var]
+            if rel in ("0", "1"):
+                values[var] = rel == "1"
+            else:
+                pos = order.position(var)
+                sv = order.sv_of_position(pos)
+                sv_value = values.get(sv, False)
+                values[var] = (not sv_value) if rel == "!=" else sv_value
+        return {self.manager.var_name(v): b for v, b in values.items()}
+
+    def node_count(self) -> int:
+        """Nodes of this function's BBDD (sink excluded)."""
+        return _trav.count_nodes([self.edge])
+
+    def support(self) -> frozenset:
+        """Names of the variables the function truly depends on."""
+        vars_ = _ops.support(self.manager, self.edge)
+        return frozenset(self.manager.var_name(v) for v in vars_)
+
+    def truth_mask(self, variables: Iterable) -> int:
+        """Truth-table bitmask over the given variables (testing helper)."""
+        indices = [self.manager.var_index(v) for v in variables]
+        return _trav.truth_table_mask(self.manager, self.edge, indices)
+
+    # -- manipulation ---------------------------------------------------------------
+
+    def restrict(self, var, value: bool) -> "Function":
+        """Cofactor with ``var = value``."""
+        return self._wrap(_ops.restrict(self.manager, self.edge, var, value))
+
+    def compose(self, var, g: "Function") -> "Function":
+        """Substitute function ``g`` for variable ``var``."""
+        return self._wrap(_ops.compose(self.manager, self.edge, var, self._coerce(g)))
+
+    def exists(self, variables) -> "Function":
+        return self._wrap(_ops.exists(self.manager, self.edge, variables))
+
+    def forall(self, variables) -> "Function":
+        return self._wrap(_ops.forall(self.manager, self.edge, variables))
+
+    def equivalent(self, other) -> bool:
+        """Canonicity-based equivalence check (pointer comparison)."""
+        other_edge = self._coerce(other)
+        return self.node is other_edge[0] and self.attr == other_edge[1]
+
+    # -- display ------------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        if self.is_true:
+            return "<Function TRUE>"
+        if self.is_false:
+            return "<Function FALSE>"
+        return (
+            f"<Function root=(v{self.node.pv},"
+            f"{'1' if self.node.sv < 0 else 'v%d' % self.node.sv})"
+            f"{'~' if self.attr else ''} nodes={self.node_count()}>"
+        )
+
+
+def _install_manager_helpers() -> None:
+    """Attach Function-returning convenience methods to BBDDManager.
+
+    Kept here to avoid a circular import between manager and function
+    modules while still giving users ``manager.var(..)`` etc.
+    """
+    from repro.core.manager import BBDDManager
+
+    def var(self, name_or_index) -> Function:
+        return Function(self, self.literal_edge(name_or_index))
+
+    def nvar(self, name_or_index) -> Function:
+        return Function(self, self.literal_edge(name_or_index, positive=False))
+
+    def variables(self) -> list:
+        return [Function(self, self.literal_edge(i)) for i in range(self.num_vars)]
+
+    def true(self) -> Function:
+        return Function(self, self.true_edge)
+
+    def false(self) -> Function:
+        return Function(self, self.false_edge)
+
+    def function(self, edge) -> Function:
+        return Function(self, edge)
+
+    def node_count(self, functions) -> int:
+        edges = [f.edge if isinstance(f, Function) else f for f in functions]
+        return _trav.count_nodes(edges)
+
+    BBDDManager.var = var
+    BBDDManager.nvar = nvar
+    BBDDManager.variables = variables
+    BBDDManager.true = true
+    BBDDManager.false = false
+    BBDDManager.function = function
+    BBDDManager.node_count = node_count
+
+
+_install_manager_helpers()

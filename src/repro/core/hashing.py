@@ -1,0 +1,203 @@
+"""Cantor-pairing hash machinery (Sec. IV-A3 of the paper).
+
+The core hashing function of all BBDD tables is the Cantor pairing
+function between two natural numbers (paper Eq. 4)::
+
+    C(i, j) = (i + j) * (i + j + 1) / 2 + i
+
+a bijection N0 x N0 -> N0 and hence a perfect hash.  Tuples are hashed by
+*nested* Cantor pairings, a first modulo with a large prime ``m`` keeps the
+integers machine-sized while limiting collision frequency, and a second
+modulo resizes the result to the current table size.
+
+The :class:`AdaptiveHashController` implements the paper's dynamic policy:
+the data-structure size and the hash function are changed on the basis of a
+``{size x access-time}`` quality metric — when garbage collection and table
+resizing no longer keep the average probe length acceptable, the hash
+function itself is modified (re-ordering the nested pairings and re-sizing
+the prime ``m``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+#: The paper's example large prime for the first modulo reduction.
+DEFAULT_PRIME = 15485863
+
+#: Alternative primes the adaptive policy may re-size ``m`` to.  All are
+#: genuinely prime (they bracket DEFAULT_PRIME at various magnitudes).
+PRIME_LADDER = (
+    999983,
+    1999993,
+    4999999,
+    7999993,
+    15485863,
+    32452843,
+    49979687,
+    67867967,
+    86028121,
+)
+
+
+def cantor(i: int, j: int) -> int:
+    """Cantor pairing C(i, j): a bijection from N0 x N0 to N0."""
+    s = i + j
+    return (s * (s + 1)) // 2 + i
+
+
+def cantor_unpair(z: int) -> tuple[int, int]:
+    """Inverse of :func:`cantor` (used by tests to certify bijectivity)."""
+    # Largest w with w (w + 1) / 2 <= z, via integer square root.
+    w = (_isqrt(8 * z + 1) - 1) // 2
+    t = (w * (w + 1)) // 2
+    i = z - t
+    j = w - i
+    return i, j
+
+
+def _isqrt(n: int) -> int:
+    import math
+
+    return math.isqrt(n)
+
+
+def cantor_tuple(values: Sequence[int], prime: int = DEFAULT_PRIME) -> int:
+    """Hash a tuple by left-nested Cantor pairings with modulo reduction.
+
+    ``C(...C(C(v0, v1) % m, v2) % m..., vk) % m`` — the modulo after every
+    pairing keeps intermediates machine-sized, as the paper prescribes.
+    """
+    it = iter(values)
+    try:
+        acc = next(it)
+    except StopIteration:
+        return 0
+    for v in it:
+        acc = cantor(acc, v) % prime
+    return acc % prime
+
+
+def cantor_tuple_reversed(values: Sequence[int], prime: int = DEFAULT_PRIME) -> int:
+    """Right-nested variant: the adaptive policy's re-ordered pairing."""
+    return cantor_tuple(tuple(reversed(values)), prime)
+
+
+_PAIRING_VARIANTS = (cantor_tuple, cantor_tuple_reversed)
+
+
+class AdaptiveHashController:
+    """Dynamic hash-quality policy driven by a ``size x access-time`` metric.
+
+    The controller observes every table access (with its probe length, i.e.
+    the number of bucket entries inspected) and periodically evaluates the
+    quality metric ``table_size * mean_probe_length``.  Its decisions, in
+    escalating order, mirror the paper:
+
+    1. *grow* — the table should be resized (load factor too high);
+    2. *rehash* — growing has stopped helping: modify the hash function by
+       re-ordering the nested Cantor pairings and moving to the next prime
+       ``m`` on the ladder, then re-arrange the stored elements.
+    """
+
+    #: Accesses between policy evaluations.
+    EVALUATION_PERIOD = 4096
+    #: Target mean probe length; above this the policy intervenes.
+    PROBE_TARGET = 2.0
+    #: Load factor above which growth is always the first response.
+    LOAD_TARGET = 0.75
+
+    def __init__(self, prime: int = DEFAULT_PRIME) -> None:
+        self.prime = prime
+        self.variant = 0
+        self.accesses = 0
+        self.total_probes = 0
+        self._window_accesses = 0
+        self._window_probes = 0
+        self._last_metric = float("inf")
+        self.rehash_count = 0
+        self.grow_count = 0
+
+    # -- observation -------------------------------------------------------
+
+    def record_access(self, probe_length: int) -> None:
+        """Record one lookup/insert that inspected ``probe_length`` entries."""
+        self.accesses += 1
+        self.total_probes += probe_length
+        self._window_accesses += 1
+        self._window_probes += probe_length
+
+    def should_evaluate(self) -> bool:
+        return self._window_accesses >= self.EVALUATION_PERIOD
+
+    # -- decisions ----------------------------------------------------------
+
+    def decide(self, table_size: int, entry_count: int) -> str:
+        """Return one of ``"ok"``, ``"grow"``, ``"rehash"``.
+
+        Called when :meth:`should_evaluate` is true.  Resets the window.
+        """
+        mean_probe = (
+            self._window_probes / self._window_accesses if self._window_accesses else 0.0
+        )
+        metric = table_size * mean_probe
+        improving = metric < self._last_metric
+        self._last_metric = metric
+        self._window_accesses = 0
+        self._window_probes = 0
+
+        load = entry_count / table_size if table_size else 0.0
+        if mean_probe <= self.PROBE_TARGET and load <= self.LOAD_TARGET:
+            return "ok"
+        if load > self.LOAD_TARGET:
+            self.grow_count += 1
+            return "grow"
+        if not improving:
+            # Growth no longer pays off: modify the hash function itself.
+            self.rehash_count += 1
+            return "rehash"
+        self.grow_count += 1
+        return "grow"
+
+    def next_hash_function(self) -> None:
+        """Rotate the pairing order and step the prime ladder (paper's
+        'standard modifications of the hash-function')."""
+        self.variant = (self.variant + 1) % len(_PAIRING_VARIANTS)
+        try:
+            idx = PRIME_LADDER.index(self.prime)
+        except ValueError:
+            idx = -1
+        self.prime = PRIME_LADDER[(idx + 1) % len(PRIME_LADDER)]
+
+    # -- hashing ------------------------------------------------------------
+
+    def hash_tuple(self, values: Sequence[int], table_size: int) -> int:
+        """Hash ``values`` into ``[0, table_size)`` with the current policy."""
+        pairing = _PAIRING_VARIANTS[self.variant]
+        return pairing(values, self.prime) % table_size
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def mean_probe_length(self) -> float:
+        return self.total_probes / self.accesses if self.accesses else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "accesses": self.accesses,
+            "mean_probe_length": self.mean_probe_length,
+            "prime": self.prime,
+            "variant": self.variant,
+            "rehash_count": self.rehash_count,
+            "grow_count": self.grow_count,
+        }
+
+
+def next_table_size(current: int) -> int:
+    """Growth schedule for dynamically resized tables (doubling)."""
+    return max(current * 2, 16)
+
+
+def fold_key(values: Iterable[int], prime: int = DEFAULT_PRIME) -> int:
+    """Convenience: nested-Cantor fold of an arbitrary int iterable."""
+    return cantor_tuple(tuple(values), prime)

@@ -1,0 +1,553 @@
+"""The BBDD manager: node construction, Boolean operations, memory management.
+
+This module implements the manipulation core of Sec. IV of the paper:
+
+* ``_make`` — get-or-create a node in strong canonical form, enforcing
+  reduction rules R1 (unique table), R2 (identical children), R4 (literal
+  degeneration) and the complement-attribute normalization (``=``-edges are
+  always regular);
+* ``apply_edges`` — Algorithm 1: the recursive formulation of any
+  two-operand Boolean operation over biconditional expansions, with
+  terminal-case short circuits, a computed table, operator update for
+  complement attributes (``updateop``) and on-the-fly chain transformation
+  of single-variable operands;
+* reference-counting garbage collection with cascade sweep.
+
+All hot-path functions work on bare ``(node, attr)`` edge tuples; the
+user-facing wrapper lives in :mod:`repro.core.function`.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.computed_table import make_computed_table
+from repro.core.exceptions import BBDDError, OrderError, VariableError
+from repro.core.node import SV_ONE, BBDDNode, Edge, make_sink
+from repro.core.operations import (
+    OP_AND,
+    OP_OR,
+    OP_XOR,
+    UNARY_FALSE,
+    UNARY_ID,
+    UNARY_NOT,
+    UNARY_TRUE,
+    diagonal,
+    flip_a,
+    flip_b,
+    is_commutative,
+    op_from_name,
+    restrict_a,
+    restrict_b,
+)
+from repro.core.order import ChainVariableOrder
+from repro.core.unique_table import make_unique_table
+
+_RECURSION_HEADROOM = 100_000
+
+
+class BBDDManager:
+    """Shared manager for a forest of BBDDs over a common variable set.
+
+    Parameters
+    ----------
+    variables:
+        Either the number of variables or a sequence of distinct names.
+    unique_backend / computed_backend:
+        ``"dict"`` (default, native hashing) or ``"cantor"`` (the paper's
+        Cantor-pairing tables); the computed table additionally accepts
+        ``"disabled"`` for ablation runs.
+    """
+
+    def __init__(
+        self,
+        variables: Union[int, Sequence[str]],
+        unique_backend: str = "dict",
+        computed_backend: str = "dict",
+    ) -> None:
+        if isinstance(variables, int):
+            names = [f"x{i}" for i in range(variables)]
+        else:
+            names = list(variables)
+        if len(set(names)) != len(names):
+            raise VariableError("variable names must be distinct")
+        self._names: List[str] = names
+        self._index: Dict[str, int] = {n: i for i, n in enumerate(names)}
+        self._order = ChainVariableOrder(range(len(names)))
+
+        self._uid = 0
+        self.sink = make_sink(self._next_uid())
+        self._unique = make_unique_table(unique_backend)
+        self._cache = make_computed_table(computed_backend)
+        self._literals: Dict[int, BBDDNode] = {}
+        self._by_pv: Dict[int, set] = {i: set() for i in range(len(names))}
+        self._by_sv: Dict[int, set] = {i: set() for i in range(len(names))}
+        self._node_count = 0
+        self.gc_count = 0
+
+        if sys.getrecursionlimit() < _RECURSION_HEADROOM:
+            sys.setrecursionlimit(_RECURSION_HEADROOM)
+
+    # ------------------------------------------------------------------
+    # identifiers and variables
+    # ------------------------------------------------------------------
+
+    def _next_uid(self) -> int:
+        self._uid += 1
+        return self._uid
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._names)
+
+    @property
+    def var_names(self) -> tuple:
+        return tuple(self._names)
+
+    def var_index(self, var: Union[int, str]) -> int:
+        """Normalize a variable name or index to its index."""
+        if isinstance(var, str):
+            try:
+                return self._index[var]
+            except KeyError:
+                raise VariableError(f"unknown variable {var!r}") from None
+        if not 0 <= var < len(self._names):
+            raise VariableError(f"variable index {var} out of range")
+        return var
+
+    def var_name(self, index: int) -> str:
+        return self._names[index]
+
+    def new_var(self, name: Optional[str] = None) -> int:
+        """Append a fresh variable at the bottom of the order."""
+        index = len(self._names)
+        if name is None:
+            name = f"x{index}"
+        if name in self._index:
+            raise VariableError(f"variable {name!r} already exists")
+        self._names.append(name)
+        self._index[name] = index
+        self._by_pv[index] = set()
+        self._by_sv[index] = set()
+        self._order.append(index)
+        return index
+
+    # ------------------------------------------------------------------
+    # order access
+    # ------------------------------------------------------------------
+
+    @property
+    def order(self) -> ChainVariableOrder:
+        return self._order
+
+    def current_order(self) -> tuple:
+        """Current variable order as a tuple of names (root to bottom)."""
+        return tuple(self._names[v] for v in self._order.order)
+
+    def cvo_couples(self) -> list:
+        """The CVO couples as name pairs, SV of the bottom couple is '1'."""
+        out = []
+        for pv, sv in self._order.couples():
+            out.append((self._names[pv], "1" if sv == SV_ONE else self._names[sv]))
+        return out
+
+    def _root_position(self, node: BBDDNode) -> int:
+        """Position of a node's root couple; the sink sorts below everything."""
+        if node.is_sink:
+            return len(self._names)
+        return self._order.position(node.pv)
+
+    # ------------------------------------------------------------------
+    # terminal edges and literals
+    # ------------------------------------------------------------------
+
+    @property
+    def true_edge(self) -> Edge:
+        return (self.sink, False)
+
+    @property
+    def false_edge(self) -> Edge:
+        return (self.sink, True)
+
+    def literal_node(self, var: int) -> BBDDNode:
+        """The R4 literal node for ``var`` (created on demand)."""
+        node = self._literals.get(var)
+        if node is None:
+            node = BBDDNode(var, SV_ONE, self.sink, True, self.sink, self._next_uid())
+            self._literals[var] = node
+            self._unique.insert(node.key(), node)
+            self.sink.ref += 2
+            self._node_count += 1
+        return node
+
+    def literal_edge(self, var: Union[int, str], positive: bool = True) -> Edge:
+        index = self.var_index(var)
+        return (self.literal_node(index), not positive)
+
+    # ------------------------------------------------------------------
+    # canonical node construction (rules R1, R2, R4 + normalization)
+    # ------------------------------------------------------------------
+
+    def _shannon_view(self, edge: Edge, w: int, value: int):
+        """Constant restriction ``edge|w=value`` as a comparable view.
+
+        Only called for edges rooted at ``w``.  Returns either
+        ``("const", bit)`` for a literal root or ``(t, high, low)`` for a
+        chain root ``(w, t)`` — ``high``/``low`` are the edges selected at
+        ``t = 1`` / ``t = 0``.  Two equal views denote equal functions
+        (children are canonical), which is what the reduction test needs.
+        """
+        node, attr = edge
+        if node.sv == SV_ONE:
+            return ("const", bool(value) ^ attr)
+        neq_edge = (node.neq, node.neq_attr ^ attr)
+        eq_edge = (node.eq, attr)
+        if value == 0:
+            return (node.sv, neq_edge, eq_edge)
+        return (node.sv, eq_edge, neq_edge)
+
+    def _make(self, pv: int, sv: int, d: Edge, e: Edge) -> Edge:
+        """Get-or-create the node ``(pv, sv, !=-child d, =-child e)``.
+
+        Applies the reduction rules of Sec. III-C under the support-chained
+        CVO (rule R3: a function's couples chain over its *support*, so no
+        level is empty):
+
+        * R2 — identical children collapse to the child;
+        * SV-elimination — if the candidate function does not actually
+          depend on ``sv`` (both children rooted at ``sv`` and
+          ``d|sv=0 == e|sv=1`` and ``e|sv=0 == d|sv=1``), the couple
+          re-chains past ``sv``; rule R4 (single-variable degeneration to
+          a literal node) is the terminal case of this cascade;
+        * ``=``-edge regularity normalization, then unique-table
+          resolution (R1 / strong canonical form).
+        """
+        dn, da = d
+        en, ea = e
+        if dn is en and da == ea:
+            return e  # R2
+        if sv == SV_ONE:
+            # Boundary: no further support variable; children are
+            # constants and the node degenerates to the literal of pv.
+            if not (dn.is_sink and en.is_sink):
+                raise BBDDError("boundary-couple children must be constants")
+            return (self.literal_node(pv), ea)
+        if dn.pv == sv and en.pv == sv and not dn.is_sink and not en.is_sink:
+            # Both children rooted at sv: the candidate may not depend on
+            # sv at all, in which case the chain skips it (R3/R4).
+            if self._shannon_view(d, sv, 0) == self._shannon_view(e, sv, 1) and (
+                self._shannon_view(e, sv, 0) == self._shannon_view(d, sv, 1)
+            ):
+                if dn.sv == SV_ONE:
+                    # d = lit(sv)^da, e = lit(sv)^~da: rule R4 proper.
+                    return (self.literal_node(pv), ea)
+                # Re-chain: f = (pv = t) ? A : B with A/B = d's children.
+                a_edge = (dn.neq, dn.neq_attr ^ da)
+                b_edge = (dn.eq, da)
+                return self._make(pv, dn.sv, b_edge, a_edge)
+        attr = False
+        if ea:
+            # Normalize: =-edges are stored regular; complement both
+            # children and return a complemented external edge.
+            attr = True
+            da = not da
+        key = (pv, sv, dn.uid, da, en.uid)
+        node = self._unique.lookup(key)
+        if node is None:
+            node = BBDDNode(pv, sv, dn, da, en, self._next_uid())
+            node.supp = (1 << pv) | (1 << sv) | dn.supp | en.supp
+            self._unique.insert(key, node)
+            dn.ref += 1
+            en.ref += 1
+            self._by_pv[pv].add(node)
+            self._by_sv[sv].add(node)
+            self._node_count += 1
+        return (node, attr)
+
+    # ------------------------------------------------------------------
+    # biconditional cofactors (includes Algorithm 1's chain transform)
+    # ------------------------------------------------------------------
+
+    def _cofactors(self, node: BBDDNode, v: int, w: int) -> Tuple[Edge, Edge]:
+        """``(f_neq, f_eq)`` of ``node`` w.r.t. the couple ``(v, w)``.
+
+        Four cases (Algorithm 1's chain transform, generalized to the
+        support-chained CVO):
+
+        * rooted deeper than ``v`` — independent of ``v``, unchanged;
+        * a chain node ``(v, w)`` — its stored children;
+        * a chain node ``(v, w2)`` with ``w2`` after ``w`` (the operand's
+          own next support variable differs) — the substitution
+          ``v <- w'``/``v <- w`` re-roots the function at couple
+          ``(w, w2)`` with the children swapped / kept:
+          ``f(v <- w') = (w = w2 ? d : e)``, ``f(v <- w) = (w != w2 ? d : e)``;
+        * the literal ``lit(v)`` — cofactors ``~lit(w)`` / ``lit(w)``.
+        """
+        if node.pv != v:
+            return (node, False), (node, False)
+        if node.sv == SV_ONE:
+            lw = self.literal_node(w)
+            return (lw, True), (lw, False)
+        if node.sv == w:
+            return (node.neq, node.neq_attr), (node.eq, False)
+        d_edge = (node.neq, node.neq_attr)
+        e_edge = (node.eq, False)
+        return (
+            self._make(w, node.sv, e_edge, d_edge),
+            self._make(w, node.sv, d_edge, e_edge),
+        )
+
+    # ------------------------------------------------------------------
+    # Algorithm 1: f (op) g
+    # ------------------------------------------------------------------
+
+    def apply_edges(self, f: Edge, g: Edge, op: int) -> Edge:
+        """Compute ``f (op) g`` for edges; ``op`` is a 4-bit operator table.
+
+        Complement attributes on the operands are pushed into the operator
+        (the paper's ``updateop``), so the recursive core and the computed
+        table always see attribute-free operands.
+        """
+        fn, fa = f
+        if fa:
+            op = flip_a(op)
+        gn, ga = g
+        if ga:
+            op = flip_b(op)
+        return self._apply(fn, gn, op)
+
+    def apply_named(self, f: Edge, g: Edge, name: str) -> Edge:
+        return self.apply_edges(f, g, op_from_name(name))
+
+    def _unary(self, outcome: str, node: BBDDNode) -> Edge:
+        if outcome == UNARY_FALSE:
+            return (self.sink, True)
+        if outcome == UNARY_TRUE:
+            return (self.sink, False)
+        if outcome == UNARY_ID:
+            return (node, False)
+        return (node, True)
+
+    def _apply(self, fn: BBDDNode, gn: BBDDNode, op: int) -> Edge:
+        # -- terminal cases (Alg. 1 alpha) --------------------------------
+        if fn.is_sink:
+            return self._unary(restrict_a(op, 1), gn)
+        if gn.is_sink:
+            return self._unary(restrict_b(op, 1), fn)
+        if fn is gn:
+            return self._unary(diagonal(op), fn)
+        # Degenerate operators depend on at most one operand.
+        if ((op >> 1) & 0b101) == (op & 0b101):  # independent of b
+            return self._unary(restrict_b(op, 0), fn)
+        if ((op >> 2) & 0b11) == (op & 0b11):  # independent of a
+            return self._unary(restrict_a(op, 0), gn)
+
+        # -- computed table (Alg. 1 beta) ----------------------------------
+        if is_commutative(op) and gn.uid < fn.uid:
+            fn, gn = gn, fn
+        key = (fn.uid, gn.uid, op)
+        cached = self._cache.lookup(key)
+        if cached is not None:
+            return cached
+
+        # -- recursive step (Alg. 1 gamma) ----------------------------------
+        # Expansion couple: PV = earliest root variable; SV = earliest
+        # following variable visible in either operand's structure (the
+        # operand's own SV if rooted at v, its PV if rooted deeper).
+        position = self._order.position
+        pf = position(fn.pv)
+        pg = position(gn.pv)
+        v = fn.pv if pf <= pg else gn.pv
+        w = None
+        w_pos = len(self._names) + 1
+        for node in (fn, gn):
+            if node.pv == v:
+                cand = node.sv
+                if cand == SV_ONE:
+                    continue
+            else:
+                cand = node.pv
+            cand_pos = position(cand)
+            if cand_pos < w_pos:
+                w, w_pos = cand, cand_pos
+        if w is None:
+            raise BBDDError("no expansion SV: both operands literal at v")
+        f_neq, f_eq = self._cofactors(fn, v, w)
+        g_neq, g_eq = self._cofactors(gn, v, w)
+        e = self.apply_edges(f_eq, g_eq, op)
+        d = self.apply_edges(f_neq, g_neq, op)
+        result = self._make(v, w, d, e)
+        self._cache.insert(key, result)
+        return result
+
+    # Convenience edge-level operations used across the package.
+
+    def and_edges(self, f: Edge, g: Edge) -> Edge:
+        return self.apply_edges(f, g, OP_AND)
+
+    def or_edges(self, f: Edge, g: Edge) -> Edge:
+        return self.apply_edges(f, g, OP_OR)
+
+    def xor_edges(self, f: Edge, g: Edge) -> Edge:
+        return self.apply_edges(f, g, OP_XOR)
+
+    @staticmethod
+    def not_edge(f: Edge) -> Edge:
+        return (f[0], not f[1])
+
+    # ------------------------------------------------------------------
+    # memory management (Sec. IV-A3)
+    # ------------------------------------------------------------------
+
+    def size(self) -> int:
+        """Number of nodes currently stored (chain + literal, sink excluded)."""
+        return self._node_count
+
+    def dead_count(self) -> int:
+        return sum(1 for n in self._unique.values() if n.ref == 0)
+
+    def inc_ref(self, edge: Edge) -> None:
+        edge[0].ref += 1
+
+    def dec_ref(self, edge: Edge) -> None:
+        edge[0].ref -= 1
+
+    def gc(self) -> int:
+        """Sweep unreferenced nodes (cascade) and clear the computed table.
+
+        Returns the number of reclaimed nodes.  The computed table must be
+        cleared because its entries hold bare pointers that are only valid
+        while the pointed nodes stay canonical residents of the unique
+        table.
+        """
+        self._cache.clear()
+        dead = [n for n in list(self._unique.values()) if n.ref == 0]
+        reclaimed = 0
+        for node in dead:
+            if node.ref == 0:
+                reclaimed += self._sweep(node)
+        self.gc_count += 1
+        return reclaimed
+
+    def _sweep(self, node: BBDDNode) -> int:
+        """Reclaim ``node`` (ref == 0) and cascade into its children."""
+        reclaimed = 0
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if n.ref != 0 or n.is_sink:
+                continue
+            n.ref = -1  # tombstone: prevents double sweep
+            self._unique.delete(n.key())
+            self._node_count -= 1
+            if n.is_literal:
+                del self._literals[n.pv]
+                self.sink.ref -= 2
+            else:
+                self._by_pv[n.pv].discard(n)
+                self._by_sv[n.sv].discard(n)
+                for child in (n.neq, n.eq):
+                    child.ref -= 1
+                    if child.ref == 0:
+                        stack.append(child)
+            reclaimed += 1
+        return reclaimed
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    def table_stats(self) -> dict:
+        return {
+            "unique": self._unique.stats(),
+            "computed": self._cache.stats(),
+            "nodes": self._node_count,
+            "gc_runs": self.gc_count,
+        }
+
+    # ------------------------------------------------------------------
+    # introspection / debugging
+    # ------------------------------------------------------------------
+
+    def nodes_with_pv(self, var: int) -> set:
+        """Chain nodes whose primary variable is ``var`` (live or dead)."""
+        return self._by_pv[var]
+
+    def nodes_with_sv(self, var: int) -> set:
+        """Chain nodes whose secondary variable is ``var``."""
+        return self._by_sv[var]
+
+    def iter_nodes(self) -> Iterable[BBDDNode]:
+        return self._unique.values()
+
+    def check_invariants(self) -> None:
+        """Validate the canonical-form invariants; raise on violation.
+
+        Used by the test-suite after every structural operation.  Checks:
+        unique-table key consistency, R2 (no identical children), R4 (no
+        chain node denoting a literal), ``=``-edge regularity (structural
+        by construction, re-checked via key shape), CVO couple consistency,
+        strictly increasing child positions, literal node shape, and
+        non-negative reference counts.
+        """
+        from repro.core.exceptions import InvariantViolation
+
+        order = self._order
+        seen_keys = set()
+        for node in list(self._unique.values()):
+            key = node.key()
+            if key in seen_keys:
+                raise InvariantViolation(f"duplicate key {key}")
+            seen_keys.add(key)
+            if self._unique.lookup(key) is not node:
+                raise InvariantViolation(f"key {key} does not map back to its node")
+            if node.ref < 0:
+                raise InvariantViolation(f"swept node still in table: {node!r}")
+            if node.is_literal:
+                if not (
+                    node.neq is self.sink
+                    and node.neq_attr
+                    and node.eq is self.sink
+                ):
+                    raise InvariantViolation(f"malformed literal node {node!r}")
+                continue
+            pos = order.position(node.pv)
+            sv_pos = order.position(node.sv)
+            if sv_pos <= pos:
+                raise InvariantViolation(
+                    f"couple of {node!r} inconsistent with order {order!r}"
+                )
+            if node.neq is node.eq and not node.neq_attr:
+                raise InvariantViolation(f"R2 violation (identical children): {node!r}")
+            for child in (node.neq, node.eq):
+                if not child.is_sink and self._order.position(child.pv) < sv_pos:
+                    raise InvariantViolation(
+                        f"child order violation: {node!r} -> {child!r}"
+                    )
+            if (
+                node.neq.pv == node.sv
+                and node.eq.pv == node.sv
+                and not node.neq.is_sink
+                and not node.eq.is_sink
+            ):
+                d_edge = (node.neq, node.neq_attr)
+                e_edge = (node.eq, False)
+                if self._shannon_view(d_edge, node.sv, 0) == self._shannon_view(
+                    e_edge, node.sv, 1
+                ) and self._shannon_view(e_edge, node.sv, 0) == self._shannon_view(
+                    d_edge, node.sv, 1
+                ):
+                    raise InvariantViolation(
+                        f"R3/R4 violation (SV-independent chain node): {node!r}"
+                    )
+            expected_supp = (
+                (1 << node.pv) | (1 << node.sv) | node.neq.supp | node.eq.supp
+            )
+            if node.supp != expected_supp:
+                raise InvariantViolation(f"support mask mismatch: {node!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<BBDDManager vars={len(self._names)} nodes={self._node_count} "
+            f"order={self.current_order()}>"
+        )

@@ -1,0 +1,152 @@
+"""BBDD node and edge primitives (Fig. 1 of the paper).
+
+A BBDD internal node is labelled by a Primary Variable (PV) and a Secondary
+Variable (SV) and has two out-edges, ``PV != SV`` and ``PV = SV``; it
+denotes the biconditional expansion (Eq. 1)::
+
+    f = (v xor w) f_neq  +  (v xnor w) f_eq
+
+Canonical-form conventions implemented here (Sec. III-D):
+
+* only the 1-sink exists; the constant 0 is a complemented edge to it;
+* complement attributes live on ``!=``-edges (and on external edges);
+  ``=``-edges of stored nodes are always regular;
+* single-variable functions degenerate to *literal nodes* — rule R4's
+  "BDD node" with ``SV = 1`` — whose children are fixed: the ``!=``-edge
+  is the complemented sink (value 0), the ``=``-edge the regular sink.
+
+Edges are plain ``(node, attr)`` tuples in the hot paths; the
+:class:`repro.core.function.Function` wrapper gives users a safe handle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+#: Sentinel variable index for a literal node's secondary variable (the
+#: fictitious constant-1 variable of the paper's boundary condition).
+SV_ONE = -1
+
+#: Sentinel variable index identifying the sink node.
+SINK_VAR = -2
+
+
+class BBDDNode:
+    """A single BBDD node.
+
+    Nodes are mutable only through the manager (creation, in-place CVO-swap
+    rewriting, sweep).  Identity is object identity; structural equality is
+    exactly unique-table equality, which is what makes equivalence tests a
+    pointer comparison (strong canonical form).
+
+    Attributes
+    ----------
+    pv:
+        Primary variable index; ``SINK_VAR`` for the sink.
+    sv:
+        Secondary variable index; ``SV_ONE`` for literal (R4) nodes and the
+        sink.
+    neq / neq_attr:
+        The ``PV != SV`` child and its complement attribute.
+    eq:
+        The ``PV = SV`` child (always a regular edge).
+    ref:
+        Reference count: parents plus user handles.
+    uid:
+        Manager-unique dense integer id (feeds the Cantor hashes).
+    """
+
+    __slots__ = (
+        "pv",
+        "sv",
+        "neq",
+        "neq_attr",
+        "eq",
+        "ref",
+        "uid",
+        "supp",
+        "__weakref__",
+    )
+
+    def __init__(
+        self,
+        pv: int,
+        sv: int,
+        neq: Optional["BBDDNode"],
+        neq_attr: bool,
+        eq: Optional["BBDDNode"],
+        uid: int,
+    ) -> None:
+        self.pv = pv
+        self.sv = sv
+        self.neq = neq
+        self.neq_attr = neq_attr
+        self.eq = eq
+        self.ref = 0
+        self.uid = uid
+        # Support bitmask over variable indices; maintained by the manager
+        # (0 for the sink, 1 << pv for literals, the union + couple for
+        # chain nodes).
+        self.supp = 0 if pv == SINK_VAR else (1 << pv if pv >= 0 else 0)
+
+    # -- classification ------------------------------------------------------
+
+    @property
+    def is_sink(self) -> bool:
+        return self.pv == SINK_VAR
+
+    @property
+    def is_literal(self) -> bool:
+        """True for R4 "BDD" nodes (``SV = 1``)."""
+        return self.sv == SV_ONE and self.pv != SINK_VAR
+
+    @property
+    def is_chain(self) -> bool:
+        """True for regular two-variable biconditional nodes."""
+        return self.sv != SV_ONE and self.pv != SINK_VAR
+
+    # -- representation -------------------------------------------------------
+
+    def key(self) -> tuple:
+        """Unique-table key of this node (the paper's strong-canonical tuple).
+
+        Chain nodes are keyed by ``(pv, sv, neq.uid, neq_attr, eq.uid)``;
+        under a CVO the pair ``(pv, sv)`` is equivalent to the paper's
+        ``CVO-level`` field, and keying by the variable pair keeps
+        unaffected nodes stable across re-ordering.  Literal nodes are keyed
+        by their variable alone (their children are fixed).
+        """
+        if self.is_literal:
+            return (self.pv, SV_ONE)
+        return (self.pv, self.sv, self.neq.uid, self.neq_attr, self.eq.uid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_sink:
+            return "<sink-1>"
+        if self.is_literal:
+            return f"<lit v{self.pv} uid={self.uid} ref={self.ref}>"
+        return (
+            f"<node (v{self.pv},v{self.sv}) uid={self.uid} ref={self.ref} "
+            f"neq={self.neq.uid}{'~' if self.neq_attr else ''} eq={self.eq.uid}>"
+        )
+
+
+#: An edge is ``(node, complement_attr)``.
+Edge = Tuple[BBDDNode, bool]
+
+
+def make_sink(uid: int = 0) -> BBDDNode:
+    """Create the (per-manager singleton) 1-sink node."""
+    node = BBDDNode(SINK_VAR, SV_ONE, None, False, None, uid)
+    node.ref = 1  # the sink is immortal
+    return node
+
+
+def negate(edge: Edge) -> Edge:
+    """Complement an edge (free thanks to complement attributes)."""
+    return (edge[0], not edge[1])
+
+
+def edge_key(edge: Edge) -> tuple:
+    """Hashable identity of an edge (for computed tables / test oracles)."""
+    return (edge[0].uid, edge[1])

@@ -1,0 +1,116 @@
+"""Chain Variable Order (CVO) bookkeeping (Sec. III-B, Eq. 2).
+
+Given an input variable order ``pi = (pi_0, .., pi_{n-1})`` the CVO couples
+adjacent variables level by level::
+
+    (PV_i, SV_i) = (pi_i, pi_{i+1})     for i = 0 .. n-2
+    (PV_{n-1}, SV_{n-1}) = (pi_{n-1}, 1)
+
+We number *positions* from 0 at the root to ``n - 1`` at the bottom; the
+paper's ``maxlevel`` (root-most level of an operand pair) is our minimum
+position.  The class maintains the order, its inverse permutation, and the
+derived couples, and supports the adjacent transposition that underlies the
+re-ordering theory of Sec. IV-A4.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.core.exceptions import OrderError
+from repro.core.node import SV_ONE
+
+
+class ChainVariableOrder:
+    """Mutable variable order with CVO couple derivation."""
+
+    __slots__ = ("_order", "_position")
+
+    def __init__(self, order: Sequence[int]) -> None:
+        self._order: List[int] = list(order)
+        self._position: dict[int, int] = {}
+        self._rebuild_positions()
+        if len(self._position) != len(self._order):
+            raise OrderError("variable order contains duplicates")
+
+    def _rebuild_positions(self) -> None:
+        self._position = {var: pos for pos, var in enumerate(self._order)}
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self):
+        return iter(self._order)
+
+    @property
+    def order(self) -> tuple:
+        """The current order ``pi`` as a tuple of variable indices."""
+        return tuple(self._order)
+
+    def position(self, var: int) -> int:
+        """Position (0 = root) of ``var`` in the current order."""
+        try:
+            return self._position[var]
+        except KeyError:
+            raise OrderError(f"variable {var} is not in the order") from None
+
+    def var_at(self, position: int) -> int:
+        return self._order[position]
+
+    def sv_of_position(self, position: int) -> int:
+        """Secondary variable of the couple at ``position`` (Eq. 2).
+
+        Returns :data:`~repro.core.node.SV_ONE` for the bottom couple.
+        """
+        if position == len(self._order) - 1:
+            return SV_ONE
+        return self._order[position + 1]
+
+    def couple(self, position: int) -> tuple:
+        """The CVO couple ``(PV, SV)`` at ``position``."""
+        return (self._order[position], self.sv_of_position(position))
+
+    def couples(self) -> list:
+        """All couples, root to bottom — the paper's CVO example layout."""
+        return [self.couple(p) for p in range(len(self._order))]
+
+    def contains(self, var: int) -> bool:
+        return var in self._position
+
+    # -- mutation ----------------------------------------------------------------
+
+    def swap_positions(self, position: int) -> None:
+        """Transpose the variables at ``position`` and ``position + 1``.
+
+        This is the order-level effect of the CVO swap ``i <-> i+1``; the
+        node-level effect is implemented by :mod:`repro.core.reorder`.
+        """
+        n = len(self._order)
+        if not 0 <= position < n - 1:
+            raise OrderError(f"cannot swap positions {position},{position + 1} of {n}")
+        a, b = self._order[position], self._order[position + 1]
+        self._order[position], self._order[position + 1] = b, a
+        self._position[a] = position + 1
+        self._position[b] = position
+
+    def append(self, var: int) -> None:
+        """Append a fresh variable at the bottom of the order."""
+        if var in self._position:
+            raise OrderError(f"variable {var} already in the order")
+        self._position[var] = len(self._order)
+        self._order.append(var)
+
+    def set_order(self, order: Iterable[int]) -> None:
+        new = list(order)
+        if sorted(new) != sorted(self._order):
+            raise OrderError("new order must be a permutation of the variables")
+        self._order = new
+        self._rebuild_positions()
+
+    def copy(self) -> "ChainVariableOrder":
+        return ChainVariableOrder(self._order)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CVO{tuple(self._order)}"

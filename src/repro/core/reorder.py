@@ -1,0 +1,401 @@
+"""Chain variable re-ordering (Sec. IV-A4): CVO swap theory and sifting.
+
+A variable swap ``i <-> i+1`` exchanges two adjacent variables ``x, y`` in
+the order.  Under the support-chained CVO (rule R3), a function's couples
+pair *consecutive support variables*, so the swap concerns exactly the
+functions that depend on **both** ``x`` and ``y`` — their chains contain
+``(a, x) (x, y) (y, z)`` fragments that become ``(a, y) (y, x) (x, z)``.
+Concretely the affected nodes are:
+
+* ``B`` — chain nodes with couple ``(x, y)``: overwritten in place at
+  couple ``(y, x)`` with children rebuilt below;
+* ``A`` — chain nodes with SV ``x`` whose support contains ``y``:
+  overwritten in place at couple ``(pv, y)``.
+
+Every other node (including all ``(y, .)``-rooted nodes and any node whose
+function involves only one of the two variables) is untouched — the
+locality property the paper claims for its pointer-stable swap.  The
+children remapping follows Fig. 2 / Eq. 5: with comparison outcomes
+``a = [w != x]``, ``b = [x != y]``, ``c = [y != z]`` (True = "!="),
+
+    new(a', b', c') = old(a' ^ b', b', b' ^ c')
+
+applied per root-to-leaf path (each path carries its own deeper partner
+``z``).  Soundness of the in-place overwrite rests on the complement
+normalization: the canonical attribute of a function equals
+``not f(1, 1, .., 1)``, which is order-independent, so a
+function-preserving rewrite never flips a node's polarity.
+
+The module also provides Rudell-style sifting extended to BBDDs and a
+rebuild-based reordering used as a test oracle.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.exceptions import BBDDError, OrderError
+from repro.core.node import SV_ONE, BBDDNode, Edge
+
+
+class SwapStats:
+    """Counters accumulated across swap operations (for benches/reports)."""
+
+    __slots__ = ("swaps", "nodes_rewritten", "nodes_created", "nodes_swept")
+
+    def __init__(self) -> None:
+        self.swaps = 0
+        self.nodes_rewritten = 0
+        self.nodes_created = 0
+        self.nodes_swept = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "swaps": self.swaps,
+            "nodes_rewritten": self.nodes_rewritten,
+            "nodes_created": self.nodes_created,
+            "nodes_swept": self.nodes_swept,
+        }
+
+
+def _split(edge: Edge, var: int):
+    """Split ``edge`` on its root couple when rooted at ``var``.
+
+    Returns ``(partner, neq_edge, eq_edge)``; ``partner`` is ``None`` when
+    the edge does not branch on ``var`` (both cofactors equal the edge),
+    and ``SV_ONE`` for the literal of ``var``.
+    """
+    node, attr = edge
+    if node.is_sink or node.pv != var:
+        return None, edge, edge
+    if node.sv == SV_ONE:
+        sink = node.neq  # literal children are the sink
+        return SV_ONE, (sink, not attr), (sink, attr)
+    return node.sv, (node.neq, node.neq_attr ^ attr), (node.eq, attr)
+
+
+def swap_adjacent(manager, k: int, stats: Optional[SwapStats] = None) -> None:
+    """Swap the variables at order positions ``k`` and ``k + 1`` in place."""
+    order = manager.order
+    n = manager.num_vars
+    if not 0 <= k < n - 1:
+        raise OrderError(f"cannot swap positions {k},{k + 1} of {n}")
+
+    x = order.var_at(k)
+    y = order.var_at(k + 1)
+    y_bit = 1 << y
+
+    # The computed table holds bare pointers into the forest; swept nodes
+    # would otherwise escape through it.
+    manager.clear_cache()
+
+    # Reclaim garbage at the concerned levels up front so it is neither
+    # planned nor rewritten.
+    for node in [nd for nd in manager.nodes_with_pv(x) if nd.ref == 0]:
+        if node.ref == 0:
+            swept = manager._sweep(node)
+            if stats:
+                stats.nodes_swept += swept
+    for node in [nd for nd in manager.nodes_with_sv(x) if nd.ref == 0]:
+        if node.ref == 0:
+            swept = manager._sweep(node)
+            if stats:
+                stats.nodes_swept += swept
+
+    b_nodes = [nd for nd in manager.nodes_with_pv(x) if nd.sv == y]
+    a_nodes = [nd for nd in manager.nodes_with_sv(x) if nd.supp & y_bit]
+
+    if not b_nodes and not a_nodes:
+        order.swap_positions(k)
+        if stats:
+            stats.swaps += 1
+        return
+
+    # ---- Phase 0: plan extraction against the pristine old structure ----
+    # B-plan per node: for each old (x ? y) branch b, the child's gamma
+    # split (partner z_b, leaf at gamma=1, leaf at gamma=0).
+    b_plans = []
+    for node in b_nodes:
+        branch = {}
+        for b, child in ((True, (node.neq, node.neq_attr)), (False, (node.eq, False))):
+            z, hi, lo = _split(child, y)
+            branch[b] = (z, hi, lo)
+        b_plans.append((node, branch))
+
+    # A-plan per node: alpha branch -> beta branch -> gamma split triple.
+    # The beta split is the biconditional cofactoring of the alpha-child
+    # w.r.t. the couple (x, y); when the child's own couple is (x, t != y)
+    # the manager's cofactoring re-roots the substitution at (y, t) —
+    # creating only (y, .)-couple helper nodes, which the swap never
+    # touches.
+    a_plans = []
+    for node in a_nodes:
+        alpha_info = {}
+        for a, child in ((True, (node.neq, node.neq_attr)), (False, (node.eq, False))):
+            node_c, attr_c = child
+            cof_neq, cof_eq = manager._cofactors(node_c, x, y)
+            b_hi = (cof_neq[0], cof_neq[1] ^ attr_c)
+            b_lo = (cof_eq[0], cof_eq[1] ^ attr_c)
+            alpha_info[a] = {
+                True: _split(b_hi, y),
+                False: _split(b_lo, y),
+            }
+        a_plans.append((node, alpha_info))
+
+    # ---- Phase 1: clear stale keys, then commit the new order -----------
+    for node in b_nodes:
+        manager._unique.delete(node.key())
+    for node in a_nodes:
+        manager._unique.delete(node.key())
+    order.swap_positions(k)
+
+    dead_candidates: List[BBDDNode] = []
+
+    def overwrite(node: BBDDNode, sv: int, d: Edge, e: Edge) -> None:
+        """Re-point ``node`` at the canonical tuple (node.pv, sv, d, e)."""
+        dn, da = d
+        en, ea = e
+        if ea:
+            raise BBDDError("CVO swap produced a complemented =-edge at a root")
+        if dn is en and da == ea:
+            raise BBDDError("CVO swap collapsed a chain node (R2)")
+        old_children = (node.neq, node.eq)
+        manager._by_sv[node.sv].discard(node)
+        node.sv = sv
+        node.neq = dn
+        node.neq_attr = da
+        node.eq = en
+        node.supp = (1 << node.pv) | (1 << sv) | dn.supp | en.supp
+        dn.ref += 1
+        en.ref += 1
+        manager._by_sv[sv].add(node)
+        manager._unique.insert(node.key(), node)
+        for child in old_children:
+            child.ref -= 1
+            if child.ref == 0 and not child.is_sink:
+                dead_candidates.append(child)
+        if stats:
+            stats.nodes_rewritten += 1
+
+    def rebuild_branch(plan_entry) -> Edge:
+        """Child edge at the (x, z) level from a gamma split plan."""
+        z, hi, lo = plan_entry
+        if z is None:
+            return hi  # no gamma split: the child is y-independent
+        return manager._make(x, z, hi, lo)
+
+    # ---- Phase 2: B-nodes become (y, x) nodes ---------------------------
+    # new(b', c') = old(b', b' ^ c'): the new beta'-child reshuffles the
+    # same old branch's leaves; for b' = True the gamma leaves swap.
+    for node, branch in b_plans:
+        z_t, hi_t, lo_t = branch[True]
+        z_f, hi_f, lo_f = branch[False]
+        d_child = rebuild_branch((z_t, lo_t, hi_t))  # gamma inverted
+        e_child = rebuild_branch((z_f, hi_f, lo_f))
+        manager._by_pv[x].discard(node)
+        node.pv = y
+        manager._by_pv[y].add(node)
+        overwrite(node, x, d_child, e_child)
+
+    # ---- Phase 3: A-nodes re-chain to (pv, y) ----------------------------
+    # new(a', b', c') = old(a' ^ b', b', b' ^ c').
+    for node, alpha_info in a_plans:
+        new_children = {}
+        for a_new in (True, False):
+            subs = {}
+            for b_new in (True, False):
+                z, hi, lo = alpha_info[a_new != b_new][b_new]
+                if b_new:
+                    hi, lo = lo, hi  # gamma' = not gamma on the b'=True leg
+                subs[b_new] = rebuild_branch((z, hi, lo))
+            new_children[a_new] = manager._make(y, x, subs[True], subs[False])
+        overwrite(node, y, new_children[True], new_children[False])
+
+    # ---- Phase 4: reclaim nodes orphaned by the rewiring ------------------
+    for node in dead_candidates:
+        if node.ref == 0:
+            swept = manager._sweep(node)
+            if stats:
+                stats.nodes_swept += swept
+
+    if stats:
+        stats.swaps += 1
+
+
+def reorder_to(manager, target_order: Sequence, stats: Optional[SwapStats] = None) -> None:
+    """Reorder to ``target_order`` (names or indices) via adjacent swaps."""
+    target = [manager.var_index(v) for v in target_order]
+    if sorted(target) != sorted(range(manager.num_vars)):
+        raise OrderError("target order must be a permutation of all variables")
+    # Selection-sort with adjacent transpositions: O(n^2) swaps worst case.
+    for pos in range(manager.num_vars):
+        want = target[pos]
+        current = manager.order.position(want)
+        while current > pos:
+            swap_adjacent(manager, current - 1, stats)
+            current -= 1
+
+
+class SiftResult:
+    """Outcome of a sifting run."""
+
+    __slots__ = ("initial_size", "final_size", "swaps", "duration", "rounds")
+
+    def __init__(self, initial_size, final_size, swaps, duration, rounds) -> None:
+        self.initial_size = initial_size
+        self.final_size = final_size
+        self.swaps = swaps
+        self.duration = duration
+        self.rounds = rounds
+
+    def as_dict(self) -> dict:
+        return {
+            "initial_size": self.initial_size,
+            "final_size": self.final_size,
+            "swaps": self.swaps,
+            "duration": self.duration,
+            "rounds": self.rounds,
+        }
+
+
+def sift(
+    manager,
+    max_growth: float = 1.2,
+    converge: bool = False,
+    max_rounds: int = 4,
+    max_swaps: Optional[int] = None,
+    swap_fn=None,
+) -> SiftResult:
+    """Rudell's sifting extended to BBDDs (Sec. IV-A4).
+
+    Each variable in turn is moved through all ``n`` candidate CVO
+    positions with adjacent swaps; the position minimizing the stored node
+    count is kept.  ``max_growth`` aborts an excursion whose intermediate
+    size exceeds the best size by that factor; ``converge`` repeats passes
+    until no improvement (bounded by ``max_rounds``); ``max_swaps`` bounds
+    total work for benchmark profiles.
+
+    The excursion driver is representation-agnostic: ``swap_fn(manager, k,
+    stats)`` defaults to the BBDD CVO swap, and the baseline BDD package
+    reuses this driver with its own level swap.
+    """
+    manager.gc()  # sizes must reflect live nodes only
+    if swap_fn is None:
+        swap_fn = swap_adjacent
+    stats = SwapStats()
+    t0 = time.perf_counter()
+    initial = manager.size()
+    n = manager.num_vars
+    rounds = 0
+
+    def budget_left() -> bool:
+        return max_swaps is None or stats.swaps < max_swaps
+
+    improved = True
+    while improved and rounds < (max_rounds if converge else 1) and budget_left():
+        improved = False
+        rounds += 1
+        round_start = manager.size()
+        by_level_size = sorted(
+            range(n), key=lambda v: -len(manager.nodes_with_pv(v))
+        )
+        for var in by_level_size:
+            if not budget_left():
+                break
+            best_size = manager.size()
+            pos = manager.order.position(var)
+            best_pos = pos
+            # Excursion towards the closer end first, then the other end.
+            down_first = (n - 1 - pos) <= pos
+            legs = [(1, n - 1), (-1, 0)] if down_first else [(-1, 0), (1, n - 1)]
+            for direction, limit in legs:
+                while pos != limit and budget_left():
+                    if direction > 0:
+                        swap_fn(manager, pos, stats)
+                        pos += 1
+                    else:
+                        swap_fn(manager, pos - 1, stats)
+                        pos -= 1
+                    size = manager.size()
+                    if size < best_size:
+                        best_size, best_pos = size, pos
+                    elif size > best_size * max_growth:
+                        break
+            while pos < best_pos:
+                swap_fn(manager, pos, stats)
+                pos += 1
+            while pos > best_pos:
+                swap_fn(manager, pos - 1, stats)
+                pos -= 1
+        if manager.size() < round_start:
+            improved = True
+
+    return SiftResult(
+        initial_size=initial,
+        final_size=manager.size(),
+        swaps=stats.swaps,
+        duration=time.perf_counter() - t0,
+        rounds=rounds,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Rebuild-based reordering: the slow, obviously-correct oracle.
+# ---------------------------------------------------------------------------
+
+
+def from_truth_table(manager, mask: int, num_vars: Optional[int] = None) -> Edge:
+    """Build the canonical BBDD of a truth-table bitmask.
+
+    Bit ``i`` of ``mask`` is the value of the assignment whose ``j``-th
+    *variable-index* bit is bit ``j`` of ``i``.  Exponential in the
+    variable count; used by tests, the rebuild oracle and small examples.
+    """
+    from repro.core.truthtable import TruthTable
+
+    n = num_vars if num_vars is not None else manager.num_vars
+    order = manager.order
+
+    def build(table) -> Edge:
+        if table.mask == 0:
+            return manager.false_edge
+        if table.mask == table._full():
+            return manager.true_edge
+        supp = sorted(table.support(), key=order.position)
+        pv = supp[0]
+        if len(supp) == 1:
+            positive = table.restrict(pv, True).mask != 0
+            return (manager.literal_node(pv), not positive)
+        sv = supp[1]
+        sv_tt = TruthTable.var(n, sv)
+        t_neq = table.compose(pv, ~sv_tt)
+        t_eq = table.compose(pv, sv_tt)
+        d = build(t_neq)
+        e = build(t_eq)
+        return manager._make(pv, sv, d, e)
+
+    return build(TruthTable(n, mask))
+
+
+def rebuild_reordered(manager, edges: Sequence[Edge], new_order: Sequence):
+    """Oracle: rebuild ``edges`` from scratch in a new manager with
+    ``new_order`` (names or indices of the same variables).
+
+    Returns ``(new_manager, new_edges)``.  Exponential (truth tables);
+    tests compare the in-place swap result against this ground truth.
+    """
+    from repro.core.manager import BBDDManager
+    from repro.core.traversal import truth_table_mask
+
+    names = [manager.var_name(manager.var_index(v)) for v in new_order]
+    if sorted(names) != sorted(manager.var_names):
+        raise OrderError("new order must cover exactly the manager variables")
+    new_manager = BBDDManager(list(manager.var_names))
+    new_manager.order.set_order([new_manager.var_index(nm) for nm in names])
+    new_edges = []
+    all_vars = list(range(manager.num_vars))
+    for edge in edges:
+        mask = truth_table_mask(manager, edge, all_vars)
+        new_edges.append(from_truth_table(new_manager, mask))
+    return new_manager, new_edges

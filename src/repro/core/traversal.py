@@ -1,0 +1,163 @@
+"""Traversals over BBDD forests: evaluation, counting, sat-count, paths.
+
+All functions operate on bare ``(node, attr)`` edges plus the owning
+manager (needed for order positions).  Level skipping is handled
+everywhere: an edge from position ``p`` to a node rooted at position ``q``
+leaves the variables at positions ``p+1 .. q-1`` unconstrained.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Set, Tuple
+
+from repro.core.node import SV_ONE, BBDDNode, Edge
+
+
+def evaluate(edge: Edge, values: Mapping[int, bool]) -> bool:
+    """Evaluate the function at a complete assignment ``{var index: bit}``.
+
+    Follows one root-to-sink path: at a chain node take the ``!=``-edge
+    when ``values[pv] != values[sv]``; at a literal node the ``=``-edge
+    corresponds to ``pv == 1`` (the paper's fictitious SV).  Complement
+    attributes along the path toggle the result.
+    """
+    node, attr = edge
+    while not node.is_sink:
+        if node.sv == SV_ONE:
+            take_neq = not values[node.pv]
+        else:
+            take_neq = values[node.pv] != values[node.sv]
+        if take_neq:
+            attr ^= node.neq_attr
+            node = node.neq
+        else:
+            node = node.eq
+    return not attr
+
+
+def reachable_nodes(edges: Iterable[Edge]) -> Set[BBDDNode]:
+    """All internal nodes (chain + literal) reachable from ``edges``."""
+    seen: Set[BBDDNode] = set()
+    stack: List[BBDDNode] = []
+    for node, _attr in edges:
+        if not node.is_sink and node not in seen:
+            seen.add(node)
+            stack.append(node)
+    while stack:
+        node = stack.pop()
+        if node.sv == SV_ONE:
+            continue
+        for child in (node.neq, node.eq):
+            if not child.is_sink and child not in seen:
+                seen.add(child)
+                stack.append(child)
+    return seen
+
+
+def count_nodes(edges: Iterable[Edge]) -> int:
+    """Shared node count of a forest (sink excluded, literals included)."""
+    return len(reachable_nodes(edges))
+
+
+def sat_count(manager, edge: Edge) -> int:
+    """Number of satisfying assignments over all manager variables."""
+    n = manager.num_vars
+    order = manager.order
+    memo: Dict[BBDDNode, int] = {}
+
+    def node_count(node: BBDDNode) -> int:
+        """Count over the variables at positions >= position(node)."""
+        cached = memo.get(node)
+        if cached is not None:
+            return cached
+        p = order.position(node.pv)
+        span = n - p
+        if node.sv == SV_ONE:
+            result = 1 << (span - 1)
+        else:
+            # Each branch fixes pv relative to sv; variables strictly
+            # between them in the order (skipped by the support chain)
+            # are free, as are those between sv and a child's root.
+            q_sv = order.position(node.sv)
+            result = 0
+            for child, attr in ((node.neq, node.neq_attr), (node.eq, False)):
+                if child.is_sink:
+                    sub = 0 if attr else (1 << (n - q_sv))
+                else:
+                    q = order.position(child.pv)
+                    sub = node_count(child)
+                    if attr:
+                        sub = (1 << (n - q)) - sub
+                    sub <<= q - q_sv
+                result += sub
+            result <<= q_sv - (p + 1)
+        memo[node] = result
+        return result
+
+    node, attr = edge
+    if node.is_sink:
+        total = 0 if attr else (1 << n)
+        return total
+    p = order.position(node.pv)
+    count = node_count(node)
+    if attr:
+        count = (1 << (n - p)) - count
+    return count << p
+
+
+def iter_paths(manager, edge: Edge) -> Iterator[Tuple[Dict[int, str], bool]]:
+    """Yield ``(constraints, value)`` for every root-to-sink path.
+
+    ``constraints`` maps each couple's PV to ``"=="``/``"!="`` (chain
+    nodes) or ``"1"``/``"0"`` (literal nodes); ``value`` is the sink value
+    after complement attributes.  Used by the DOT/report tooling and by
+    tests that cross-check path semantics.
+    """
+
+    def walk(node: BBDDNode, attr: bool, constraints: Dict[int, str]):
+        if node.is_sink:
+            yield dict(constraints), not attr
+            return
+        if node.sv == SV_ONE:
+            branches = ((node.neq, attr ^ node.neq_attr, "0"), (node.eq, attr, "1"))
+        else:
+            branches = ((node.neq, attr ^ node.neq_attr, "!="), (node.eq, attr, "=="))
+        for child, child_attr, label in branches:
+            constraints[node.pv] = label
+            yield from walk(child, child_attr, constraints)
+            del constraints[node.pv]
+
+    node, attr = edge
+    yield from walk(node, attr, {})
+
+
+def truth_table_mask(manager, edge: Edge, variables: Sequence[int]) -> int:
+    """Bitmask truth table of ``edge`` over ``variables``.
+
+    Bit ``i`` of the result is the function value where variable
+    ``variables[j]`` takes bit ``j`` of ``i``.  Exponential; intended for
+    testing and small-function reporting.
+    """
+    n = len(variables)
+    mask = 0
+    values: Dict[int, bool] = {v: False for v in range(manager.num_vars)}
+    for i in range(1 << n):
+        for j, var in enumerate(variables):
+            values[var] = bool((i >> j) & 1)
+        if evaluate(edge, values):
+            mask |= 1 << i
+    return mask
+
+
+def structural_profile(manager, edges: Iterable[Edge]) -> Dict[str, int]:
+    """Summary statistics of a forest (used by reports and examples)."""
+    nodes = reachable_nodes(edges)
+    chain = sum(1 for n in nodes if n.sv != SV_ONE)
+    literal = len(nodes) - chain
+    complemented = sum(1 for n in nodes if n.sv != SV_ONE and n.neq_attr)
+    return {
+        "nodes": len(nodes),
+        "chain_nodes": chain,
+        "literal_nodes": literal,
+        "complemented_neq_edges": complemented,
+    }

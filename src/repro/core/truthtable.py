@@ -1,0 +1,171 @@
+"""Bitmask truth tables: the exhaustive oracle used throughout the tests.
+
+A :class:`TruthTable` over ``n`` variables stores the function as a
+``2**n``-bit integer where bit ``i`` is the value at the assignment whose
+``j``-th variable equals bit ``j`` of ``i``.  All sixteen two-operand
+operators, cofactors, composition and quantification are implemented with
+integer arithmetic, providing an independent reference implementation for
+the decision-diagram packages.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _var_pattern(j: int, n: int) -> int:
+    """Truth mask of variable ``j`` over ``n`` variables."""
+    full = (1 << (1 << n)) - 1
+    block = 1 << j  # run length of equal bits
+    pattern = ((1 << block) - 1) << block  # 0^block 1^block
+    period = block << 1
+    mask = 0
+    for start in range(0, 1 << n, period):
+        mask |= pattern << start
+    return mask & full
+
+
+class TruthTable:
+    """Immutable truth table over a fixed variable count."""
+
+    __slots__ = ("n", "mask")
+
+    def __init__(self, n: int, mask: int) -> None:
+        self.n = n
+        self.mask = mask & ((1 << (1 << n)) - 1)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def const(cls, n: int, value: bool) -> "TruthTable":
+        return cls(n, ((1 << (1 << n)) - 1) if value else 0)
+
+    @classmethod
+    def var(cls, n: int, j: int) -> "TruthTable":
+        if not 0 <= j < n:
+            raise ValueError(f"variable {j} out of range for {n} variables")
+        return cls(n, _var_pattern(j, n))
+
+    @classmethod
+    def from_values(cls, values: Sequence[int]) -> "TruthTable":
+        n = (len(values) - 1).bit_length()
+        if 1 << n != len(values):
+            raise ValueError("value vector length must be a power of two")
+        mask = 0
+        for i, v in enumerate(values):
+            if v:
+                mask |= 1 << i
+        return cls(n, mask)
+
+    # -- scalar access ------------------------------------------------------
+
+    def value(self, assignment: int) -> bool:
+        return bool((self.mask >> assignment) & 1)
+
+    def __call__(self, *bits: int) -> bool:
+        idx = 0
+        for j, b in enumerate(bits):
+            if b:
+                idx |= 1 << j
+        return self.value(idx)
+
+    # -- operators ------------------------------------------------------------
+
+    def _full(self) -> int:
+        return (1 << (1 << self.n)) - 1
+
+    def _check(self, other: "TruthTable") -> None:
+        if self.n != other.n:
+            raise ValueError("truth tables over different variable counts")
+
+    def __invert__(self) -> "TruthTable":
+        return TruthTable(self.n, ~self.mask)
+
+    def __and__(self, other: "TruthTable") -> "TruthTable":
+        self._check(other)
+        return TruthTable(self.n, self.mask & other.mask)
+
+    def __or__(self, other: "TruthTable") -> "TruthTable":
+        self._check(other)
+        return TruthTable(self.n, self.mask | other.mask)
+
+    def __xor__(self, other: "TruthTable") -> "TruthTable":
+        self._check(other)
+        return TruthTable(self.n, self.mask ^ other.mask)
+
+    def apply(self, other: "TruthTable", op: int) -> "TruthTable":
+        """Apply a 4-bit operator table (same encoding as the packages)."""
+        self._check(other)
+        full = self._full()
+        a, b = self.mask, other.mask
+        result = 0
+        if op & 0b0001:
+            result |= ~a & ~b
+        if op & 0b0010:
+            result |= ~a & b
+        if op & 0b0100:
+            result |= a & ~b
+        if op & 0b1000:
+            result |= a & b
+        return TruthTable(self.n, result & full)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TruthTable):
+            return NotImplemented
+        return self.n == other.n and self.mask == other.mask
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.mask))
+
+    # -- semantics ---------------------------------------------------------------
+
+    def sat_count(self) -> int:
+        return self.mask.bit_count()
+
+    def is_const(self) -> bool:
+        return self.mask == 0 or self.mask == self._full()
+
+    def restrict(self, j: int, value: bool) -> "TruthTable":
+        """Cofactor on variable ``j`` (result still over ``n`` variables)."""
+        var = _var_pattern(j, self.n)
+        keep = var if value else ~var & self._full()
+        block = 1 << j
+        picked = self.mask & keep
+        if value:
+            spread = picked | (picked >> block)
+        else:
+            spread = picked | (picked << block)
+        return TruthTable(self.n, spread)
+
+    def compose(self, j: int, g: "TruthTable") -> "TruthTable":
+        self._check(g)
+        f1 = self.restrict(j, True)
+        f0 = self.restrict(j, False)
+        return (g & f1) | (~g & f0)
+
+    def exists(self, j: int) -> "TruthTable":
+        return self.restrict(j, True) | self.restrict(j, False)
+
+    def forall(self, j: int) -> "TruthTable":
+        return self.restrict(j, True) & self.restrict(j, False)
+
+    def support(self) -> frozenset:
+        return frozenset(
+            j for j in range(self.n) if self.restrict(j, True) != self.restrict(j, False)
+        )
+
+    def permute(self, perm: Sequence[int]) -> "TruthTable":
+        """Re-index variables: new variable ``perm[j]`` is old variable ``j``."""
+        values = []
+        for i in range(1 << self.n):
+            old_index = 0
+            for j in range(self.n):
+                if (i >> perm[j]) & 1:
+                    old_index |= 1 << j
+            values.append(self.value(old_index))
+        return TruthTable.from_values(values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        width = 1 << self.n
+        bits = bin(self.mask)[2:].zfill(width)
+        return f"TruthTable(n={self.n}, {bits})"

@@ -1,0 +1,21 @@
+"""BBDD-to-Verilog writer: the package's output format (Sec. IV-B).
+
+The paper's package "provides as output a Verilog description for the
+built BBDD"; this module rewrites a BBDD forest into the comparator-
+structured netlist (:mod:`repro.synth.bbdd_rewrite`) and serializes it as
+flattened structural Verilog.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+def bbdd_to_verilog(manager, functions: Dict[str, object], module_name: str = "bbdd") -> str:
+    """Serialize ``{output name: Function}`` as a Verilog netlist."""
+    from repro.network.verilog import write_verilog
+    from repro.synth.bbdd_rewrite import rewrite_functions
+
+    network = rewrite_functions(manager, functions)
+    network.name = module_name
+    return write_verilog(network, module_name)

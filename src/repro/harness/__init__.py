@@ -1,0 +1,15 @@
+"""Experiment drivers reproducing the paper's tables and figures.
+
+* :mod:`repro.harness.table1` — Table I: BBDD vs. baseline BDD package
+  over the MCNC suite (node counts, build and sift times).
+* :mod:`repro.harness.table2` — Table II: datapath synthesis case study.
+* :mod:`repro.harness.figures` — Fig. 1 (biconditional expansion
+  semantics) and Fig. 2 (CVO swap) validation/micro-benchmarks.
+* :mod:`repro.harness.report` — plain-text table rendering with
+  paper-vs-measured columns.
+"""
+
+from repro.harness.table1 import run_table1
+from repro.harness.table2 import run_table2
+
+__all__ = ["run_table1", "run_table2"]

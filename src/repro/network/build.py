@@ -1,0 +1,116 @@
+"""Network-to-decision-diagram builders.
+
+Both packages are driven identically (the Table I pipeline): variables are
+created in the network's input order (the paper's "initial order provided
+in the file"), gates are translated bottom-up with the package's recursive
+apply, and the outputs are returned as function handles on a shared
+manager.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.operations import OP_AND, OP_OR, OP_XNOR, OP_XOR, flip_output
+
+_GATE_TO_OP = {
+    "AND": OP_AND,
+    "OR": OP_OR,
+    "XOR": OP_XOR,
+    "XNOR": OP_XNOR,
+    "NAND": flip_output(OP_AND),
+    "NOR": flip_output(OP_OR),
+}
+
+
+def _build(manager, network, make_manager_edge) -> Dict[str, object]:
+    """Shared builder core: fold every gate through ``apply_edges``."""
+    edges: Dict[str, tuple] = {}
+    for j, name in enumerate(network.inputs):
+        edges[name] = manager.literal_edge(j)
+
+    for signal in network.topological_order():
+        gate = network.gates[signal]
+        op = gate.op
+        if op == "CONST0":
+            edges[signal] = manager.false_edge
+            continue
+        if op == "CONST1":
+            edges[signal] = manager.true_edge
+            continue
+        fanins = [edges[f] for f in gate.fanins]
+        if op == "BUF":
+            edges[signal] = fanins[0]
+        elif op == "INV":
+            edges[signal] = (fanins[0][0], not fanins[0][1])
+        elif op == "MUX":
+            s, a, b = fanins
+            sa = manager.apply_edges(s, a, OP_AND)
+            sb = manager.apply_edges((s[0], not s[1]), b, OP_AND)
+            edges[signal] = manager.apply_edges(sa, sb, OP_OR)
+        elif op == "MAJ":
+            a, b, c = fanins
+            ab = manager.apply_edges(a, b, OP_AND)
+            ac = manager.apply_edges(a, c, OP_AND)
+            bc = manager.apply_edges(b, c, OP_AND)
+            edges[signal] = manager.apply_edges(
+                manager.apply_edges(ab, ac, OP_OR), bc, OP_OR
+            )
+        else:
+            table = _GATE_TO_OP[op]
+            if op in ("NAND", "NOR"):
+                # Fold as the positive op, complement the final edge.
+                positive = OP_AND if op == "NAND" else OP_OR
+                acc = fanins[0]
+                for nxt in fanins[1:]:
+                    acc = manager.apply_edges(acc, nxt, positive)
+                edges[signal] = (acc[0], not acc[1])
+            else:
+                acc = fanins[0]
+                for nxt in fanins[1:]:
+                    acc = manager.apply_edges(acc, nxt, table)
+                edges[signal] = acc
+
+    return {name: make_manager_edge(edges[sig]) for name, sig in network.outputs}
+
+
+def build_bbdd(
+    network,
+    manager=None,
+    unique_backend: str = "dict",
+    computed_backend: str = "dict",
+) -> Tuple[object, Dict[str, object]]:
+    """Build BBDDs for all outputs of ``network``.
+
+    Returns ``(manager, {output name: Function})``.  A fresh manager with
+    the network's input order is created unless one is supplied.
+    """
+    from repro.core.manager import BBDDManager
+
+    if manager is None:
+        manager = BBDDManager(
+            list(network.inputs),
+            unique_backend=unique_backend,
+            computed_backend=computed_backend,
+        )
+    functions = _build(manager, network, manager.function)
+    return manager, functions
+
+
+def build_bdd(
+    network,
+    manager=None,
+    unique_backend: str = "dict",
+    computed_backend: str = "dict",
+) -> Tuple[object, Dict[str, object]]:
+    """Build baseline-package BDDs for all outputs of ``network``."""
+    from repro.bdd.manager import BDDManager
+
+    if manager is None:
+        manager = BDDManager(
+            list(network.inputs),
+            unique_backend=unique_backend,
+            computed_backend=computed_backend,
+        )
+    functions = _build(manager, network, manager.function)
+    return manager, functions

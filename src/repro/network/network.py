@@ -1,0 +1,295 @@
+"""Gate-level combinational network IR.
+
+A :class:`LogicNetwork` is a DAG of named signals: primary inputs, gates
+over primitive Boolean operations, and named primary outputs.  It is the
+common substrate for the benchmark generators, the BLIF/Verilog frontends,
+the decision-diagram builders and the synthesis flows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Supported primitive operations and their arities (None = variadic >= 2).
+GATE_ARITY = {
+    "AND": None,
+    "OR": None,
+    "XOR": None,
+    "XNOR": None,
+    "NAND": None,
+    "NOR": None,
+    "INV": 1,
+    "BUF": 1,
+    "MUX": 3,  # MUX(s, a, b) = s ? a : b
+    "MAJ": 3,  # majority of three
+    "CONST0": 0,
+    "CONST1": 0,
+}
+
+
+class Gate:
+    """A single gate: ``op`` over ordered fanin signal names."""
+
+    __slots__ = ("op", "fanins")
+
+    def __init__(self, op: str, fanins: Sequence[str]) -> None:
+        op = op.upper()
+        if op == "NOT":
+            op = "INV"
+        if op not in GATE_ARITY:
+            raise ValueError(f"unsupported gate op {op!r}")
+        arity = GATE_ARITY[op]
+        if arity is None:
+            if len(fanins) < 2:
+                raise ValueError(f"{op} gate needs >= 2 fanins, got {len(fanins)}")
+        elif len(fanins) != arity:
+            raise ValueError(f"{op} gate needs {arity} fanins, got {len(fanins)}")
+        self.op = op
+        self.fanins = tuple(fanins)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gate({self.op}, {self.fanins})"
+
+
+def gate_eval(op: str, values: Sequence[int], width_mask: int) -> int:
+    """Evaluate a gate over bit-parallel integer words."""
+    if op == "AND":
+        out = width_mask
+        for v in values:
+            out &= v
+        return out
+    if op == "OR":
+        out = 0
+        for v in values:
+            out |= v
+        return out
+    if op == "XOR":
+        out = 0
+        for v in values:
+            out ^= v
+        return out
+    if op == "XNOR":
+        out = 0
+        for v in values:
+            out ^= v
+        return ~out & width_mask
+    if op == "NAND":
+        out = width_mask
+        for v in values:
+            out &= v
+        return ~out & width_mask
+    if op == "NOR":
+        out = 0
+        for v in values:
+            out |= v
+        return ~out & width_mask
+    if op == "INV":
+        return ~values[0] & width_mask
+    if op == "BUF":
+        return values[0]
+    if op == "MUX":
+        s, a, b = values
+        return (s & a) | (~s & b & width_mask)
+    if op == "MAJ":
+        a, b, c = values
+        return (a & b) | (a & c) | (b & c)
+    if op == "CONST0":
+        return 0
+    if op == "CONST1":
+        return width_mask
+    raise ValueError(f"unsupported gate op {op!r}")
+
+
+class LogicNetwork:
+    """A named combinational network over primitive gates."""
+
+    def __init__(self, name: str = "network") -> None:
+        self.name = name
+        self.inputs: List[str] = []
+        self._input_set: set = set()
+        self.gates: Dict[str, Gate] = {}
+        self.outputs: List[Tuple[str, str]] = []  # (output name, signal)
+        self._auto = 0
+        self._reserved: set = set()
+
+    def reserve_names(self, names: Iterable[str]) -> None:
+        """Keep :meth:`fresh_name` from generating any of ``names``.
+
+        Frontends reserve every file-declared signal before expanding
+        compound constructs into intermediate gates.
+        """
+        self._reserved.update(names)
+
+    # -- construction -------------------------------------------------------
+
+    def add_input(self, name: str) -> str:
+        if name in self._input_set or name in self.gates:
+            raise ValueError(f"signal {name!r} already defined")
+        self.inputs.append(name)
+        self._input_set.add(name)
+        return name
+
+    def add_inputs(self, names: Iterable[str]) -> List[str]:
+        return [self.add_input(n) for n in names]
+
+    def fresh_name(self, prefix: str = "n") -> str:
+        self._auto += 1
+        name = f"{prefix}{self._auto}"
+        while name in self.gates or name in self._input_set or name in self._reserved:
+            self._auto += 1
+            name = f"{prefix}{self._auto}"
+        return name
+
+    def add_gate(self, op: str, fanins: Sequence[str], name: Optional[str] = None) -> str:
+        """Add a gate and return its output signal name."""
+        if name is None:
+            name = self.fresh_name()
+        if name in self.gates or name in self._input_set:
+            raise ValueError(f"signal {name!r} already defined")
+        self.gates[name] = Gate(op, fanins)
+        return name
+
+    def set_output(self, name: str, signal: str) -> None:
+        if signal not in self.gates and signal not in self._input_set:
+            raise ValueError(f"output {name!r} references unknown signal {signal!r}")
+        self.outputs.append((name, signal))
+
+    # Convenience operator helpers used heavily by the generators.
+
+    def and_(self, *signals: str) -> str:
+        return self._fold("AND", signals)
+
+    def or_(self, *signals: str) -> str:
+        return self._fold("OR", signals)
+
+    def xor(self, *signals: str) -> str:
+        return self._fold("XOR", signals)
+
+    def xnor(self, a: str, b: str) -> str:
+        return self.add_gate("XNOR", [a, b])
+
+    def inv(self, a: str) -> str:
+        return self.add_gate("INV", [a])
+
+    def mux(self, s: str, a: str, b: str) -> str:
+        """``s ? a : b``."""
+        return self.add_gate("MUX", [s, a, b])
+
+    def maj(self, a: str, b: str, c: str) -> str:
+        return self.add_gate("MAJ", [a, b, c])
+
+    def const(self, value: bool) -> str:
+        return self.add_gate("CONST1" if value else "CONST0", [])
+
+    def _fold(self, op: str, signals: Sequence[str]) -> str:
+        if len(signals) == 1:
+            return self.add_gate("BUF", [signals[0]])
+        return self.add_gate(op, list(signals))
+
+    # -- structure ------------------------------------------------------------
+
+    def is_input(self, signal: str) -> bool:
+        return signal in self._input_set
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.outputs)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    def output_signals(self) -> List[str]:
+        return [sig for _name, sig in self.outputs]
+
+    def topological_order(self) -> List[str]:
+        """Gate signals in topological (fanin-first) order.
+
+        Raises ``ValueError`` on combinational cycles or undefined fanins.
+        """
+        state: Dict[str, int] = {}  # 0 = visiting, 1 = done
+        order: List[str] = []
+
+        for root in self.gates:
+            if state.get(root) == 1:
+                continue
+            stack: List[Tuple[str, int]] = [(root, 0)]
+            while stack:
+                signal, phase = stack.pop()
+                if phase == 0:
+                    if signal in self._input_set:
+                        continue
+                    st = state.get(signal)
+                    if st == 1:
+                        continue
+                    if st == 0:
+                        raise ValueError(f"combinational cycle through {signal!r}")
+                    gate = self.gates.get(signal)
+                    if gate is None:
+                        raise ValueError(f"undefined signal {signal!r}")
+                    state[signal] = 0
+                    stack.append((signal, 1))
+                    for fanin in gate.fanins:
+                        if fanin not in self._input_set and state.get(fanin) != 1:
+                            stack.append((fanin, 0))
+                else:
+                    state[signal] = 1
+                    order.append(signal)
+        return order
+
+    def validate(self) -> None:
+        """Check structural well-formedness (acyclic, defined signals)."""
+        self.topological_order()
+        for name, sig in self.outputs:
+            if sig not in self.gates and sig not in self._input_set:
+                raise ValueError(f"output {name!r} references unknown {sig!r}")
+
+    def gate_histogram(self) -> Dict[str, int]:
+        hist: Dict[str, int] = {}
+        for gate in self.gates.values():
+            hist[gate.op] = hist.get(gate.op, 0) + 1
+        return hist
+
+    def stats(self) -> dict:
+        return {
+            "name": self.name,
+            "inputs": self.num_inputs,
+            "outputs": self.num_outputs,
+            "gates": self.num_gates,
+            "histogram": self.gate_histogram(),
+        }
+
+    # -- transformation helpers --------------------------------------------------
+
+    def cone_of(self, signals: Sequence[str]) -> set:
+        """All signals in the transitive fanin of ``signals`` (inclusive)."""
+        seen: set = set()
+        stack = list(signals)
+        while stack:
+            s = stack.pop()
+            if s in seen:
+                continue
+            seen.add(s)
+            gate = self.gates.get(s)
+            if gate is not None:
+                stack.extend(gate.fanins)
+        return seen
+
+    def copy(self, name: Optional[str] = None) -> "LogicNetwork":
+        net = LogicNetwork(name or self.name)
+        net.inputs = list(self.inputs)
+        net._input_set = set(self._input_set)
+        net.gates = {s: Gate(g.op, g.fanins) for s, g in self.gates.items()}
+        net.outputs = list(self.outputs)
+        net._auto = self._auto
+        return net
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LogicNetwork {self.name!r} in={self.num_inputs} "
+            f"out={self.num_outputs} gates={self.num_gates}>"
+        )

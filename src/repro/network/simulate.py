@@ -1,0 +1,109 @@
+"""Bit-parallel simulation of logic networks.
+
+Signals are simulated as arbitrary-precision integers whose bit ``i`` is
+the signal value under the ``i``-th stimulus pattern.  With
+:func:`exhaustive_masks` the patterns enumerate all ``2**n`` assignments,
+which turns simulation into exact truth-table computation (the oracle used
+to verify the decision-diagram builders and the synthesis flows).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def exhaustive_masks(num_inputs: int) -> Dict[int, int]:
+    """Pattern masks assigning input ``j`` its truth-table column.
+
+    Returns ``{input position j: mask}`` where bit ``i`` of the mask is
+    bit ``j`` of pattern index ``i`` — the same convention as
+    :class:`repro.core.truthtable.TruthTable`.
+    """
+    from repro.core.truthtable import _var_pattern
+
+    return {j: _var_pattern(j, num_inputs) for j in range(num_inputs)}
+
+
+def random_masks(num_inputs: int, width: int = 256, seed: int = 2014) -> Dict[int, int]:
+    """Random stimulus masks of ``width`` patterns per input."""
+    rng = random.Random(seed)
+    return {j: rng.getrandbits(width) for j in range(num_inputs)}
+
+
+def simulate(
+    network,
+    input_masks: Mapping[str, int],
+    width: int,
+) -> Dict[str, int]:
+    """Simulate every signal; returns ``{signal: mask}`` over ``width`` bits.
+
+    ``input_masks`` maps input *names* to pattern masks.
+    """
+    from repro.network.network import gate_eval
+
+    width_mask = (1 << width) - 1
+    values: Dict[str, int] = {}
+    for name in network.inputs:
+        values[name] = input_masks[name] & width_mask
+    for signal in network.topological_order():
+        gate = network.gates[signal]
+        fanin_values = [values[f] for f in gate.fanins]
+        values[signal] = gate_eval(gate.op, fanin_values, width_mask)
+    return values
+
+
+def simulate_outputs(network, input_masks: Mapping[str, int], width: int) -> Dict[str, int]:
+    """Like :func:`simulate` but returns only the primary outputs."""
+    values = simulate(network, input_masks, width)
+    return {name: values[sig] for name, sig in network.outputs}
+
+
+def output_truth_masks(network) -> Dict[str, int]:
+    """Exhaustive truth-table masks of every output (inputs in list order)."""
+    n = network.num_inputs
+    masks = exhaustive_masks(n)
+    named = {name: masks[j] for j, name in enumerate(network.inputs)}
+    return simulate_outputs(network, named, 1 << n)
+
+
+def apply_vector(network, assignment: Mapping[str, int]) -> Dict[str, int]:
+    """Single-pattern evaluation; returns ``{output name: 0/1}``."""
+    masks = {name: (1 if assignment[name] else 0) for name in network.inputs}
+    out = simulate_outputs(network, masks, 1)
+    return {k: v & 1 for k, v in out.items()}
+
+
+def networks_equivalent(
+    net_a,
+    net_b,
+    exhaustive_limit: int = 14,
+    random_width: int = 4096,
+    seed: int = 2014,
+) -> bool:
+    """Check functional equivalence of two networks on matching I/O names.
+
+    Exhaustive when the input count is small; random-vector otherwise
+    (sound only as a falsifier, like any simulation-based check — the
+    harness uses BBDD canonicity for the definitive answer on small cones).
+    """
+    if sorted(net_a.inputs) != sorted(net_b.inputs):
+        raise ValueError("networks have different input names")
+    outs_a = {name for name, _ in net_a.outputs}
+    outs_b = {name for name, _ in net_b.outputs}
+    if outs_a != outs_b:
+        raise ValueError("networks have different output names")
+    n = net_a.num_inputs
+    if n <= exhaustive_limit:
+        width = 1 << n
+        base = exhaustive_masks(n)
+        masks_a = {name: base[j] for j, name in enumerate(net_a.inputs)}
+        masks_b = {name: masks_a[name] for name in net_b.inputs}
+    else:
+        width = random_width
+        rng = random.Random(seed)
+        masks_a = {name: rng.getrandbits(width) for name in net_a.inputs}
+        masks_b = {name: masks_a[name] for name in net_b.inputs}
+    out_a = simulate_outputs(net_a, masks_a, width)
+    out_b = simulate_outputs(net_b, masks_b, width)
+    return all(out_a[name] == out_b[name] for name in out_a)

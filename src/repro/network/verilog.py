@@ -1,0 +1,303 @@
+"""Structural Verilog frontend (the BBDD package's input format, Sec. IV-B).
+
+Reads a single flattened module over primitive Boolean operations: gate
+instantiations (``and``, ``or``, ``xor``, ``xnor``, ``nand``, ``nor``,
+``not``, ``buf``) and continuous assignments (``assign y = expr;``) with
+the operators ``~ & | ^ ~^ ^~`` and parentheses, plus the constants
+``1'b0``/``1'b1``.  The writer emits assign-style netlists.  Vectors are
+not supported — benchmarks are bit-blasted, as the paper's flow requires
+("flattened onto primitive Boolean operations").
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.network.network import LogicNetwork
+
+_GATE_KEYWORDS = {
+    "and": "AND",
+    "or": "OR",
+    "xor": "XOR",
+    "xnor": "XNOR",
+    "nand": "NAND",
+    "nor": "NOR",
+    "not": "INV",
+    "buf": "BUF",
+}
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<id>[A-Za-z_\\][A-Za-z0-9_$\[\]\.]*)|(?P<const>1'b[01])"
+    r"|(?P<op>~\^|\^~|[~&|^()])|(?P<other>.))"
+)
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.S)
+    text = re.sub(r"//[^\n]*", " ", text)
+    return text
+
+
+class _ExprParser:
+    """Recursive-descent parser for assign right-hand sides.
+
+    Precedence (tightest first): ``~``, ``&``, ``^``/``~^``, ``|``.
+    """
+
+    def __init__(self, tokens: List[str], net: LogicNetwork, defined: set) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.net = net
+        self.defined = defined
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> str:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.take()
+        if got != token:
+            raise ValueError(f"expected {token!r}, got {got!r}")
+
+    def parse(self) -> str:
+        result = self.parse_or()
+        if self.peek() is not None:
+            raise ValueError(f"trailing tokens: {self.tokens[self.pos:]}")
+        return result
+
+    def parse_or(self) -> str:
+        terms = [self.parse_xor()]
+        while self.peek() == "|":
+            self.take()
+            terms.append(self.parse_xor())
+        return terms[0] if len(terms) == 1 else self.net.or_(*terms)
+
+    def parse_xor(self) -> str:
+        terms = [self.parse_and()]
+        ops: List[str] = []
+        while self.peek() in ("^", "~^", "^~"):
+            ops.append(self.take())
+            terms.append(self.parse_and())
+        result = terms[0]
+        for op, term in zip(ops, terms[1:]):
+            if op == "^":
+                result = self.net.xor(result, term)
+            else:
+                result = self.net.xnor(result, term)
+        return result
+
+    def parse_and(self) -> str:
+        terms = [self.parse_unary()]
+        while self.peek() == "&":
+            self.take()
+            terms.append(self.parse_unary())
+        return terms[0] if len(terms) == 1 else self.net.and_(*terms)
+
+    def parse_unary(self) -> str:
+        token = self.peek()
+        if token == "~":
+            self.take()
+            return self.net.inv(self.parse_unary())
+        if token == "(":
+            self.take()
+            inner = self.parse_or()
+            self.expect(")")
+            return inner
+        token = self.take()
+        if token in ("1'b0", "1'b1"):
+            return self.net.const(token == "1'b1")
+        if token is None:
+            raise ValueError("unexpected end of expression")
+        if token not in self.defined:
+            raise ValueError(f"expression references undefined signal {token!r}")
+        return token
+
+
+def _tokenize_expr(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            break
+        pos = match.end()
+        token = match.group("id") or match.group("const") or match.group("op")
+        if token is None:
+            bad = match.group("other")
+            if bad and bad.strip():
+                raise ValueError(f"unexpected character {bad!r} in expression")
+            continue
+        tokens.append(token)
+    return tokens
+
+
+def parse_verilog(text: str) -> LogicNetwork:
+    """Parse one flattened structural module into a network."""
+    text = _strip_comments(text)
+    module = re.search(r"\bmodule\b\s+([A-Za-z_][A-Za-z0-9_$]*)", text)
+    name = module.group(1) if module else "verilog"
+    body_match = re.search(r"\bmodule\b.*?;(.*)\bendmodule\b", text, flags=re.S)
+    if body_match is None:
+        raise ValueError("no module body found")
+    body = body_match.group(1)
+
+    net = LogicNetwork(name)
+    inputs: List[str] = []
+    outputs: List[str] = []
+    wires: List[str] = []
+    assigns: List[Tuple[str, str]] = []
+    instances: List[Tuple[str, List[str]]] = []
+
+    for statement in [s.strip() for s in body.split(";")]:
+        if not statement:
+            continue
+        keyword = statement.split(None, 1)[0]
+        if keyword in ("input", "output", "wire"):
+            decl = statement[len(keyword):]
+            if "[" in decl:
+                raise ValueError("vector declarations are not supported (bit-blast first)")
+            names = [n.strip() for n in decl.split(",") if n.strip()]
+            {"input": inputs, "output": outputs, "wire": wires}[keyword].extend(names)
+        elif keyword == "assign":
+            lhs, rhs = statement[len("assign"):].split("=", 1)
+            assigns.append((lhs.strip(), rhs.strip()))
+        elif keyword in _GATE_KEYWORDS:
+            rest = statement[len(keyword):].strip()
+            port_match = re.search(r"\((.*)\)$", rest, flags=re.S)
+            if port_match is None:
+                raise ValueError(f"malformed gate instance: {statement!r}")
+            ports = [p.strip() for p in port_match.group(1).split(",")]
+            instances.append((keyword, ports))
+        else:
+            raise ValueError(f"unsupported Verilog statement: {statement!r}")
+
+    net.add_inputs(inputs)
+    net.reserve_names(outputs)
+    net.reserve_names(wires)
+    net.reserve_names(lhs for lhs, _rhs in assigns)
+    net.reserve_names(ports[0] for _kw, ports in instances)
+    defined = set(inputs)
+
+    # Gate instances and assigns may be listed in any order: iterate to a
+    # fixed point (netlists are DAGs, so this converges).
+    pending_assigns = list(assigns)
+    pending_instances = list(instances)
+    while pending_assigns or pending_instances:
+        progressed = False
+        next_assigns = []
+        for lhs, rhs in pending_assigns:
+            tokens = _tokenize_expr(rhs)
+            refs = [t for t in tokens if t not in ("~", "&", "|", "^", "~^", "^~", "(", ")", "1'b0", "1'b1")]
+            if all(r in defined for r in refs):
+                parser = _ExprParser(tokens, net, defined)
+                result = parser.parse()
+                net.add_gate("BUF", [result], name=lhs)
+                defined.add(lhs)
+                progressed = True
+            else:
+                next_assigns.append((lhs, rhs))
+        pending_assigns = next_assigns
+
+        next_instances = []
+        for keyword, ports in pending_instances:
+            target, fanins = _instance_ports(keyword, ports)
+            if all(f in defined for f in fanins):
+                net.add_gate(_GATE_KEYWORDS[keyword], fanins, name=target)
+                defined.add(target)
+                progressed = True
+            else:
+                next_instances.append((keyword, ports))
+        pending_instances = next_instances
+
+        if not progressed:
+            raise ValueError("could not resolve all Verilog statements (cycle or undefined signal)")
+
+    for out in outputs:
+        if out not in defined:
+            raise ValueError(f"output {out!r} has no driver")
+        net.set_output(out, out)
+    net.validate()
+    return net
+
+
+def _instance_ports(keyword: str, ports: List[str]) -> Tuple[str, List[str]]:
+    """Split an instance port list into (output, fanins).
+
+    Both named instances (``and g1(y, a, b)``) and anonymous ones
+    (``and (y, a, b)``) arrive here as a bare port list: the first port is
+    the output, per Verilog primitive-gate convention.
+    """
+    if len(ports) < 2:
+        raise ValueError(f"{keyword} instance needs at least 2 ports")
+    return ports[0], ports[1:]
+
+
+def read_verilog(path: str) -> LogicNetwork:
+    with open(path) as handle:
+        return parse_verilog(handle.read())
+
+
+_OP_FORMATS = {
+    "AND": (" & ", None),
+    "OR": (" | ", None),
+    "XOR": (" ^ ", None),
+    "XNOR": (" ^ ", "~"),
+    "NAND": (" & ", "~"),
+    "NOR": (" | ", "~"),
+}
+
+
+def write_verilog(network: LogicNetwork, module_name: Optional[str] = None) -> str:
+    """Serialize a network as a flattened assign-style Verilog module."""
+    name = module_name or network.name or "top"
+    out_names = [n for n, _sig in network.outputs]
+    ports = network.inputs + out_names
+    lines = [f"module {name} (" + ", ".join(ports) + ");"]
+    if network.inputs:
+        lines.append("  input " + ", ".join(network.inputs) + ";")
+    if out_names:
+        lines.append("  output " + ", ".join(out_names) + ";")
+    wires = [s for s in network.gates if s not in set(out_names)]
+    if wires:
+        for i in range(0, len(wires), 12):
+            lines.append("  wire " + ", ".join(wires[i : i + 12]) + ";")
+
+    for signal in network.topological_order():
+        gate = network.gates[signal]
+        lines.append(f"  assign {signal} = {_gate_expr(gate)};")
+    for out, sig in network.outputs:
+        if out != sig and out not in network.gates:
+            lines.append(f"  assign {out} = {sig};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def _gate_expr(gate) -> str:
+    op = gate.op
+    fanins = list(gate.fanins)
+    if op == "INV":
+        return f"~{fanins[0]}"
+    if op == "BUF":
+        return fanins[0]
+    if op == "CONST0":
+        return "1'b0"
+    if op == "CONST1":
+        return "1'b1"
+    if op == "MUX":
+        s, a, b = fanins
+        return f"({s} & {a}) | (~{s} & {b})"
+    if op == "MAJ":
+        a, b, c = fanins
+        return f"({a} & {b}) | ({a} & {c}) | ({b} & {c})"
+    joiner, prefix = _OP_FORMATS[op]
+    body = joiner.join(fanins)
+    if op == "XNOR":
+        return f"~({body})"
+    if prefix:
+        return f"~({body})"
+    return body

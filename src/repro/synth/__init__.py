@@ -1,0 +1,24 @@
+"""Datapath synthesis case study (Sec. V of the paper).
+
+* :mod:`repro.synth.library` — the paper's 22 nm cell set {MAJ3, XOR2,
+  XNOR2, NAND2, NOR2, INV} with a synthetic area/delay characterization;
+* :mod:`repro.synth.optimize` — netlist optimization passes (constant
+  propagation, structural hashing, AIG lowering, cleanup);
+* :mod:`repro.synth.mapper` — technology mapping: a generic cone-matching
+  mapper (the commercial-flow substitute) and a structure-preserving
+  mapper used after BBDD rewriting;
+* :mod:`repro.synth.bbdd_rewrite` — BBDD-to-netlist rewriting with
+  comparator/majority extraction (the paper's front-end);
+* :mod:`repro.synth.flow` — the two end-to-end flows compared in Table II.
+"""
+
+from repro.synth.library import CellLibrary, default_library
+from repro.synth.flow import baseline_flow, bbdd_flow, FlowResult
+
+__all__ = [
+    "CellLibrary",
+    "default_library",
+    "baseline_flow",
+    "bbdd_flow",
+    "FlowResult",
+]

@@ -1,0 +1,82 @@
+"""Standard-cell library for the Table II case study.
+
+The paper characterizes MAJ-3, XOR-2, XNOR-2, NAND-2, NOR-2 and INV gates
+in a 22 nm CMOS technology (PTM-based).  The real characterization is not
+reproducible offline, so the numbers below are a synthetic but
+proportionate 22 nm-flavoured model (documented substitution, DESIGN.md
+§3): areas scale with transistor count at a 22 nm track pitch, delays with
+logical effort.  Both Table II flows share this library, so the reported
+area/delay *ratios* isolate the representation change, which is the
+paper's claim.
+
+Cell functions are expressed as network gate ops so a mapped netlist is
+just a :class:`~repro.network.network.LogicNetwork` restricted to library
+ops; metrics live in :class:`MappedNetlist` (:mod:`repro.synth.netlist`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class Cell:
+    """One library cell: network op, arity, area (um^2) and delay (ps)."""
+
+    __slots__ = ("name", "op", "arity", "area", "delay")
+
+    def __init__(self, name: str, op: str, arity: int, area: float, delay: float) -> None:
+        self.name = name
+        self.op = op
+        self.arity = arity
+        self.area = area
+        self.delay = delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cell({self.name}, area={self.area}, delay={self.delay}ps)"
+
+
+class CellLibrary:
+    """A set of cells indexed by network gate op."""
+
+    def __init__(self, cells: Dict[str, Cell], name: str = "lib") -> None:
+        self.name = name
+        self.cells = cells  # op -> Cell
+
+    def cell_for(self, op: str) -> Optional[Cell]:
+        return self.cells.get(op)
+
+    def has(self, op: str) -> bool:
+        return op in self.cells
+
+    def area_of(self, op: str) -> float:
+        cell = self.cells.get(op)
+        return cell.area if cell else 0.0
+
+    def delay_of(self, op: str) -> float:
+        cell = self.cells.get(op)
+        return cell.delay if cell else 0.0
+
+    @property
+    def ops(self) -> tuple:
+        return tuple(self.cells)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CellLibrary {self.name} cells={sorted(self.cells)}>"
+
+
+def default_library() -> CellLibrary:
+    """The paper's cell set with the synthetic 22 nm characterization.
+
+    Delay calibration anchors: a 32-stage MAJ3 ripple chain lands near the
+    paper's 2.17 ns BBDD Adder-32 delay (32 x ~65 ps); NAND/NOR/INV sit at
+    typical 22 nm logical-effort ratios below that.
+    """
+    cells = {
+        "INV": Cell("INV_X1", "INV", 1, 0.098, 22.0),
+        "NAND": Cell("NAND2_X1", "NAND", 2, 0.163, 32.0),
+        "NOR": Cell("NOR2_X1", "NOR", 2, 0.163, 36.0),
+        "XOR": Cell("XOR2_X1", "XOR", 2, 0.294, 60.0),
+        "XNOR": Cell("XNOR2_X1", "XNOR", 2, 0.294, 60.0),
+        "MAJ": Cell("MAJ3_X1", "MAJ", 3, 0.326, 65.0),
+    }
+    return CellLibrary(cells, name="ptm22_substitute")

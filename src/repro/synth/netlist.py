@@ -1,0 +1,82 @@
+"""Mapped-netlist metrics: area, critical-path delay, gate count.
+
+A mapped netlist is a :class:`~repro.network.network.LogicNetwork` whose
+gates are restricted to library cells (CONST/BUF allowed as zero-cost
+wiring artifacts).  Delay is the longest cell-delay path from any input to
+any output (load-independent model); area is the cell-area sum.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.network.network import LogicNetwork
+from repro.synth.library import CellLibrary
+
+_FREE_OPS = {"BUF", "CONST0", "CONST1"}
+
+
+class MappedNetlist:
+    """A library-mapped network with its quality-of-result metrics."""
+
+    def __init__(self, network: LogicNetwork, library: CellLibrary) -> None:
+        for signal, gate in network.gates.items():
+            if gate.op not in _FREE_OPS and not library.has(gate.op):
+                raise ValueError(
+                    f"gate {signal!r} op {gate.op} is not in library {library.name}"
+                )
+        self.network = network
+        self.library = library
+
+    # -- metrics -----------------------------------------------------------
+
+    def gate_count(self) -> int:
+        return sum(
+            1 for gate in self.network.gates.values() if gate.op not in _FREE_OPS
+        )
+
+    def area(self) -> float:
+        return sum(
+            self.library.area_of(gate.op)
+            for gate in self.network.gates.values()
+            if gate.op not in _FREE_OPS
+        )
+
+    def delay_ps(self) -> float:
+        """Critical path in picoseconds (topological longest path)."""
+        arrival: Dict[str, float] = {name: 0.0 for name in self.network.inputs}
+        worst = 0.0
+        for signal in self.network.topological_order():
+            gate = self.network.gates[signal]
+            fanin_arrival = max(
+                (arrival.get(f, 0.0) for f in gate.fanins), default=0.0
+            )
+            cell_delay = 0.0 if gate.op in _FREE_OPS else self.library.delay_of(gate.op)
+            arrival[signal] = fanin_arrival + cell_delay
+        for _name, sig in self.network.outputs:
+            worst = max(worst, arrival.get(sig, 0.0))
+        return worst
+
+    def delay_ns(self) -> float:
+        return self.delay_ps() / 1000.0
+
+    def histogram(self) -> Dict[str, int]:
+        hist: Dict[str, int] = {}
+        for gate in self.network.gates.values():
+            if gate.op not in _FREE_OPS:
+                hist[gate.op] = hist.get(gate.op, 0) + 1
+        return hist
+
+    def report(self) -> dict:
+        return {
+            "area_um2": round(self.area(), 2),
+            "delay_ns": round(self.delay_ns(), 3),
+            "gates": self.gate_count(),
+            "histogram": self.histogram(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MappedNetlist {self.network.name!r} gates={self.gate_count()} "
+            f"area={self.area():.2f}um2 delay={self.delay_ns():.3f}ns>"
+        )

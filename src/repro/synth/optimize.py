@@ -1,0 +1,306 @@
+"""Netlist optimization passes shared by both synthesis flows.
+
+Rebuilding passes over :class:`~repro.network.network.LogicNetwork`:
+constant propagation, buffer collapsing, structural hashing (CSE with
+sorted fanins for symmetric ops), inverter-pair elimination, dead-logic
+removal, and lowering to an AND/INV graph (the generic mapper's internal
+representation — the substitute for a commercial tool's technology-
+independent optimization form).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.network.network import Gate, LogicNetwork
+
+_SYMMETRIC = {"AND", "OR", "XOR", "XNOR", "NAND", "NOR", "MAJ"}
+
+
+def _rebuild(network: LogicNetwork, transform) -> LogicNetwork:
+    """Topological rebuild: ``transform(new_net, op, fanins) -> signal``.
+
+    ``fanins`` arrive already remapped into the new network.  The
+    transform returns the signal representing the gate's function.
+    """
+    out = LogicNetwork(network.name)
+    out.add_inputs(network.inputs)
+    mapping: Dict[str, str] = {name: name for name in network.inputs}
+    for signal in network.topological_order():
+        gate = network.gates[signal]
+        new_fanins = [mapping[f] for f in gate.fanins]
+        mapping[signal] = transform(out, gate.op, new_fanins)
+    for name, sig in network.outputs:
+        out.set_output(name, mapping[sig])
+    return out
+
+
+def propagate_constants(network: LogicNetwork) -> LogicNetwork:
+    """Fold constants through every gate; collapses controlled muxes etc."""
+    const_of: Dict[str, bool] = {}
+
+    def transform(out: LogicNetwork, op: str, fanins: List[str]) -> str:
+        values = [const_of.get(f) for f in fanins]
+
+        def emit_const(value: bool) -> str:
+            sig = out.const(value)
+            const_of[sig] = value
+            return sig
+
+        if op == "CONST0":
+            return emit_const(False)
+        if op == "CONST1":
+            return emit_const(True)
+        if op == "BUF":
+            return fanins[0]
+        if op == "INV":
+            if values[0] is not None:
+                return emit_const(not values[0])
+            return out.inv(fanins[0])
+        if op == "MUX":
+            s, a, b = fanins
+            sv, av, bv = values
+            if sv is not None:
+                return a if sv else b
+            if av is not None and bv is not None:
+                if av and not bv:
+                    return s
+                if bv and not av:
+                    return out.inv(s)
+                return emit_const(av)
+            if a == b:
+                return a
+            if av is True:
+                return out.or_(s, b)
+            if av is False:
+                return out.and_(out.inv(s), b)
+            if bv is True:
+                return out.or_(out.inv(s), a)
+            if bv is False:
+                return out.and_(s, a)
+            return out.mux(s, a, b)
+        if op == "MAJ":
+            a, b, c = fanins
+            known = [v for v in values if v is not None]
+            unknown = [f for v, f in zip(values, fanins) if v is None]
+            if len(known) == 3:
+                return emit_const(sum(known) >= 2)
+            if len(known) == 2:
+                if known[0] == known[1]:
+                    return emit_const(known[0])
+                return unknown[0]  # one 0 and one 1: majority is the third
+            if len(known) == 1:
+                if known[0]:
+                    return out.or_(unknown[0], unknown[1])
+                return out.and_(unknown[0], unknown[1])
+            if a == b or a == c:
+                return a
+            if b == c:
+                return b
+            return out.maj(a, b, c)
+
+        # Variadic / two-input logic ops: fold constants but keep the
+        # original (library-relevant) op when at least two fanins remain.
+        if op in ("AND", "NAND"):
+            if any(v is False for v in values):
+                return emit_const(op == "NAND")
+            live = [f for f, v in zip(fanins, values) if v is not True]
+            if not live:
+                return emit_const(op == "AND")
+            if len(live) == 1:
+                return out.inv(live[0]) if op == "NAND" else live[0]
+            return out.add_gate(op, live)
+        if op in ("OR", "NOR"):
+            if any(v is True for v in values):
+                return emit_const(op == "NOR")
+            live = [f for f, v in zip(fanins, values) if v is not False]
+            if not live:
+                return emit_const(op == "NOR")
+            if len(live) == 1:
+                return out.inv(live[0]) if op == "NOR" else live[0]
+            return out.add_gate(op, live)
+        if op in ("XOR", "XNOR"):
+            inverted = op == "XNOR"
+            live = []
+            for f, v in zip(fanins, values):
+                if v is None:
+                    live.append(f)
+                elif v:
+                    inverted = not inverted
+            if not live:
+                return emit_const(inverted)
+            if len(live) == 1:
+                return out.inv(live[0]) if inverted else live[0]
+            return out.add_gate("XNOR" if inverted else "XOR", live)
+        raise ValueError(f"unknown op {op}")
+
+    return _rebuild(network, transform)
+
+
+def structural_hash(network: LogicNetwork) -> LogicNetwork:
+    """CSE: one gate per (op, canonical fanins); INV pairs collapse."""
+    cache: Dict[Tuple, str] = {}
+    inv_of: Dict[str, str] = {}
+
+    def transform(out: LogicNetwork, op: str, fanins: List[str]) -> str:
+        if op == "BUF":
+            return fanins[0]
+        if op == "INV":
+            src = fanins[0]
+            if src in inv_of:
+                return inv_of[src]
+            key = ("INV", src)
+            if key not in cache:
+                sig = out.inv(src)
+                cache[key] = sig
+                inv_of[src] = sig
+                inv_of[sig] = src
+            return cache[key]
+        canon = tuple(sorted(fanins)) if op in _SYMMETRIC else tuple(fanins)
+        key = (op, canon)
+        if key not in cache:
+            cache[key] = out.add_gate(op, list(canon) if op in _SYMMETRIC else fanins)
+        return cache[key]
+
+    return _rebuild(network, transform)
+
+
+def remove_dead_logic(network: LogicNetwork) -> LogicNetwork:
+    """Drop gates outside every output cone."""
+    live = network.cone_of(network.output_signals())
+    out = LogicNetwork(network.name)
+    out.add_inputs(network.inputs)
+    for signal in network.topological_order():
+        if signal in live:
+            gate = network.gates[signal]
+            out.add_gate(gate.op, gate.fanins, name=signal)
+    for name, sig in network.outputs:
+        out.set_output(name, sig)
+    return out
+
+
+def lower_to_aig(network: LogicNetwork) -> LogicNetwork:
+    """Lower every gate to 2-input AND + INV (+ CONST).
+
+    This deliberately dissolves XOR/XNOR/MAJ/MUX structure — it models the
+    technology-independent representation a generic synthesis tool
+    optimizes in, from which the mapper must *re-discover* special gates.
+    """
+
+    def transform(out: LogicNetwork, op: str, fanins: List[str]) -> str:
+        def and2(a: str, b: str) -> str:
+            return out.add_gate("AND", [a, b])
+
+        def or2(a: str, b: str) -> str:
+            return out.inv(and2(out.inv(a), out.inv(b)))
+
+        def xor2(a: str, b: str) -> str:
+            return and2(out.inv(and2(a, b)), out.inv(and2(out.inv(a), out.inv(b))))
+
+        def reduce2(fn, items: List[str]) -> str:
+            acc = items[0]
+            for item in items[1:]:
+                acc = fn(acc, item)
+            return acc
+
+        if op in ("CONST0", "CONST1"):
+            return out.const(op == "CONST1")
+        if op == "BUF":
+            return fanins[0]
+        if op == "INV":
+            return out.inv(fanins[0])
+        if op == "AND":
+            return reduce2(and2, fanins)
+        if op == "NAND":
+            return out.inv(reduce2(and2, fanins))
+        if op == "OR":
+            return reduce2(or2, fanins)
+        if op == "NOR":
+            return out.inv(reduce2(or2, fanins))
+        if op == "XOR":
+            return reduce2(xor2, fanins)
+        if op == "XNOR":
+            return out.inv(reduce2(xor2, fanins))
+        if op == "MUX":
+            s, a, b = fanins
+            return or2(and2(s, a), and2(out.inv(s), b))
+        if op == "MAJ":
+            a, b, c = fanins
+            return or2(and2(a, b), and2(c, or2(a, b)))
+        raise ValueError(f"unknown op {op}")
+
+    return _rebuild(network, transform)
+
+
+def flatten_associative(network: LogicNetwork) -> LogicNetwork:
+    """Merge single-fanout same-op AND/OR/XOR chains into variadic gates.
+
+    Linear chains (e.g. the AND chain a BBDD equality rewrite produces)
+    become one wide gate that the mappers reduce as a balanced tree,
+    turning O(n) depth into O(log n).
+    """
+    assoc = {"AND", "OR", "XOR"}
+    fanout: Dict[str, int] = {}
+    for gate in network.gates.values():
+        for fanin in gate.fanins:
+            fanout[fanin] = fanout.get(fanin, 0) + 1
+    for _name, sig in network.outputs:
+        fanout[sig] = fanout.get(sig, 0) + 1
+
+    absorbed: set = set()
+
+    def leaves_of(signal: str, op: str) -> List[str]:
+        gate = network.gates.get(signal)
+        if (
+            gate is not None
+            and gate.op == op
+            and fanout.get(signal, 0) == 1
+        ):
+            absorbed.add(signal)
+            out: List[str] = []
+            for fanin in gate.fanins:
+                out.extend(leaves_of(fanin, op))
+            return out
+        return [signal]
+
+    out = LogicNetwork(network.name)
+    out.add_inputs(network.inputs)
+    mapping: Dict[str, str] = {name: name for name in network.inputs}
+    order = network.topological_order()
+    # Determine absorption sets root-first so inner chain gates are marked.
+    roots: Dict[str, List[str]] = {}
+    for signal in reversed(order):
+        if signal in absorbed:
+            continue
+        gate = network.gates[signal]
+        if gate.op in assoc:
+            collected: List[str] = []
+            for fanin in gate.fanins:
+                collected.extend(leaves_of(fanin, gate.op))
+            roots[signal] = collected
+    for signal in order:
+        if signal in absorbed:
+            continue
+        gate = network.gates[signal]
+        if signal in roots:
+            fanins = [mapping[f] for f in roots[signal]]
+            mapping[signal] = (
+                out.add_gate(gate.op, fanins)
+                if len(fanins) > 1
+                else out.add_gate("BUF", fanins)
+            )
+        else:
+            mapping[signal] = out.add_gate(
+                gate.op, [mapping[f] for f in gate.fanins]
+            )
+    for name, sig in network.outputs:
+        out.set_output(name, mapping[sig])
+    return out
+
+
+def optimize(network: LogicNetwork) -> LogicNetwork:
+    """The shared cleanup pipeline both flows run before mapping."""
+    net = propagate_constants(network)
+    net = structural_hash(net)
+    net = remove_dead_logic(net)
+    return net

@@ -1,0 +1,89 @@
+"""Extended operations: ITE, restrict, compose, quantification, support."""
+
+import random
+
+from repro.core import BBDDManager
+from repro.core.reorder import from_truth_table
+from repro.core.truthtable import TruthTable
+
+
+def _pair(n, seed):
+    rng = random.Random(seed)
+    m = BBDDManager(n)
+    masks = [rng.getrandbits(1 << n) for _ in range(3)]
+    funcs = [m.function(from_truth_table(m, mask)) for mask in masks]
+    tts = [TruthTable(n, mask) for mask in masks]
+    return m, funcs, tts
+
+
+def test_ite_matches_oracle():
+    for seed in range(10):
+        n = 4
+        m, (f, g, h), (tf, tg, th) = _pair(n, seed)
+        got = f.ite(g, h)
+        want = (tf & tg) | (~tf & th)
+        assert got.truth_mask(range(n)) == want.mask
+
+
+def test_restrict_all_vars_both_values():
+    for seed in range(8):
+        n = 5
+        m, (f, _g, _h), (tf, _tg, _th) = _pair(n, seed)
+        for var in range(n):
+            for value in (False, True):
+                got = f.restrict(var, value)
+                assert got.truth_mask(range(n)) == tf.restrict(var, value).mask
+
+
+def test_restrict_then_support_drops_variable():
+    m = BBDDManager(4)
+    a, b, c, d = m.variables()
+    f = (a & b) ^ (c | d)
+    r = f.restrict("x1", True)
+    assert "x1" not in r.support()
+
+
+def test_compose_matches_oracle():
+    for seed in range(8):
+        n = 4
+        m, (f, g, _h), (tf, tg, _th) = _pair(n, seed)
+        var = seed % n
+        got = f.compose(var, g)
+        assert got.truth_mask(range(n)) == tf.compose(var, tg).mask
+
+
+def test_quantification():
+    for seed in range(8):
+        n = 4
+        m, (f, _g, _h), (tf, _tg, _th) = _pair(n, seed)
+        var = seed % n
+        assert f.exists([var]).truth_mask(range(n)) == tf.exists(var).mask
+        assert f.forall([var]).truth_mask(range(n)) == tf.forall(var).mask
+
+
+def test_multi_var_quantification():
+    n = 5
+    m, (f, _g, _h), (tf, _tg, _th) = _pair(n, 99)
+    got = f.exists([0, 2, 4])
+    want = tf.exists(0).exists(2).exists(4)
+    assert got.truth_mask(range(n)) == want.mask
+
+
+def test_support_exactness_random():
+    rng = random.Random(7)
+    for _ in range(30):
+        n = rng.randint(1, 6)
+        mask = rng.getrandbits(1 << n)
+        m = BBDDManager(n)
+        f = m.function(from_truth_table(m, mask))
+        want = frozenset(m.var_name(v) for v in TruthTable(n, mask).support())
+        assert f.support() == want
+
+
+def test_implies_and_and_not():
+    m = BBDDManager(2)
+    a, b = m.variables()
+    assert a.implies(b).evaluate({0: 0, 1: 0})
+    assert not a.implies(b).evaluate({0: 1, 1: 0})
+    assert a.and_not(b).evaluate({0: 1, 1: 0})
+    assert not a.and_not(b).evaluate({0: 1, 1: 1})

@@ -1,0 +1,76 @@
+"""Cantor pairing and adaptive hash-policy tests (Sec. IV-A3)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import hashing
+
+
+@given(st.integers(min_value=0, max_value=10**9), st.integers(min_value=0, max_value=10**9))
+def test_cantor_bijection(i, j):
+    assert hashing.cantor_unpair(hashing.cantor(i, j)) == (i, j)
+
+
+def test_cantor_known_values():
+    # C(0,0)=0, C(1,0)=2, C(0,1)=1 (the standard enumeration).
+    assert hashing.cantor(0, 0) == 0
+    assert hashing.cantor(0, 1) == 1
+    assert hashing.cantor(1, 0) == 2
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=6))
+def test_cantor_tuple_stable_and_bounded(values):
+    h = hashing.cantor_tuple(values)
+    assert 0 <= h < hashing.DEFAULT_PRIME
+    assert h == hashing.cantor_tuple(values)
+
+
+def test_cantor_tuple_variants_differ_somewhere():
+    values = (3, 1, 4, 1, 5)
+    assert hashing.cantor_tuple(values) != hashing.cantor_tuple_reversed(values)
+
+
+def test_primes_are_prime():
+    def is_prime(n):
+        if n < 2:
+            return False
+        k = 2
+        while k * k <= n:
+            if n % k == 0:
+                return False
+            k += 1
+        return True
+
+    for p in hashing.PRIME_LADDER:
+        assert is_prime(p), p
+
+
+def test_controller_grows_under_load():
+    ctrl = hashing.AdaptiveHashController()
+    for _ in range(ctrl.EVALUATION_PERIOD):
+        ctrl.record_access(5)  # long probes
+    assert ctrl.should_evaluate()
+    decision = ctrl.decide(table_size=64, entry_count=63)
+    assert decision == "grow"
+
+
+def test_controller_rehash_when_growth_stalls():
+    ctrl = hashing.AdaptiveHashController()
+    # First evaluation establishes a metric; second with no improvement and
+    # low load must trigger a hash-function change.
+    for _ in range(ctrl.EVALUATION_PERIOD):
+        ctrl.record_access(5)
+    assert ctrl.decide(table_size=1024, entry_count=10) in ("grow", "rehash")
+    for _ in range(ctrl.EVALUATION_PERIOD):
+        ctrl.record_access(6)
+    assert ctrl.decide(table_size=2048, entry_count=10) == "rehash"
+    before = (ctrl.variant, ctrl.prime)
+    ctrl.next_hash_function()
+    assert (ctrl.variant, ctrl.prime) != before
+
+
+def test_hash_tuple_in_range():
+    ctrl = hashing.AdaptiveHashController()
+    for size in (16, 1024):
+        for values in ((1, 2, 3), (0,), (9, 9, 9, 9)):
+            assert 0 <= ctrl.hash_tuple(values, size) < size

@@ -1,0 +1,155 @@
+"""Logic network IR, BLIF/Verilog frontends, simulation, builders."""
+
+import pytest
+
+from repro.core.truthtable import TruthTable
+from repro.network.blif import parse_blif, write_blif
+from repro.network.build import build_bbdd, build_bdd
+from repro.network.network import LogicNetwork
+from repro.network.simulate import (
+    apply_vector,
+    networks_equivalent,
+    output_truth_masks,
+)
+from repro.network.verilog import parse_verilog, write_verilog
+
+
+def full_adder_network():
+    net = LogicNetwork("fa")
+    a, b, cin = net.add_inputs(["a", "b", "cin"])
+    s = net.xor(net.xor(a, b), cin)
+    cout = net.maj(a, b, cin)
+    net.set_output("sum", s)
+    net.set_output("cout", cout)
+    return net
+
+
+def test_network_construction_and_stats():
+    net = full_adder_network()
+    net.validate()
+    assert net.num_inputs == 3
+    assert net.num_outputs == 2
+    stats = net.stats()
+    assert stats["gates"] == net.num_gates
+    assert "MAJ" in stats["histogram"]
+
+
+def test_network_rejects_duplicates_and_cycles():
+    net = LogicNetwork()
+    net.add_input("a")
+    with pytest.raises(ValueError):
+        net.add_input("a")
+    net.add_gate("INV", ["a"], name="x")
+    with pytest.raises(ValueError):
+        net.add_gate("INV", ["a"], name="x")
+    bad = LogicNetwork()
+    bad.add_input("i")
+    bad.gates["p"] = bad.gates.get("p") or __import__(
+        "repro.network.network", fromlist=["Gate"]
+    ).Gate("AND", ["i", "q"])
+    bad.gates["q"] = __import__(
+        "repro.network.network", fromlist=["Gate"]
+    ).Gate("AND", ["i", "p"])
+    with pytest.raises(ValueError):
+        bad.topological_order()
+
+
+def test_simulation_matches_truth_tables():
+    net = full_adder_network()
+    masks = output_truth_masks(net)
+    a = TruthTable.var(3, 0)
+    b = TruthTable.var(3, 1)
+    c = TruthTable.var(3, 2)
+    assert masks["sum"] == (a ^ b ^ c).mask
+    assert masks["cout"] == ((a & b) | (a & c) | (b & c)).mask
+
+
+def test_apply_vector():
+    net = full_adder_network()
+    out = apply_vector(net, {"a": 1, "b": 1, "cin": 0})
+    assert out == {"sum": 0, "cout": 1}
+
+
+def test_blif_round_trip():
+    net = full_adder_network()
+    text = write_blif(net)
+    back = parse_blif(text)
+    assert networks_equivalent(net, back)
+    assert back.name == net.name
+
+
+def test_blif_cover_parsing():
+    text = """
+.model cover
+.inputs a b c
+.outputs y z
+.names a b c y
+11- 1
+--1 1
+.names a z
+0 1
+.end
+"""
+    net = parse_blif(text)
+    masks = output_truth_masks(net)
+    a, b, c = (TruthTable.var(3, i) for i in range(3))
+    assert masks["y"] == ((a & b) | c).mask
+    assert masks["z"] == (~a).mask
+
+
+def test_verilog_round_trip():
+    net = full_adder_network()
+    text = write_verilog(net)
+    back = parse_verilog(text)
+    assert networks_equivalent(net, back)
+
+
+def test_verilog_gate_instances_and_assign():
+    src = """
+module mixed (a, b, y, z);
+  input a, b;
+  output y, z;
+  wire w;
+  nand g1 (w, a, b);
+  assign y = ~(a ^ b) | w;
+  assign z = 1'b1 & a;
+endmodule
+"""
+    net = parse_verilog(src)
+    masks = output_truth_masks(net)
+    a, b = TruthTable.var(2, 0), TruthTable.var(2, 1)
+    assert masks["y"] == (~(a ^ b) | ~(a & b)).mask
+    assert masks["z"] == a.mask
+
+
+def test_verilog_rejects_vectors():
+    with pytest.raises(ValueError):
+        parse_verilog("module m (a); input [3:0] a; endmodule")
+
+
+def test_builders_match_simulation():
+    net = full_adder_network()
+    masks = output_truth_masks(net)
+    _mg, fns = build_bbdd(net)
+    for name, f in fns.items():
+        assert f.truth_mask(net.inputs) == masks[name]
+    _mg2, fns2 = build_bdd(net)
+    for name, f in fns2.items():
+        assert f.truth_mask(net.inputs) == masks[name]
+
+
+def test_builders_share_across_outputs():
+    net = full_adder_network()
+    mg, fns = build_bbdd(net)
+    total = mg.node_count(list(fns.values()))
+    separate = sum(f.node_count() for f in fns.values())
+    assert total <= separate
+
+
+def test_networks_equivalent_detects_difference():
+    net1 = full_adder_network()
+    net2 = LogicNetwork("fa")
+    a, b, cin = net2.add_inputs(["a", "b", "cin"])
+    net2.set_output("sum", net2.xor(a, b))  # wrong: misses cin
+    net2.set_output("cout", net2.maj(a, b, cin))
+    assert not networks_equivalent(net1, net2)

@@ -1,0 +1,93 @@
+"""Operator-algebra unit tests (the updateop machinery of Algorithm 1)."""
+
+import pytest
+
+from repro.core import operations as ops
+
+
+def brute(op, a, b):
+    return (op >> ((a << 1) | b)) & 1
+
+
+@pytest.mark.parametrize("op", ops.ALL_OPS)
+def test_op_eval_matches_bit_layout(op):
+    for a in (0, 1):
+        for b in (0, 1):
+            assert ops.op_eval(op, a, b) == brute(op, a, b)
+
+
+@pytest.mark.parametrize("op", ops.ALL_OPS)
+def test_flip_a_semantics(op):
+    flipped = ops.flip_a(op)
+    for a in (0, 1):
+        for b in (0, 1):
+            assert ops.op_eval(flipped, a, b) == ops.op_eval(op, 1 - a, b)
+
+
+@pytest.mark.parametrize("op", ops.ALL_OPS)
+def test_flip_b_semantics(op):
+    flipped = ops.flip_b(op)
+    for a in (0, 1):
+        for b in (0, 1):
+            assert ops.op_eval(flipped, a, b) == ops.op_eval(op, a, 1 - b)
+
+
+@pytest.mark.parametrize("op", ops.ALL_OPS)
+def test_flip_output_and_swap(op):
+    assert ops.flip_output(op) == (~op) & 0xF
+    swapped = ops.swap_operands(op)
+    for a in (0, 1):
+        for b in (0, 1):
+            assert ops.op_eval(swapped, a, b) == ops.op_eval(op, b, a)
+
+
+@pytest.mark.parametrize("op", ops.ALL_OPS)
+def test_commutativity_flag(op):
+    expected = all(
+        ops.op_eval(op, a, b) == ops.op_eval(op, b, a)
+        for a in (0, 1)
+        for b in (0, 1)
+    )
+    assert ops.is_commutative(op) == expected
+
+
+def test_named_constants():
+    assert ops.op_eval(ops.OP_AND, 1, 1) == 1
+    assert ops.op_eval(ops.OP_AND, 1, 0) == 0
+    assert ops.op_eval(ops.OP_OR, 0, 0) == 0
+    assert ops.op_eval(ops.OP_XOR, 1, 0) == 1
+    assert ops.op_eval(ops.OP_XNOR, 1, 1) == 1
+    assert ops.op_eval(ops.OP_NAND, 1, 1) == 0
+    assert ops.op_eval(ops.OP_NOR, 0, 0) == 1
+
+
+def test_op_names_round_trip():
+    for op in ops.ALL_OPS:
+        assert ops.op_from_name(ops.op_name(op)) == op
+    assert ops.op_from_name("implies") == ops.OP_LE
+    with pytest.raises(ValueError):
+        ops.op_from_name("frobnicate")
+
+
+@pytest.mark.parametrize("op", ops.ALL_OPS)
+def test_restriction_outcomes(op):
+    for value in (0, 1):
+        outcome = ops.restrict_a(op, value)
+        for b in (0, 1):
+            want = ops.op_eval(op, value, b)
+            got = {"0": 0, "1": 1, "id": b, "not": 1 - b}[outcome]
+            assert got == want
+        outcome = ops.restrict_b(op, value)
+        for a in (0, 1):
+            want = ops.op_eval(op, a, value)
+            got = {"0": 0, "1": 1, "id": a, "not": 1 - a}[outcome]
+            assert got == want
+
+
+@pytest.mark.parametrize("op", ops.ALL_OPS)
+def test_diagonal_outcome(op):
+    outcome = ops.diagonal(op)
+    for a in (0, 1):
+        want = ops.op_eval(op, a, a)
+        got = {"0": 0, "1": 1, "id": a, "not": 1 - a}[outcome]
+        assert got == want

@@ -1,0 +1,119 @@
+"""Hypothesis property tests over the core invariants.
+
+These complement the randomized trials in the other modules with
+shrinkable, generator-driven coverage of the package's central claims:
+operation semantics, canonicity, swap-based reordering, and the
+cross-package agreement between BBDDs and the baseline BDDs.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BDDManager
+from repro.core import BBDDManager
+from repro.core import reorder
+from repro.core.operations import ALL_OPS
+from repro.core.truthtable import TruthTable
+
+_SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def masked_function(draw, max_vars=5):
+    n = draw(st.integers(min_value=2, max_value=max_vars))
+    mask = draw(st.integers(min_value=0, max_value=(1 << (1 << n)) - 1))
+    return n, mask
+
+
+@given(masked_function(), st.sampled_from(ALL_OPS), st.data())
+@settings(**_SETTINGS)
+def test_apply_semantics_property(fn, op, data):
+    n, ma = fn
+    mb = data.draw(st.integers(min_value=0, max_value=(1 << (1 << n)) - 1))
+    m = BBDDManager(n)
+    fa = m.function(reorder.from_truth_table(m, ma))
+    fb = m.function(reorder.from_truth_table(m, mb))
+    fc = fa.apply(fb, op)
+    assert fc.truth_mask(range(n)) == TruthTable(n, ma).apply(TruthTable(n, mb), op).mask
+    m.check_invariants()
+
+
+@given(masked_function())
+@settings(**_SETTINGS)
+def test_double_negation_and_self_ops(fn):
+    n, mask = fn
+    m = BBDDManager(n)
+    f = m.function(reorder.from_truth_table(m, mask))
+    assert ~~f == f
+    assert (f ^ f).is_false
+    assert (f & f) == f
+    assert (f | ~f).is_true
+
+
+@given(masked_function(), st.data())
+@settings(**_SETTINGS)
+def test_swap_preserves_function_property(fn, data):
+    n, mask = fn
+    m = BBDDManager(n)
+    f = m.function(reorder.from_truth_table(m, mask))
+    k = data.draw(st.integers(min_value=0, max_value=n - 2))
+    reorder.swap_adjacent(m, k)
+    m.check_invariants()
+    assert f.truth_mask(range(n)) == mask
+
+
+@given(masked_function())
+@settings(**_SETTINGS)
+def test_swap_involution_restores_structure(fn):
+    n, mask = fn
+    m = BBDDManager(n)
+    f = m.function(reorder.from_truth_table(m, mask))
+    before_order = m.order.order
+    before_count = f.node_count()
+    reorder.swap_adjacent(m, 0)
+    reorder.swap_adjacent(m, 0)
+    assert m.order.order == before_order
+    assert f.node_count() == before_count
+    assert f.truth_mask(range(n)) == mask
+
+
+@given(masked_function())
+@settings(**_SETTINGS)
+def test_bbdd_and_bdd_agree(fn):
+    n, mask = fn
+    m = BBDDManager(n)
+    f = m.function(reorder.from_truth_table(m, mask))
+    mb = BDDManager(n)
+    vs = mb.variables()
+
+    def build(table, j=0):
+        if table.mask == 0:
+            return mb.false()
+        if table.mask == table._full():
+            return mb.true()
+        f1 = build(table.restrict(j, True), j + 1)
+        f0 = build(table.restrict(j, False), j + 1)
+        return vs[j].ite(f1, f0)
+
+    g = build(TruthTable(n, mask))
+    assert f.truth_mask(range(n)) == g.truth_mask(range(n))
+    assert f.sat_count() == g.sat_count()
+
+
+@given(masked_function(), st.data())
+@settings(**_SETTINGS)
+def test_restrict_quantify_laws(fn, data):
+    n, mask = fn
+    var = data.draw(st.integers(min_value=0, max_value=n - 1))
+    m = BBDDManager(n)
+    f = m.function(reorder.from_truth_table(m, mask))
+    f1 = f.restrict(var, True)
+    f0 = f.restrict(var, False)
+    assert f.exists([var]) == (f1 | f0)
+    assert f.forall([var]) == (f1 & f0)
+    # Restriction removes the variable from the support.
+    assert m.var_name(var) not in f1.support()

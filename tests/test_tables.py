@@ -1,0 +1,82 @@
+"""Unique-table and computed-table backend tests."""
+
+import pytest
+
+from repro.core.computed_table import make_computed_table
+from repro.core.unique_table import make_unique_table
+
+
+@pytest.mark.parametrize("backend", ["dict", "cantor"])
+def test_unique_table_protocol(backend):
+    table = make_unique_table(backend)
+    key = (1, 2, 3, False, 4)
+    assert table.lookup(key) is None
+    table.insert(key, "node")
+    assert table.lookup(key) == "node"
+    assert len(table) == 1
+    assert list(table.values()) == ["node"]
+    table.delete(key)
+    assert table.lookup(key) is None
+    assert len(table) == 0
+    with pytest.raises(KeyError):
+        table.delete(key)
+
+
+@pytest.mark.parametrize("backend", ["dict", "cantor"])
+def test_unique_table_many_entries(backend):
+    table = make_unique_table(backend)
+    keys = [(i, i + 1, i * 7, bool(i & 1), i * 3) for i in range(3000)]
+    for i, key in enumerate(keys):
+        table.insert(key, i)
+    assert len(table) == 3000
+    for i, key in enumerate(keys):
+        assert table.lookup(key) == i
+    for key in keys[::2]:
+        table.delete(key)
+    assert len(table) == 1500
+    assert table.lookup(keys[0]) is None
+    assert table.lookup(keys[1]) == 1
+    stats = table.stats()
+    assert stats["entries"] == 1500
+
+
+def test_cantor_table_resizes():
+    table = make_unique_table("cantor", initial_size=16)
+    for i in range(5000):
+        table.insert((i, i, i, False, i), i)
+        table.lookup((i, i, i, False, i))
+    stats = table.stats()
+    assert stats["table_size"] > 16
+    assert stats["entries"] == 5000
+
+
+@pytest.mark.parametrize("backend", ["dict", "cantor"])
+def test_computed_table_roundtrip(backend):
+    cache = make_computed_table(backend)
+    assert cache.lookup((1, 2, 8)) is None
+    cache.insert((1, 2, 8), "result")
+    assert cache.lookup((1, 2, 8)) == "result"
+    cache.clear()
+    assert cache.lookup((1, 2, 8)) is None
+
+
+def test_cantor_computed_table_overwrites_on_collision():
+    cache = make_computed_table("cantor", size=4)
+    for i in range(64):
+        cache.insert((i, i, 6), i)
+    # Only up to 4 slots resident; no false hits ever.
+    hits = 0
+    for i in range(64):
+        value = cache.lookup((i, i, 6))
+        if value is not None:
+            assert value == i
+            hits += 1
+    assert hits <= 4
+    assert cache.stats()["overwrites"] > 0
+
+
+def test_disabled_computed_table():
+    cache = make_computed_table("disabled")
+    cache.insert((1, 2, 3), "x")
+    assert cache.lookup((1, 2, 3)) is None
+    assert len(cache) == 0

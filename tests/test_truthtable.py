@@ -1,0 +1,88 @@
+"""Truth-table oracle self-tests (everything else is validated against it)."""
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.operations import ALL_OPS
+from repro.core.truthtable import TruthTable
+
+
+def test_var_patterns():
+    t = TruthTable.var(3, 0)
+    for i in range(8):
+        assert t.value(i) == bool(i & 1)
+    t2 = TruthTable.var(3, 2)
+    for i in range(8):
+        assert t2.value(i) == bool((i >> 2) & 1)
+
+
+def test_operators_pointwise():
+    rng = random.Random(1)
+    for _ in range(20):
+        n = rng.randint(1, 6)
+        a = TruthTable(n, rng.getrandbits(1 << n))
+        b = TruthTable(n, rng.getrandbits(1 << n))
+        for i in range(1 << n):
+            assert (a & b).value(i) == (a.value(i) and b.value(i))
+            assert (a | b).value(i) == (a.value(i) or b.value(i))
+            assert (a ^ b).value(i) == (a.value(i) != b.value(i))
+            assert (~a).value(i) == (not a.value(i))
+
+
+def test_apply_matches_op_tables():
+    rng = random.Random(2)
+    n = 4
+    a = TruthTable(n, rng.getrandbits(1 << n))
+    b = TruthTable(n, rng.getrandbits(1 << n))
+    for op in ALL_OPS:
+        c = a.apply(b, op)
+        for i in range(1 << n):
+            want = (op >> ((a.value(i) << 1) | b.value(i))) & 1
+            assert c.value(i) == bool(want)
+
+
+@given(st.integers(min_value=1, max_value=6), st.data())
+def test_restrict_semantics(n, data):
+    mask = data.draw(st.integers(min_value=0, max_value=(1 << (1 << n)) - 1))
+    j = data.draw(st.integers(min_value=0, max_value=n - 1))
+    value = data.draw(st.booleans())
+    t = TruthTable(n, mask)
+    r = t.restrict(j, value)
+    for i in range(1 << n):
+        forced = (i | (1 << j)) if value else (i & ~(1 << j))
+        assert r.value(i) == t.value(forced)
+
+
+def test_compose_and_quantify():
+    n = 4
+    rng = random.Random(3)
+    f = TruthTable(n, rng.getrandbits(1 << n))
+    g = TruthTable(n, rng.getrandbits(1 << n))
+    h = f.compose(1, g)
+    for i in range(1 << n):
+        forced = (i | 2) if g.value(i) else (i & ~2)
+        assert h.value(i) == f.value(forced)
+    ex = f.exists(2)
+    fa = f.forall(2)
+    for i in range(1 << n):
+        lo, hi = i & ~4, i | 4
+        assert ex.value(i) == (f.value(lo) or f.value(hi))
+        assert fa.value(i) == (f.value(lo) and f.value(hi))
+
+
+def test_support_and_satcount():
+    t = TruthTable.var(4, 1) ^ TruthTable.var(4, 3)
+    assert t.support() == frozenset({1, 3})
+    assert t.sat_count() == 8
+    assert TruthTable.const(4, True).sat_count() == 16
+
+
+def test_permute():
+    n = 3
+    t = TruthTable.var(n, 0) & ~TruthTable.var(n, 2)
+    perm = [2, 0, 1]  # new var perm[j] is old var j
+    p = t.permute(perm)
+    expected = TruthTable.var(n, 2) & ~TruthTable.var(n, 1)
+    assert p == expected
