@@ -1,0 +1,81 @@
+"""Persistence benchmarks: dump/load throughput and file size vs. nodes.
+
+Round-trips registry forests through the levelized binary format
+(:mod:`repro.io`): per-circuit round-trip benches, plus a throughput
+gate on the largest registry circuit asserting the subsystem's
+performance contract — combined dump+load at >= 50k nodes/s and a file
+footprint of <= 16 bytes per node.
+"""
+
+import time
+
+import pytest
+
+from repro import io as rio
+from repro.circuits.registry import TABLE1_ROWS
+from repro.network.build import build_bbdd
+
+_ROWS = {row.name: row for row in TABLE1_ROWS}
+
+# Node-heavy fast-profile circuits (misex3 is the largest registry forest).
+_PER_ROW = ["misex3", "C1355", "frg1", "seq", "my_adder", "comp"]
+
+
+def _forest(name):
+    network = _ROWS[name].build(full=False)
+    manager, functions = build_bbdd(network)
+    nodes = manager.node_count(list(functions.values()))
+    return manager, functions, nodes
+
+
+@pytest.mark.parametrize("name", _PER_ROW)
+def test_roundtrip(benchmark, name):
+    manager, functions, nodes = _forest(name)
+
+    def roundtrip():
+        data = rio.dumps(manager, functions)
+        rio.loads(data)
+        return data
+
+    data = benchmark.pedantic(roundtrip, rounds=1, iterations=1)
+    benchmark.extra_info["nodes"] = nodes
+    benchmark.extra_info["file_bytes"] = len(data)
+    benchmark.extra_info["bytes_per_node"] = round(len(data) / max(nodes, 1), 2)
+
+
+def test_io_throughput_largest_circuit(benchmark, capsys):
+    """The subsystem's performance contract, on the largest registry forest."""
+    manager, functions, nodes = max(
+        (_forest(name) for name in _PER_ROW), key=lambda c: c[2]
+    )
+
+    def measured():
+        t0 = time.perf_counter()
+        data = rio.dumps(manager, functions)
+        t_dump = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        reloaded_manager, reloaded = rio.loads(data)
+        t_load = time.perf_counter() - t0
+        count = reloaded_manager.node_count(list(reloaded.values()))
+        return data, t_dump, t_load, count
+
+    data, t_dump, t_load, reloaded_nodes = benchmark.pedantic(
+        measured, rounds=1, iterations=1
+    )
+    assert reloaded_nodes == nodes  # same order => node-for-node round trip
+
+    bytes_per_node = len(data) / nodes
+    throughput = nodes / (t_dump + t_load)
+    benchmark.extra_info["nodes"] = nodes
+    benchmark.extra_info["bytes_per_node"] = round(bytes_per_node, 2)
+    benchmark.extra_info["dump_nodes_per_s"] = round(nodes / t_dump)
+    benchmark.extra_info["load_nodes_per_s"] = round(nodes / t_load)
+    benchmark.extra_info["roundtrip_nodes_per_s"] = round(throughput)
+    with capsys.disabled():
+        print(
+            f"\nio throughput: {nodes} nodes, {len(data)} bytes "
+            f"({bytes_per_node:.2f} B/node), dump {nodes / t_dump:,.0f} n/s, "
+            f"load {nodes / t_load:,.0f} n/s, round trip {throughput:,.0f} n/s"
+        )
+    assert bytes_per_node <= 16.0
+    assert throughput >= 50_000

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Iterable, List
 
+from repro.core.exceptions import BBDDError
 from repro.core.node import SV_ONE
 from repro.core.traversal import reachable_nodes
 
@@ -12,10 +13,17 @@ def to_dot(manager, functions, names: Iterable[str] = ()) -> str:
     """Render a forest of :class:`~repro.core.function.Function` handles.
 
     ``!=``-edges are dashed (dot-terminated when complemented); ``=``-edges
-    solid.  Literal (R4) nodes are drawn as boxes.
+    solid.  Literal (R4) nodes are drawn as boxes.  ``names``, when
+    given, must match ``functions`` one-to-one.
     """
     edges = [f.edge if hasattr(f, "edge") else f for f in functions]
-    labels = list(names) or [f"f{i}" for i in range(len(edges))]
+    labels = list(names)
+    if labels and len(labels) != len(edges):
+        raise BBDDError(
+            f"{len(labels)} names given for {len(edges)} functions"
+        )
+    if not labels:
+        labels = [f"f{i}" for i in range(len(edges))]
     nodes = reachable_nodes(edges)
     lines: List[str] = ["digraph BBDD {", "  rankdir=TB;"]
     lines.append('  sink [shape=box, label="1"];')

@@ -226,6 +226,19 @@ class Function:
         other_edge = self._coerce(other)
         return self.node is other_edge[0] and self.attr == other_edge[1]
 
+    # -- persistence -----------------------------------------------------------------
+
+    def dump(self, target, name: str = "f0") -> None:
+        """Write this function to ``target`` in the levelized binary format.
+
+        ``target`` is a path or a binary file object; ``name`` is the
+        root's stored name (what :func:`repro.io.load` keys it by).
+        Mirrors ``dd``'s ``Function.dump`` convenience surface.
+        """
+        from repro.io import binary as _binary
+
+        _binary.dump(self.manager, {name: self}, target)
+
     # -- display ------------------------------------------------------------------------
 
     def __repr__(self) -> str:

@@ -466,6 +466,33 @@ class BBDDManager:
         }
 
     # ------------------------------------------------------------------
+    # persistence (repro.io convenience surface)
+    # ------------------------------------------------------------------
+
+    def dump(self, functions, target) -> None:
+        """Write a forest to ``target`` in the levelized binary format.
+
+        ``functions`` is a ``{name: Function}`` mapping (or a sequence);
+        ``target`` a path or binary file object.  See :mod:`repro.io`.
+        """
+        from repro.io import binary as _binary
+
+        _binary.dump(self, functions, target)
+
+    def load(self, source, rename=None) -> dict:
+        """Load a dump *into this manager*; returns ``{name: Function}``.
+
+        The dump's variables (after the optional ``rename`` mapping)
+        must all exist here, but this manager may hold a superset of
+        them and/or use a different order — nodes are re-reduced on the
+        fly.  To load into a fresh manager use :func:`repro.io.load`.
+        """
+        from repro.io import binary as _binary
+
+        _manager, functions = _binary.load(source, manager=self, rename=rename)
+        return functions
+
+    # ------------------------------------------------------------------
     # introspection / debugging
     # ------------------------------------------------------------------
 

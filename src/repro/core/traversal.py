@@ -149,6 +149,24 @@ def truth_table_mask(manager, edge: Edge, variables: Sequence[int]) -> int:
     return mask
 
 
+def levelize(manager, edges: Iterable[Edge]) -> List[Tuple[int, List[BBDDNode]]]:
+    """Group a forest's nodes by CVO level, deepest level first.
+
+    A node's level is the order position of its primary variable; with
+    levels emitted bottom-up, children always precede their parents —
+    the write order of the :mod:`repro.io` binary format.  Nodes within
+    a level are sorted by uid for deterministic output.
+    """
+    by_position: Dict[int, List[BBDDNode]] = {}
+    position = manager.order.position
+    for node in reachable_nodes(edges):
+        by_position.setdefault(position(node.pv), []).append(node)
+    return [
+        (pos, sorted(by_position[pos], key=lambda n: n.uid))
+        for pos in sorted(by_position, reverse=True)
+    ]
+
+
 def structural_profile(manager, edges: Iterable[Edge]) -> Dict[str, int]:
     """Summary statistics of a forest (used by reports and examples)."""
     nodes = reachable_nodes(edges)

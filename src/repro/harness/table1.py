@@ -24,13 +24,23 @@ from repro.network.build import build_bbdd, build_bdd
 class Table1Result:
     """Measurements for one benchmark on one package."""
 
-    __slots__ = ("name", "nodes", "build_time", "sift_time")
+    __slots__ = ("name", "nodes", "build_time", "sift_time", "manager", "functions")
 
-    def __init__(self, name: str, nodes: int, build_time: float, sift_time: float) -> None:
+    def __init__(
+        self,
+        name: str,
+        nodes: int,
+        build_time: float,
+        sift_time: float,
+        manager=None,
+        functions=None,
+    ) -> None:
         self.name = name
         self.nodes = nodes
         self.build_time = build_time
         self.sift_time = sift_time
+        self.manager = manager
+        self.functions = functions
 
 
 def run_benchmark(
@@ -59,7 +69,9 @@ def run_benchmark(
             sift_bdd(manager, max_swaps=max_swaps)
         sift_time = time.perf_counter() - t1
     nodes = manager.node_count(handles)
-    return Table1Result(network.name, nodes, build_time, sift_time)
+    return Table1Result(
+        network.name, nodes, build_time, sift_time, manager=manager, functions=functions
+    )
 
 
 def run_table1(
@@ -68,14 +80,43 @@ def run_table1(
     sift: bool = True,
     max_swaps: Optional[int] = None,
     verbose: bool = False,
+    checkpoint_dir: Optional[str] = None,
 ) -> Dict:
-    """Run the full Table I experiment; returns the result dictionary."""
+    """Run the full Table I experiment; returns the result dictionary.
+
+    With ``checkpoint_dir`` set, each benchmark's result row and BBDD
+    forest are persisted there as they complete (see
+    :class:`repro.io.checkpoint.CheckpointStore`), and rows with a
+    stored result are reused instead of re-run — an interrupted run
+    resumes where it stopped.
+    """
     if rows is None:
         rows = TABLE1_ROWS
     if full is None:
         full = full_profile()
+    store = None
+    if checkpoint_dir is not None:
+        from repro.io.checkpoint import CheckpointStore
+
+        store = CheckpointStore(checkpoint_dir)
+    # The key encodes every parameter the measurements depend on, so a
+    # resume never reuses rows computed under different settings.
+    settings = "full" if full else "fast"
+    if not sift:
+        settings += "-nosift"
+    if max_swaps is not None:
+        settings += f"-swaps{max_swaps}"
     results: List[dict] = []
     for row in rows:
+        key = f"table1-{row.name}-{settings}"
+        if store is not None:
+            cached = store.load_result(key)
+            if cached is not None:
+                cached["cached"] = True
+                results.append(cached)
+                if verbose:
+                    print(f"  {row.name:10s} [checkpoint] reusing stored result")
+                continue
         network = row.build(full=full)
         bbdd = run_benchmark(network, "bbdd", sift=sift, max_swaps=max_swaps)
         bdd = run_benchmark(network, "bdd", sift=sift, max_swaps=max_swaps)
@@ -92,7 +133,11 @@ def run_table1(
             "paper_bbdd_nodes": row.paper_bbdd_nodes,
             "paper_bdd_nodes": row.paper_bdd_nodes,
             "fidelity": row.fidelity,
+            "cached": False,
         }
+        if store is not None:
+            store.save_forest(key, bbdd.manager, bbdd.functions)
+            store.save_result(key, record)
         results.append(record)
         if verbose:
             print(
@@ -166,8 +211,30 @@ def render_table1(summary: Dict) -> str:
     return table + footer
 
 
-def main() -> None:  # pragma: no cover - CLI convenience
-    summary = run_table1(verbose=True)
+def main(argv: Optional[Sequence[str]] = None) -> None:  # pragma: no cover
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Reproduce Table I.")
+    parser.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        default=None,
+        help="persist per-benchmark results and BBDD forests in DIR and "
+        "resume from them on re-runs",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale benchmark profile (default: fast; REPRO_FULL=1 also works)",
+    )
+    parser.add_argument("--no-sift", action="store_true", help="skip the sifting stage")
+    args = parser.parse_args(argv)
+    summary = run_table1(
+        full=True if args.full else None,
+        sift=not args.no_sift,
+        verbose=True,
+        checkpoint_dir=args.checkpoint,
+    )
     print(render_table1(summary))
 
 

@@ -22,17 +22,47 @@ def run_table2(
     full: Optional[bool] = None,
     check_equivalence: bool = True,
     verbose: bool = False,
+    checkpoint_dir: Optional[str] = None,
 ) -> Dict:
+    """Run the Table II experiment; returns the result dictionary.
+
+    With ``checkpoint_dir`` set, each datapath's result row and
+    front-end BBDD forest are persisted as they complete and re-runs
+    reuse stored rows (see :class:`repro.io.checkpoint.CheckpointStore`).
+    """
     if rows is None:
         rows = TABLE2_ROWS
     if full is None:
         full = full_profile()
+    store = None
+    if checkpoint_dir is not None:
+        from repro.io.checkpoint import CheckpointStore
+
+        store = CheckpointStore(checkpoint_dir)
+    # Key in every parameter the measurements depend on (see table1).
+    settings = "full" if full else "fast"
+    if not check_equivalence:
+        settings += "-nocheck"
     library = default_library()
     results: List[dict] = []
     for row in rows:
+        key = f"table2-{row.name}-{settings}"
+        if store is not None:
+            cached = store.load_result(key)
+            if cached is not None:
+                cached["cached"] = True
+                results.append(cached)
+                if verbose:
+                    print(f"  {row.name:13s} [checkpoint] reusing stored result")
+                continue
         rtl = row.build(full=full)
         base = baseline_flow(rtl, library, check_equivalence=check_equivalence)
-        bbdd = bbdd_flow(rtl, library, check_equivalence=check_equivalence)
+        bbdd = bbdd_flow(
+            rtl,
+            library,
+            check_equivalence=check_equivalence,
+            keep_forest=store is not None,
+        )
         record = {
             "name": row.name,
             "inputs": rtl.num_inputs,
@@ -47,7 +77,13 @@ def run_table2(
             "base_equivalent": base.equivalent,
             "paper_bbdd": row.paper_bbdd,
             "paper_commercial": row.paper_commercial,
+            "cached": False,
         }
+        if store is not None:
+            if bbdd.forest is not None:
+                manager, functions = bbdd.forest
+                store.save_forest(key, manager, functions)
+            store.save_result(key, record)
         results.append(record)
         if verbose:
             print(
@@ -122,8 +158,28 @@ def render_table2(summary: Dict) -> str:
     return table + footer
 
 
-def main() -> None:  # pragma: no cover - CLI convenience
-    summary = run_table2(verbose=True)
+def main(argv: Optional[Sequence[str]] = None) -> None:  # pragma: no cover
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Reproduce Table II.")
+    parser.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        default=None,
+        help="persist per-datapath results and front-end BBDD forests in DIR "
+        "and resume from them on re-runs",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale datapath widths (default: fast; REPRO_FULL=1 also works)",
+    )
+    args = parser.parse_args(argv)
+    summary = run_table2(
+        full=True if args.full else None,
+        verbose=True,
+        checkpoint_dir=args.checkpoint,
+    )
     print(render_table2(summary))
 
 

@@ -1,0 +1,40 @@
+"""repro.io — persistence & interchange for BBDD forests.
+
+The subsystem makes BBDDs durable and portable:
+
+* :mod:`repro.io.format` — the levelized binary format (varint node
+  records, header with names/order/per-level counts);
+* :mod:`repro.io.binary` — ``dump``/``load`` (+ ``dumps``/``loads``) of
+  shared forests with on-the-fly re-reduction on import;
+* :mod:`repro.io.stream` — one-level-at-a-time writer/reader and the
+  header-only :func:`~repro.io.stream.scan`;
+* :mod:`repro.io.jsondump` — JSON/dict interchange for debugging;
+* :mod:`repro.io.migrate` — cross-manager copy with variable remapping;
+* :mod:`repro.io.checkpoint` — harness checkpoint store (``--checkpoint``).
+"""
+
+from repro.io.binary import dump, dumps, load, loads
+from repro.io.checkpoint import CheckpointStore
+from repro.io.format import FormatError
+from repro.io.jsondump import dump_json, from_dict, load_json, to_dict
+from repro.io.migrate import Migrator, migrate
+from repro.io.stream import FileInfo, LevelStreamReader, LevelStreamWriter, scan
+
+__all__ = [
+    "dump",
+    "dumps",
+    "load",
+    "loads",
+    "dump_json",
+    "load_json",
+    "to_dict",
+    "from_dict",
+    "migrate",
+    "Migrator",
+    "scan",
+    "FileInfo",
+    "LevelStreamReader",
+    "LevelStreamWriter",
+    "CheckpointStore",
+    "FormatError",
+]

@@ -1,0 +1,178 @@
+"""Dump/load of BBDD forests in the levelized binary format.
+
+``dump`` writes a shared forest of named root edges through
+:class:`~repro.io.stream.LevelStreamWriter` (layout: header with
+variable names, CVO order and per-level node counts; varint node
+records level by level, bottom-up; roots trailer — the full byte-level
+spec lives in :mod:`repro.io.format`).  ``load`` replays the records
+through :class:`~repro.io.migrate.ForestRebuilder`, so a dump can be
+imported into a fresh manager, a manager with a *different* variable
+order, or one with a superset of variables — re-reduction (R1/R2/R4,
+complement normalization) happens on the fly via ``BBDDManager._make``.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from typing import Dict, List, Mapping, Tuple
+
+from repro.core.function import Function
+from repro.core.node import SV_ONE, Edge
+from repro.core.traversal import levelize
+
+from repro.io.format import Header, SINK_ID, pack_ref
+from repro.io.migrate import Rename
+from repro.io.stream import LevelStreamReader, LevelStreamWriter
+
+
+def _named_edges(functions) -> List[Tuple[str, Edge]]:
+    """Normalize the accepted forest shapes to ``[(name, edge)]``.
+
+    Accepts a single Function/edge, a sequence of them, or a name-keyed
+    mapping; anonymous roots are named ``f0``, ``f1``, ...
+    """
+    from repro.core.node import BBDDNode
+
+    if isinstance(functions, Function):
+        return [("f0", functions.edge)]
+    if (
+        isinstance(functions, tuple)
+        and len(functions) == 2
+        and isinstance(functions[0], BBDDNode)
+    ):
+        return [("f0", functions)]  # a bare (node, attr) edge
+    if isinstance(functions, Mapping):
+        return [
+            (name, f.edge if isinstance(f, Function) else f)
+            for name, f in functions.items()
+        ]
+    return [
+        (f"f{i}", f.edge if isinstance(f, Function) else f)
+        for i, f in enumerate(functions)
+    ]
+
+
+def forest_records(manager, named: List[Tuple[str, Edge]]):
+    """Enumerate a forest as serializable records — the one canonical
+    record shape both codecs (binary and JSON) emit.
+
+    Returns ``(records, ids)``: ``ids`` maps each node (and the sink,
+    id 0) to its dense bottom-up file id; ``records`` is a list of
+    ``(position, sv_position, node, neq, eq)`` in id order, grouped by
+    level deepest-first, where ``neq``/``eq`` are ``(child_id, attr)``
+    pairs and ``sv_position``/``neq``/``eq`` are ``None`` for literal
+    (R4) records.
+    """
+    order = manager.order
+    ids = {manager.sink: SINK_ID}
+    records = []
+    for position, nodes in levelize(manager, [edge for _name, edge in named]):
+        for node in nodes:
+            ids[node] = len(records) + 1
+            if node.sv == SV_ONE:
+                records.append((position, None, node, None, None))
+            else:
+                records.append(
+                    (
+                        position,
+                        order.position(node.sv),
+                        node,
+                        (ids[node.neq], node.neq_attr),
+                        (ids[node.eq], False),
+                    )
+                )
+    return records, ids
+
+
+def dump(manager, functions, target) -> None:
+    """Write a forest to ``target`` (a path or binary file object).
+
+    ``functions``: a Function, an edge, a sequence of either, or a
+    ``{name: Function}`` mapping (names are stored and restored).
+    """
+    named = _named_edges(functions)
+    if hasattr(target, "write"):
+        _dump_file(manager, named, target)
+        return
+    with open(target, "wb") as fileobj:
+        _dump_file(manager, named, fileobj)
+
+
+def dumps(manager, functions) -> bytes:
+    """Serialize a forest to bytes (see :func:`dump`)."""
+    buffer = _io.BytesIO()
+    dump(manager, functions, buffer)
+    return buffer.getvalue()
+
+
+def _dump_file(manager, named: List[Tuple[str, Edge]], fileobj) -> None:
+    records, ids = forest_records(manager, named)
+    level_counts: List[Tuple[int, int]] = []
+    for position, _sv, _node, _neq, _eq in records:
+        if level_counts and level_counts[-1][0] == position:
+            level_counts[-1] = (position, level_counts[-1][1] + 1)
+        else:
+            level_counts.append((position, 1))
+    header = Header(
+        names=list(manager.var_names),
+        order=list(manager.order.order),
+        num_roots=len(named),
+        levels=level_counts,
+    )
+    writer = LevelStreamWriter(fileobj, header)
+    block = None
+    for position, sv_position, _node, neq, eq in records:
+        if block is None or block.position != position:
+            if block is not None:
+                block.close()
+            block = writer.begin_level(position)
+        if sv_position is None:
+            block.write_literal()
+        else:
+            block.write_chain(
+                sv_position - position, pack_ref(*neq), pack_ref(*eq)
+            )
+    if block is not None:
+        block.close()
+    writer.write_roots(
+        [(pack_ref(ids[node], attr), name) for name, (node, attr) in named]
+    )
+
+
+def load(
+    source,
+    manager=None,
+    rename: Rename = None,
+) -> Tuple[object, Dict[str, Function]]:
+    """Load a dump; returns ``(manager, {name: Function})``.
+
+    With ``manager=None`` a fresh :class:`BBDDManager` is created with
+    the dump's variable names and order.  An explicit manager may use a
+    different order or a superset of variables; ``rename`` remaps dump
+    variable names to target names first.
+    """
+    if hasattr(source, "read"):
+        return _load_file(source, manager, rename)
+    with open(source, "rb") as fileobj:
+        return _load_file(fileobj, manager, rename)
+
+
+def loads(data: bytes, manager=None, rename: Rename = None):
+    """Load a dump from bytes (see :func:`load`)."""
+    return load(_io.BytesIO(data), manager=manager, rename=rename)
+
+
+def _load_file(fileobj, manager, rename: Rename):
+    reader = LevelStreamReader(fileobj)
+    if manager is None:
+        from repro.core.manager import BBDDManager
+        from repro.io.migrate import _resolve_rename
+
+        # A fresh manager takes the dump's names *after* renaming, so
+        # the rebuilder (which resolves renamed names) finds them.
+        rename_fn = _resolve_rename(rename)
+        header = reader.header
+        manager = BBDDManager([rename_fn(name) for name in header.names])
+        manager.order.set_order(list(header.order))
+    _rebuilder, roots = reader.load_into(manager, rename=rename)
+    return manager, {name: Function(manager, edge) for edge, name in roots}

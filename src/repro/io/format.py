@@ -1,0 +1,243 @@
+"""The levelized BBDD binary format: layout constants and codecs.
+
+A ``.bbdd`` file stores a shared forest of root edges level-by-level in
+CVO order, bottom level first, so a sequential reader always sees a
+node's children before the node itself.  All integers are unsigned
+LEB128 varints (7 payload bits per byte, high bit = continuation).
+
+Layout::
+
+    File       = Header LevelBlock* RootsBlock
+    Header     = magic "BBDD" (4 bytes)
+                 version   varint          -- FORMAT_VERSION
+                 flags     varint          -- reserved, 0
+                 nvars     varint
+                 names     nvars x (varint len, utf-8 bytes)
+                 order     nvars x varint  -- variable indices, root
+                                           -- position 0 to bottom
+                 nroots    varint
+                 nlevels   varint          -- non-empty levels only
+                 directory nlevels x (varint position, varint count)
+    LevelBlock = position  varint          -- CVO position of the level's PV
+                 count     varint
+                 nbytes    varint          -- byte length of the records
+                                           -- payload (enables skipping)
+                 records   count x NodeRecord
+    NodeRecord = svtag     varint          -- 0: literal (R4) node with the
+                                           -- fixed sink children; else
+                                           -- position(SV) - position(PV)
+                 [neq      varint]         -- chain nodes only: edge ref
+                 [eq       varint]         -- chain nodes only: edge ref
+    RootsBlock = nroots x (varint edge ref, varint name len, utf-8 name)
+
+An *edge ref* packs a node id and its complement attribute as
+``(id << 1) | attr``.  Node id 0 is the 1-sink; nodes written to the
+file take ids 1, 2, ... in file order, so every reference points
+strictly backwards.  Level blocks are written deepest CVO position
+first.  The header's level directory carries per-level node counts, so
+a file can be size-estimated from the header alone; each level block
+additionally records its payload byte length, so a scanner can skip
+from block to block without decoding node records.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.exceptions import BBDDError
+
+MAGIC = b"BBDD"
+FORMAT_VERSION = 1
+
+#: Node id of the 1-sink in every file.
+SINK_ID = 0
+
+#: svtag value marking a literal (R4) node record.
+LITERAL_TAG = 0
+
+
+class FormatError(BBDDError):
+    """A dump is malformed, truncated, or of an unsupported version."""
+
+
+# ----------------------------------------------------------------------
+# varints (unsigned LEB128)
+# ----------------------------------------------------------------------
+
+
+def encode_varint(value: int, out: bytearray) -> None:
+    """Append ``value`` to ``out`` as an unsigned LEB128 varint."""
+    if value < 0:
+        raise FormatError(f"varints are unsigned, got {value}")
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def decode_varint(data: bytes, pos: int) -> Tuple[int, int]:
+    """Decode the varint at ``data[pos:]``; return ``(value, next_pos)``."""
+    result = 0
+    shift = 0
+    while True:
+        try:
+            byte = data[pos]
+        except IndexError:
+            raise FormatError("truncated varint") from None
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def read_varint(fileobj) -> int:
+    """Read one varint from a binary file object."""
+    result = 0
+    shift = 0
+    while True:
+        byte = fileobj.read(1)
+        if not byte:
+            raise FormatError("truncated varint")
+        b = byte[0]
+        result |= (b & 0x7F) << shift
+        if not b & 0x80:
+            return result
+        shift += 7
+
+
+def pack_ref(node_id: int, attr: bool) -> int:
+    """Pack a node id and complement attribute into an edge ref."""
+    return (node_id << 1) | bool(attr)
+
+
+def unpack_ref(ref: int) -> Tuple[int, bool]:
+    """Split an edge ref back into ``(node id, complement attribute)``."""
+    return ref >> 1, bool(ref & 1)
+
+
+# ----------------------------------------------------------------------
+# header
+# ----------------------------------------------------------------------
+
+
+class Header:
+    """Decoded file header: variables, order, root count, level directory."""
+
+    __slots__ = ("version", "flags", "names", "order", "num_roots", "levels")
+
+    def __init__(
+        self,
+        names: List[str],
+        order: List[int],
+        num_roots: int,
+        levels: List[Tuple[int, int]],
+        version: int = FORMAT_VERSION,
+        flags: int = 0,
+    ) -> None:
+        self.version = version
+        self.flags = flags
+        self.names = list(names)
+        self.order = list(order)
+        self.num_roots = num_roots
+        self.levels = list(levels)  # (position, node count), deepest first
+
+    @property
+    def node_count(self) -> int:
+        return sum(count for _pos, count in self.levels)
+
+    def ordered_names(self) -> List[str]:
+        """Variable names root to bottom (the dump's CVO)."""
+        return [self.names[v] for v in self.order]
+
+    def encode(self) -> bytes:
+        out = bytearray(MAGIC)
+        encode_varint(self.version, out)
+        encode_varint(self.flags, out)
+        encode_varint(len(self.names), out)
+        for name in self.names:
+            raw = name.encode("utf-8")
+            encode_varint(len(raw), out)
+            out.extend(raw)
+        if sorted(self.order) != list(range(len(self.names))):
+            raise FormatError("order must be a permutation of the variables")
+        for var in self.order:
+            encode_varint(var, out)
+        encode_varint(self.num_roots, out)
+        encode_varint(len(self.levels), out)
+        for position, count in self.levels:
+            encode_varint(position, out)
+            encode_varint(count, out)
+        return bytes(out)
+
+
+def read_header(fileobj) -> Header:
+    """Read and validate the header at the current position of ``fileobj``."""
+    magic = fileobj.read(len(MAGIC))
+    if magic != MAGIC:
+        raise FormatError(f"bad magic {magic!r}; not a BBDD dump")
+    version = read_varint(fileobj)
+    if version != FORMAT_VERSION:
+        raise FormatError(f"unsupported format version {version}")
+    flags = read_varint(fileobj)
+    nvars = read_varint(fileobj)
+    names = []
+    for _ in range(nvars):
+        length = read_varint(fileobj)
+        raw = fileobj.read(length)
+        if len(raw) != length:
+            raise FormatError("truncated variable name")
+        names.append(raw.decode("utf-8"))
+    order = [read_varint(fileobj) for _ in range(nvars)]
+    if sorted(order) != list(range(nvars)):
+        raise FormatError("order is not a permutation of the variables")
+    num_roots = read_varint(fileobj)
+    nlevels = read_varint(fileobj)
+    levels = []
+    for _ in range(nlevels):
+        position = read_varint(fileobj)
+        count = read_varint(fileobj)
+        levels.append((position, count))
+    return Header(names, order, num_roots, levels, version=version, flags=flags)
+
+
+# ----------------------------------------------------------------------
+# node records
+# ----------------------------------------------------------------------
+
+
+def encode_literal(out: bytearray) -> None:
+    """Append a literal (R4) node record: svtag 0, fixed children."""
+    encode_varint(LITERAL_TAG, out)
+
+
+def encode_chain(sv_delta: int, neq_ref: int, eq_ref: int, out: bytearray) -> None:
+    """Append a chain node record (``sv_delta`` = position(SV) - position(PV))."""
+    if sv_delta < 1:
+        raise FormatError(f"chain SV must lie below PV (delta {sv_delta})")
+    encode_varint(sv_delta, out)
+    encode_varint(neq_ref, out)
+    encode_varint(eq_ref, out)
+
+
+def decode_records(payload: bytes, count: int) -> List[Tuple[int, int, int]]:
+    """Decode ``count`` node records from a level payload.
+
+    Returns ``(sv_delta, neq_ref, eq_ref)`` tuples; literal records come
+    back as ``(LITERAL_TAG, 0, 0)``.
+    """
+    records = []
+    pos = 0
+    for _ in range(count):
+        sv_delta, pos = decode_varint(payload, pos)
+        if sv_delta == LITERAL_TAG:
+            records.append((LITERAL_TAG, 0, 0))
+            continue
+        neq_ref, pos = decode_varint(payload, pos)
+        eq_ref, pos = decode_varint(payload, pos)
+        records.append((sv_delta, neq_ref, eq_ref))
+    if pos != len(payload):
+        raise FormatError(
+            f"level payload has {len(payload) - pos} trailing bytes"
+        )
+    return records

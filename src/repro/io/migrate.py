@@ -1,0 +1,220 @@
+"""Cross-manager migration: rebuild BBDDs inside a different manager.
+
+Two entry points share one rebuild core:
+
+* :class:`ForestRebuilder` — drives the codecs (:mod:`repro.io.binary`,
+  :mod:`repro.io.jsondump`): given a dump's variable order it replays
+  serialized node records inside a target manager, re-reducing on the
+  fly (see `Rebuild semantics` below).
+* :class:`Migrator` / :func:`migrate` — copies *live* functions from one
+  manager into another without a serialization round trip, with optional
+  variable renaming.
+
+Rebuild semantics
+-----------------
+When the target manager's order preserves the relative order of the
+dump's variables (extra target variables may interleave freely — couples
+chain over *support*, so they never appear in the rebuilt nodes), every
+record maps to a single :meth:`BBDDManager._make` call, which re-applies
+rules R1/R2/R4 and the complement normalization.  Otherwise each chain
+node ``(v, w)`` is rebuilt semantically from the biconditional expansion
+``f = (v = w) ? f_eq : f_neq`` — one XNOR node plus an ITE — which
+re-canonicalizes the function under the target order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Sequence, Union
+
+from repro.core import apply as _ops
+from repro.core.exceptions import BBDDError, VariableError
+from repro.core.function import Function
+from repro.core.node import SV_ONE, BBDDNode, Edge
+from repro.core.operations import OP_XNOR
+
+from repro.io.format import FormatError, LITERAL_TAG, SINK_ID, unpack_ref
+
+Rename = Union[None, Mapping[str, str], Callable[[str], str]]
+
+
+def _resolve_rename(rename: Rename) -> Callable[[str], str]:
+    if rename is None:
+        return lambda name: name
+    if callable(rename):
+        return rename
+    mapping = dict(rename)
+    return lambda name: mapping.get(name, name)
+
+
+class ForestRebuilder:
+    """Replays a serialized forest inside a target manager.
+
+    Parameters
+    ----------
+    manager:
+        The target :class:`~repro.core.manager.BBDDManager`.
+    ordered_names:
+        The dump's variable names, root to bottom (its CVO).
+    rename:
+        Optional variable renaming applied before resolving names in the
+        target manager (a mapping or a callable; unknown names raise
+        :class:`~repro.core.exceptions.VariableError`).
+    """
+
+    def __init__(
+        self,
+        manager,
+        ordered_names: Sequence[str],
+        rename: Rename = None,
+    ) -> None:
+        self.manager = manager
+        rename_fn = _resolve_rename(rename)
+        try:
+            self._var_at = [
+                manager.var_index(rename_fn(name)) for name in ordered_names
+            ]
+        except VariableError as exc:
+            raise VariableError(
+                f"dump variable missing from target manager: {exc}"
+            ) from None
+        positions = [manager.order.position(v) for v in self._var_at]
+        #: Whether the dump's relative variable order survives in the
+        #: target — the precondition for the structural `_make` fast path.
+        self.order_preserved = all(
+            a < b for a, b in zip(positions, positions[1:])
+        )
+        self._edges: List[Edge] = [(manager.sink, False)]
+        self._xnor_cache: Dict[tuple, Edge] = {}
+
+    # -- structural primitives (shared with the live Migrator) ----------
+
+    def make_literal(self, position: int) -> Edge:
+        """Rebuild a literal (R4) node for the variable at ``position``."""
+        var = self._var_at[position]
+        return (self.manager.literal_node(var), False)
+
+    def make_chain(self, position: int, sv_position: int, d: Edge, e: Edge) -> Edge:
+        """Rebuild a chain node ``(PV, SV)`` with children ``d`` / ``e``."""
+        mgr = self.manager
+        pv = self._var_at[position]
+        sv = self._var_at[sv_position]
+        if self.order_preserved:
+            return mgr._make(pv, sv, d, e)
+        biq = self._xnor_cache.get((pv, sv))
+        if biq is None:
+            biq = mgr.apply_edges(
+                mgr.literal_edge(pv), mgr.literal_edge(sv), OP_XNOR
+            )
+            self._xnor_cache[(pv, sv)] = biq
+        return _ops.ite(mgr, biq, e, d)
+
+    # -- record replay (used by the codecs) ------------------------------
+
+    def add_record(
+        self, position: int, sv_delta: int, neq_ref: int, eq_ref: int
+    ) -> Edge:
+        """Replay one serialized node record; returns its rebuilt edge.
+
+        Node ids are assigned in replay order (the file's id space);
+        refs must point at already-replayed ids.  Positions come from
+        the (untrusted) dump, so they are bounds-checked here — every
+        malformed-record failure surfaces as :class:`FormatError`.
+        """
+        n = len(self._var_at)
+        if not 0 <= position < n:
+            raise FormatError(f"record position {position} out of range 0..{n - 1}")
+        if sv_delta and not position + sv_delta < n:
+            raise FormatError(
+                f"record SV position {position + sv_delta} out of range (PV at "
+                f"{position}, {n} variables)"
+            )
+        if sv_delta == LITERAL_TAG:
+            edge = self.make_literal(position)
+        else:
+            edge = self.make_chain(
+                position,
+                position + sv_delta,
+                self.edge_for(neq_ref),
+                self.edge_for(eq_ref),
+            )
+        self._edges.append(edge)
+        return edge
+
+    def edge_for(self, ref: int) -> Edge:
+        """Resolve a packed edge ref against the replayed id table."""
+        node_id, attr = unpack_ref(ref)
+        if not 0 <= node_id < len(self._edges):
+            raise FormatError(f"edge ref to unwritten node id {node_id}")
+        node, base_attr = self._edges[node_id]
+        return (node, base_attr ^ attr)
+
+    @property
+    def replayed(self) -> int:
+        """Number of node records replayed so far (sink excluded)."""
+        return len(self._edges) - 1 - SINK_ID
+
+
+class Migrator:
+    """Copies live functions from ``src`` into ``dst`` (memoized)."""
+
+    def __init__(self, src, dst, rename: Rename = None) -> None:
+        if src is dst:
+            raise BBDDError("source and target managers must differ")
+        self.src = src
+        self.dst = dst
+        ordered_names = [src.var_name(v) for v in src.order.order]
+        self._rebuilder = ForestRebuilder(dst, ordered_names, rename=rename)
+        self._memo: Dict[BBDDNode, Edge] = {}
+
+    def edge(self, edge: Edge) -> Edge:
+        node, attr = edge
+        copied, base_attr = self._copy(node)
+        return (copied, base_attr ^ attr)
+
+    def function(self, f: Function) -> Function:
+        if f.manager is not self.src:
+            raise BBDDError("function does not belong to the source manager")
+        return Function(self.dst, self.edge(f.edge))
+
+    def _copy(self, node: BBDDNode) -> Edge:
+        if node.is_sink:
+            return (self.dst.sink, False)
+        cached = self._memo.get(node)
+        if cached is not None:
+            return cached
+        position = self.src.order.position(node.pv)
+        if node.sv == SV_ONE:
+            result = self._rebuilder.make_literal(position)
+        else:
+            dn, da = self._copy(node.neq)
+            e = self._copy(node.eq)
+            result = self._rebuilder.make_chain(
+                position,
+                self.src.order.position(node.sv),
+                (dn, da ^ node.neq_attr),
+                e,
+            )
+        self._memo[node] = result
+        return result
+
+
+def migrate(functions, dst, rename: Rename = None):
+    """Copy functions into the manager ``dst``, remapping variables by name.
+
+    ``functions`` may be a single :class:`Function`, a sequence, or a
+    name-keyed mapping; the result mirrors the input shape.  All inputs
+    must share one source manager.
+    """
+    if isinstance(functions, Function):
+        return Migrator(functions.manager, dst, rename=rename).function(functions)
+    if isinstance(functions, Mapping):
+        items = list(functions.items())
+        if not items:
+            return {}
+        mig = Migrator(items[0][1].manager, dst, rename=rename)
+        return {name: mig.function(f) for name, f in items}
+    items = list(functions)
+    if not items:
+        return []
+    mig = Migrator(items[0].manager, dst, rename=rename)
+    return [mig.function(f) for f in items]

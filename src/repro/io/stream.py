@@ -1,0 +1,252 @@
+"""Streaming writer/reader for the levelized binary format.
+
+Both halves work one CVO level at a time over the layout defined in
+:mod:`repro.io.format` (header / level blocks / roots trailer):
+
+* :class:`LevelStreamWriter` buffers exactly one level's records before
+  flushing its block (each block carries its payload byte length), so
+  writing a forest never holds more than a level of encoded bytes.
+* :class:`LevelStreamReader` exposes :meth:`iter_levels` for sequential
+  record iteration and :meth:`load_into` for incremental reconstruction
+  through a :class:`~repro.io.migrate.ForestRebuilder` — nodes enter the
+  target manager as their records stream in, with on-the-fly R1/R2/R4
+  re-reduction.
+* :func:`scan` reads only the header and the per-block lengths (seeking
+  past record payloads), returning a :class:`FileInfo` — the cheap
+  "what's in this file" primitive the level directory exists for.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.io.format import (
+    FormatError,
+    Header,
+    decode_records,
+    encode_chain,
+    encode_literal,
+    encode_varint,
+    read_header,
+    read_varint,
+)
+from repro.io.migrate import ForestRebuilder, Rename
+
+
+class LevelStreamWriter:
+    """Writes a dump level by level; one level buffered at a time."""
+
+    def __init__(self, fileobj, header: Header) -> None:
+        self._file = fileobj
+        self._header = header
+        self._pending = dict(header.levels)  # position -> expected count
+        fileobj.write(header.encode())
+        self._next_id = 1
+        self._roots_written = False
+
+    def begin_level(self, position: int) -> "_LevelBuffer":
+        """Open the block for ``position`` (declared in the header)."""
+        if position not in self._pending:
+            raise FormatError(f"level {position} not declared in the header")
+        return _LevelBuffer(self, position, self._pending.pop(position))
+
+    def write_roots(self, roots: List[Tuple[int, str]]) -> None:
+        """Write the trailer: ``(edge ref, name)`` per root."""
+        if self._roots_written:
+            raise FormatError("roots trailer already written")
+        if self._pending:
+            raise FormatError(
+                f"levels {sorted(self._pending)} declared but never written"
+            )
+        if len(roots) != self._header.num_roots:
+            raise FormatError(
+                f"header declares {self._header.num_roots} roots, got {len(roots)}"
+            )
+        out = bytearray()
+        for ref, name in roots:
+            encode_varint(ref, out)
+            raw = name.encode("utf-8")
+            encode_varint(len(raw), out)
+            out.extend(raw)
+        self._file.write(bytes(out))
+        self._roots_written = True
+
+    def allocate_id(self) -> int:
+        node_id = self._next_id
+        self._next_id += 1
+        return node_id
+
+
+class _LevelBuffer:
+    """One open level block: records accumulate, then flush as a unit."""
+
+    def __init__(self, writer: LevelStreamWriter, position: int, count: int) -> None:
+        self._writer = writer
+        self.position = position
+        self._expected = count
+        self._written = 0
+        self._payload = bytearray()
+
+    def write_literal(self) -> int:
+        """Append a literal record; returns the node's file id."""
+        encode_literal(self._payload)
+        return self._bump()
+
+    def write_chain(self, sv_delta: int, neq_ref: int, eq_ref: int) -> int:
+        """Append a chain record; returns the node's file id."""
+        encode_chain(sv_delta, neq_ref, eq_ref, self._payload)
+        return self._bump()
+
+    def _bump(self) -> int:
+        self._written += 1
+        if self._written > self._expected:
+            raise FormatError(
+                f"level {self.position} overflows its declared count"
+            )
+        return self._writer.allocate_id()
+
+    def close(self) -> None:
+        if self._written != self._expected:
+            raise FormatError(
+                f"level {self.position} wrote {self._written} of "
+                f"{self._expected} declared records"
+            )
+        head = bytearray()
+        encode_varint(self.position, head)
+        encode_varint(self._written, head)
+        encode_varint(len(self._payload), head)
+        self._writer._file.write(bytes(head))
+        self._writer._file.write(bytes(self._payload))
+
+
+class LevelStreamReader:
+    """Sequential reader over a dump's level blocks and roots trailer."""
+
+    def __init__(self, fileobj) -> None:
+        self._file = fileobj
+        self.header = read_header(fileobj)
+        self._levels_read = 0
+
+    def iter_levels(self) -> Iterator[Tuple[int, List[Tuple[int, int, int]]]]:
+        """Yield ``(position, records)`` per level block, file order.
+
+        Records are raw ``(sv_delta, neq_ref, eq_ref)`` tuples (see
+        :func:`repro.io.format.decode_records`).
+        """
+        while self._levels_read < len(self.header.levels):
+            position = read_varint(self._file)
+            count = read_varint(self._file)
+            nbytes = read_varint(self._file)
+            payload = self._file.read(nbytes)
+            if len(payload) != nbytes:
+                raise FormatError(f"truncated level block at position {position}")
+            declared_pos, declared_count = self.header.levels[self._levels_read]
+            if (position, count) != (declared_pos, declared_count):
+                raise FormatError(
+                    f"level block ({position}, {count}) disagrees with the "
+                    f"header directory ({declared_pos}, {declared_count})"
+                )
+            self._levels_read += 1
+            yield position, decode_records(payload, count)
+
+    def read_roots(self) -> List[Tuple[int, str]]:
+        """Read the roots trailer (after all levels have been iterated)."""
+        if self._levels_read < len(self.header.levels):
+            # Drain any remaining level blocks first.
+            for _ in self.iter_levels():
+                pass
+        roots = []
+        for _ in range(self.header.num_roots):
+            ref = read_varint(self._file)
+            length = read_varint(self._file)
+            raw = self._file.read(length)
+            if len(raw) != length:
+                raise FormatError("truncated root name")
+            roots.append((ref, raw.decode("utf-8")))
+        return roots
+
+    def load_into(self, manager, rename: Rename = None):
+        """Incrementally rebuild the forest inside ``manager``.
+
+        Returns ``(rebuilder, roots)`` where ``roots`` is the list of
+        ``(edge, name)`` pairs resolved in the target manager.
+        """
+        rebuilder = ForestRebuilder(
+            manager, self.header.ordered_names(), rename=rename
+        )
+        for position, records in self.iter_levels():
+            for sv_delta, neq_ref, eq_ref in records:
+                rebuilder.add_record(position, sv_delta, neq_ref, eq_ref)
+        roots = [
+            (rebuilder.edge_for(ref), name) for ref, name in self.read_roots()
+        ]
+        return rebuilder, roots
+
+
+class FileInfo:
+    """Header-level summary of a dump (no node records decoded)."""
+
+    __slots__ = ("header", "level_bytes", "file_bytes")
+
+    def __init__(self, header: Header, level_bytes: List[int], file_bytes: int) -> None:
+        self.header = header
+        self.level_bytes = level_bytes  # payload bytes per level, file order
+        self.file_bytes = file_bytes
+
+    @property
+    def node_count(self) -> int:
+        return self.header.node_count
+
+    @property
+    def payload_bytes(self) -> int:
+        return sum(self.level_bytes)
+
+    @property
+    def bytes_per_node(self) -> float:
+        count = self.node_count
+        return self.file_bytes / count if count else float(self.file_bytes)
+
+    def summary(self) -> dict:
+        return {
+            "variables": len(self.header.names),
+            "roots": self.header.num_roots,
+            "levels": len(self.header.levels),
+            "nodes": self.node_count,
+            "file_bytes": self.file_bytes,
+            "payload_bytes": self.payload_bytes,
+            "bytes_per_node": round(self.bytes_per_node, 2),
+        }
+
+
+def scan(source) -> FileInfo:
+    """Scan a dump without decoding node records.
+
+    ``source`` is a path or a seekable binary file object.  Reads the
+    header and each level block's small prefix, seeking past payloads.
+    """
+    if hasattr(source, "read"):
+        return _scan_file(source)
+    with open(source, "rb") as fileobj:
+        return _scan_file(fileobj)
+
+
+def _scan_file(fileobj) -> FileInfo:
+    header = read_header(fileobj)
+    level_bytes = []
+    for declared_pos, declared_count in header.levels:
+        position = read_varint(fileobj)
+        count = read_varint(fileobj)
+        nbytes = read_varint(fileobj)
+        if (position, count) != (declared_pos, declared_count):
+            raise FormatError(
+                f"level block ({position}, {count}) disagrees with the "
+                f"header directory ({declared_pos}, {declared_count})"
+            )
+        level_bytes.append(nbytes)
+        fileobj.seek(nbytes, 1)
+    trailer_start = fileobj.tell()
+    fileobj.seek(0, 2)
+    file_bytes = fileobj.tell()
+    if file_bytes < trailer_start:
+        raise FormatError("file shorter than its level directory claims")
+    return FileInfo(header, level_bytes, file_bytes)

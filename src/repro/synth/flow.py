@@ -30,14 +30,19 @@ from repro.synth.netlist import MappedNetlist
 class FlowResult:
     """Outcome of a synthesis flow run."""
 
-    __slots__ = ("name", "netlist", "runtime", "equivalent", "bbdd_nodes")
+    __slots__ = ("name", "netlist", "runtime", "equivalent", "bbdd_nodes", "forest")
 
-    def __init__(self, name, netlist, runtime, equivalent, bbdd_nodes=None) -> None:
+    def __init__(
+        self, name, netlist, runtime, equivalent, bbdd_nodes=None, forest=None
+    ) -> None:
         self.name = name
         self.netlist = netlist
         self.runtime = runtime
         self.equivalent = equivalent
         self.bbdd_nodes = bbdd_nodes
+        #: ``(manager, {output: Function})`` of the front-end BBDDs when
+        #: the flow was asked to keep them (harness checkpointing).
+        self.forest = forest
 
     @property
     def area(self) -> float:
@@ -116,6 +121,7 @@ def bbdd_flow(
     check_equivalence: bool = True,
     sift: bool = False,
     selective: bool = True,
+    keep_forest: bool = False,
 ) -> FlowResult:
     """The paper's flow: BBDD restructuring ahead of the synthesis tool.
 
@@ -155,7 +161,14 @@ def bbdd_flow(
     equivalent = (
         networks_equivalent(rtl, mapped_net) if check_equivalence else None
     )
-    return FlowResult("bbdd+commercial", mapped, runtime, equivalent, bbdd_nodes)
+    return FlowResult(
+        "bbdd+commercial",
+        mapped,
+        runtime,
+        equivalent,
+        bbdd_nodes,
+        forest=(manager, functions) if keep_forest else None,
+    )
 
 
 def _cost(network: LogicNetwork, library: CellLibrary) -> float:
