@@ -1,15 +1,17 @@
 """The baseline BDD manager (CUDD-substitute).
 
-Implements the classic recursive apply over Shannon expansions with a
-computed table, complement-edge normalization (then-edges regular), a
+Implements the classic apply over Shannon expansions with a computed
+table, complement-edge normalization (then-edges regular), a
 strong-canonical unique table and reference-counting garbage collection —
-the same machinery CUDD uses, so that Table I compares the *representations*
-(BBDD vs. BDD) rather than implementation substrates.
+the same machinery CUDD uses, so that Table I compares the
+*representations* (BBDD vs. BDD) rather than implementation substrates.
+Like the BBDD core, the apply engine iterates over an explicit
+pending-frame stack, so operand depth never touches the Python recursion
+limit.
 """
 
 from __future__ import annotations
 
-import sys
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.bdd.node import BDDEdge, BDDNode, make_bdd_sink
@@ -33,7 +35,9 @@ from repro.core.operations import (
 from repro.core.order import ChainVariableOrder
 from repro.core.unique_table import make_unique_table
 
-_RECURSION_HEADROOM = 100_000
+#: Pending-frame tags of the iterative apply engine.
+_CALL = 0
+_COMBINE = 1
 
 
 class BDDManager:
@@ -62,9 +66,6 @@ class BDDManager:
         self._by_var: Dict[int, set] = {i: set() for i in range(len(names))}
         self._node_count = 0
         self.gc_count = 0
-
-        if sys.getrecursionlimit() < _RECURSION_HEADROOM:
-            sys.setrecursionlimit(_RECURSION_HEADROOM)
 
     # ------------------------------------------------------------------
     # identifiers, variables, order
@@ -150,7 +151,7 @@ class BDDManager:
         return (node, attr)
 
     # ------------------------------------------------------------------
-    # recursive apply (Shannon expansion)
+    # iterative apply (Shannon expansion)
     # ------------------------------------------------------------------
 
     def apply_edges(self, f: BDDEdge, g: BDDEdge, op: int) -> BDDEdge:
@@ -175,42 +176,86 @@ class BDDManager:
         return (node, True)
 
     def _apply(self, fn: BDDNode, gn: BDDNode, op: int) -> BDDEdge:
-        if fn.is_sink:
-            return self._unary(restrict_a(op, 1), gn)
-        if gn.is_sink:
-            return self._unary(restrict_b(op, 1), fn)
-        if fn is gn:
-            return self._unary(diagonal(op), fn)
-        if ((op >> 1) & 0b101) == (op & 0b101):
-            return self._unary(restrict_b(op, 0), fn)
-        if ((op >> 2) & 0b11) == (op & 0b11):
-            return self._unary(restrict_a(op, 0), gn)
+        """Iterative apply over an explicit pending-frame stack.
 
-        if is_commutative(op) and gn.uid < fn.uid:
-            fn, gn = gn, fn
-        key = (fn.uid, gn.uid, op)
-        cached = self._cache.lookup(key)
-        if cached is not None:
-            return cached
+        Frames are ``(_CALL, fn, gn, op)`` or ``(_COMBINE, var, key, 0)``;
+        the then-branch frame is pushed last so it expands first, matching
+        the recursive formulation's evaluation order.
+        """
+        position = self._order.position
+        lookup = self._cache.lookup
+        insert = self._cache.insert
+        results: List[BDDEdge] = []
+        rpush = results.append
+        rpop = results.pop
+        tasks: List[tuple] = [(_CALL, fn, gn, op)]
+        tpush = tasks.append
+        tpop = tasks.pop
+        while tasks:
+            tag, a, b, c = tpop()
+            if tag == _COMBINE:
+                e = rpop()
+                t = rpop()
+                result = self._make(a, t, e)
+                insert(b, result)
+                rpush(result)
+                continue
+            fn, gn, op = a, b, c
+            if fn.is_sink:
+                rpush(self._unary(restrict_a(op, 1), gn))
+                continue
+            if gn.is_sink:
+                rpush(self._unary(restrict_b(op, 1), fn))
+                continue
+            if fn is gn:
+                rpush(self._unary(diagonal(op), fn))
+                continue
+            if ((op >> 1) & 0b101) == (op & 0b101):
+                rpush(self._unary(restrict_b(op, 0), fn))
+                continue
+            if ((op >> 2) & 0b11) == (op & 0b11):
+                rpush(self._unary(restrict_a(op, 0), gn))
+                continue
 
-        pf = self._order.position(fn.var)
-        pg = self._order.position(gn.var)
-        if pf <= pg:
-            var = fn.var
-            f_t, f_e = (fn.then, False), (fn.else_, fn.else_attr)
-        else:
-            var = gn.var
-            f_t = f_e = (fn, False)
-        if pg <= pf:
-            g_t, g_e = (gn.then, False), (gn.else_, gn.else_attr)
-        else:
-            g_t = g_e = (gn, False)
+            if is_commutative(op) and gn.uid < fn.uid:
+                fn, gn = gn, fn
+            key = (fn.uid, gn.uid, op)
+            cached = lookup(key)
+            if cached is not None:
+                rpush(cached)
+                continue
 
-        t = self.apply_edges(f_t, g_t, op)
-        e = self.apply_edges(f_e, g_e, op)
-        result = self._make(var, t, e)
-        self._cache.insert(key, result)
-        return result
+            pf = position(fn.var)
+            pg = position(gn.var)
+            if pf <= pg:
+                var = fn.var
+                f_t, f_e = (fn.then, False), (fn.else_, fn.else_attr)
+            else:
+                var = gn.var
+                f_t = f_e = (fn, False)
+            if pg <= pf:
+                g_t, g_e = (gn.then, False), (gn.else_, gn.else_attr)
+            else:
+                g_t = g_e = (gn, False)
+
+            tpush((_COMBINE, var, key, 0))
+            n1, a1 = f_e
+            n2, a2 = g_e
+            sub = op
+            if a1:
+                sub = flip_a(sub)
+            if a2:
+                sub = flip_b(sub)
+            tpush((_CALL, n1, n2, sub))
+            n1, a1 = f_t
+            n2, a2 = g_t
+            sub = op
+            if a1:
+                sub = flip_a(sub)
+            if a2:
+                sub = flip_b(sub)
+            tpush((_CALL, n1, n2, sub))
+        return results[-1]
 
     def and_edges(self, f: BDDEdge, g: BDDEdge) -> BDDEdge:
         return self.apply_edges(f, g, OP_AND)
@@ -245,14 +290,12 @@ class BDDManager:
         return not attr
 
     def sat_count(self, edge: BDDEdge) -> int:
+        """Satisfying-assignment count (iterative post-order, deep-safe)."""
         n = self.num_vars
         order = self._order
         memo: Dict[BDDNode, int] = {}
 
-        def count(node: BDDNode) -> int:
-            cached = memo.get(node)
-            if cached is not None:
-                return cached
+        def compute(node: BDDNode) -> int:
             p = order.position(node.var)
             span = n - p
             total = 0
@@ -261,19 +304,32 @@ class BDDManager:
                     sub = 0 if attr else (1 << (span - 1))
                 else:
                     q = order.position(child.var)
-                    sub = count(child)
+                    sub = memo[child]
                     if attr:
                         sub = (1 << (n - q)) - sub
                     sub <<= q - (p + 1)
                 total += sub
-            memo[node] = total
             return total
 
         node, attr = edge
         if node.is_sink:
             return 0 if attr else (1 << n)
+        stack: List[BDDNode] = [node]
+        while stack:
+            top = stack[-1]
+            if top in memo:
+                stack.pop()
+                continue
+            pending = [
+                c for c in (top.then, top.else_) if not c.is_sink and c not in memo
+            ]
+            if pending:
+                stack.extend(pending)
+                continue
+            stack.pop()
+            memo[top] = compute(top)
         p = order.position(node.var)
-        c = count(node)
+        c = memo[node]
         if attr:
             c = (1 << (n - p)) - c
         return c << p
@@ -336,6 +392,18 @@ class BDDManager:
 
     def clear_cache(self) -> None:
         self._cache.clear()
+
+    def defer_gc(self):
+        """No-op GC deferral (API parity with the BBDD manager).
+
+        The baseline package only collects on explicit :meth:`gc` calls,
+        so shared drivers (e.g. the network builder) can hold bare edges
+        freely; the context manager exists so they need not special-case
+        the package.
+        """
+        import contextlib
+
+        return contextlib.nullcontext(self)
 
     def nodes_with_pv(self, var: int) -> set:
         """Nodes labelled ``var`` (name kept parallel to the BBDD manager

@@ -2,9 +2,9 @@
 
 This subpackage implements the Biconditional Binary Decision Diagram
 manipulation package of Amaru, Gaillardon and De Micheli (DATE 2014):
-strong-canonical node storage, recursive Boolean operations over
-biconditional expansions, performance-oriented memory management and
-chain-variable re-ordering.
+strong-canonical node storage, iterative (explicit-stack) Boolean
+operations over biconditional expansions, automatic reference-counting
+memory management and chain-variable re-ordering.
 """
 
 from repro.core.exceptions import BBDDError, OrderError, VariableError

@@ -1,114 +1,387 @@
-"""Extended Boolean operations built on Algorithm 1.
+"""Extended Boolean operations built on the iterative apply engine.
 
-The recursive two-operand core lives in
+The two-operand core lives in
 :meth:`repro.core.manager.BBDDManager.apply_edges`; this module adds the
-derived operations a manipulation package is expected to provide:
+derived operations a manipulation package is expected to provide, each as
+a **native, memoized, iterative** procedure that hits the manager's
+computed table directly with tagged cache keys (instead of the historical
+restrict-chain formulations that expanded ``ite`` into three applies and
+``exists`` into two full restricts plus an OR per variable):
 
-* :func:`ite` — if-then-else;
+* :func:`ite` — if-then-else over a three-operand biconditional
+  expansion;
 * :func:`restrict` — cofactor w.r.t. a variable assignment (the
   biconditional analogue of the Shannon cofactor: restricting either
   member of a couple re-expresses the branching condition over the
   surviving variable);
-* :func:`compose` — substitute a function for a variable;
-* :func:`exists` / :func:`forall` — Boolean quantification;
+* :func:`compose` — substitute a function for a variable (two cached
+  restricts + one cached ite);
+* :func:`exists` / :func:`forall` — Boolean quantification, using that a
+  couple's branches are disjoint, so quantifying either couple member
+  reduces to ``d <op> e`` on the children;
 * :func:`support` — the true functional support (note: in a BBDD the set
   of primary variables of reachable nodes is *not* the support, because a
   secondary variable can cancel along both branches).
+
+All procedures use explicit stacks (no recursion on diagram depth) and
+run inside the manager's operation guard, so automatic GC never reclaims
+their intermediates; tagged keys share the computed table with apply and
+are invalidated with it on GC/reordering.  With the ``disabled`` computed
+backend they fall back to a per-call memo (the ablation switch targets
+apply, and an unmemoized restrict would be exponential).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.core.computed_table import DisabledComputedTable
+from repro.core.exceptions import BBDDError
 from repro.core.node import SV_ONE, BBDDNode, Edge
-from repro.core.operations import OP_AND, OP_OR
+from repro.core.operations import OP_AND, OP_OR, OP_XNOR
+
+#: Computed-table tags for the derived operations.  Two-operand apply
+#: keys are ``(f.uid, g.uid, op)`` with ``op`` in 0..15; tagged keys use
+#: distinct leading ints >= 16 (and different tuple shapes), so the two
+#: families can never collide — and stay all-int for the Cantor backend.
+TAG_ITE = 16
+TAG_RESTRICT = 17
+TAG_QUANT = 18
+
+_CALL = 0
+_COMBINE = 1
+_COMBINE_ITE = 2
+
+
+def _memo_fns(manager):
+    """(lookup, insert) on the manager's computed table.
+
+    The ``disabled`` ablation backend memoizes nothing, which would make
+    the linear-time procedures below exponential — fall back to a
+    per-call dict there.
+    """
+    cache = manager._cache
+    if isinstance(cache, DisabledComputedTable):
+        local: dict = {}
+        return local.get, local.__setitem__
+    return cache.lookup, cache.insert
 
 
 def ite(manager, f: Edge, g: Edge, h: Edge) -> Edge:
-    """If-then-else: ``f ? g : h`` == (f AND g) OR (NOT f AND h)."""
-    fg = manager.apply_edges(f, g, OP_AND)
-    fh = manager.apply_edges((f[0], not f[1]), h, OP_AND)
-    return manager.apply_edges(fg, fh, OP_OR)
+    """If-then-else ``f ? g : h`` as a native three-operand expansion.
+
+    Iterative over an explicit pending-frame stack with memoization
+    keyed ``(TAG_ITE, f.uid, g.uid, ga, h.uid, ha)`` (the complement on
+    ``f`` is normalized away by swapping the branches).  Constant and
+    degenerate operands collapse to a single two-operand apply.
+    """
+    manager._in_op += 1
+    try:
+        result = _ite_iter(manager, f, g, h)
+    finally:
+        manager._in_op -= 1
+    manager._maybe_gc_protect(result)
+    return result
+
+
+def _ite_iter(manager, f: Edge, g: Edge, h: Edge) -> Edge:
+    lookup, insert = _memo_fns(manager)
+    position = manager._order.position
+    cofactors = manager._cofactors
+    make = manager._make
+    apply_edges = manager.apply_edges
+    results: List[Edge] = []
+    rpush = results.append
+    rpop = results.pop
+    tasks: List[tuple] = [(_CALL, f, g, h)]
+    tpush = tasks.append
+    tpop = tasks.pop
+    while tasks:
+        tag, a, b, c = tpop()
+        if tag == _COMBINE:
+            d = rpop()
+            e = rpop()
+            result = make(a[0], a[1], d, e)
+            insert(b, result)
+            rpush(result)
+            continue
+        f, g, h = a, b, c
+        fn, fa = f
+        if fa:
+            # ite(~f', g, h) == ite(f', h, g).
+            g, h = h, g
+            fa = False
+        gn, ga = g
+        hn, ha = h
+        # -- terminal / degenerate cases ----------------------------------
+        if fn.is_sink:  # f == TRUE (complement already folded)
+            rpush(g)
+            continue
+        if gn is hn:
+            if ga == ha:
+                rpush(g)
+            else:
+                # ite(f, g, ~g) == f XNOR g.
+                rpush(apply_edges((fn, False), g, OP_XNOR))
+            continue
+        if gn.is_sink:
+            if ga:  # g == FALSE: ~f AND h
+                rpush(apply_edges((fn, True), h, OP_AND))
+            else:  # g == TRUE: f OR h
+                rpush(apply_edges((fn, False), h, OP_OR))
+            continue
+        if hn.is_sink:
+            if ha:  # h == FALSE: f AND g
+                rpush(apply_edges((fn, False), g, OP_AND))
+            else:  # h == TRUE: ~f OR g
+                rpush(apply_edges((fn, True), g, OP_OR))
+            continue
+
+        key = (TAG_ITE, fn.uid, gn.uid, ga, hn.uid, ha)
+        cached = lookup(key)
+        if cached is not None:
+            rpush(cached)
+            continue
+
+        # -- three-operand biconditional expansion ------------------------
+        # The couple's branches partition the space, so the expansion
+        # distributes over all three operands simultaneously.
+        v = fn.pv
+        v_pos = position(v)
+        for node in (gn, hn):
+            p = position(node.pv)
+            if p < v_pos:
+                v, v_pos = node.pv, p
+        w = None
+        w_pos = manager.num_vars + 1
+        for node in (fn, gn, hn):
+            cand = node.sv if node.pv == v else node.pv
+            if cand == SV_ONE:
+                continue
+            cand_pos = position(cand)
+            if cand_pos < w_pos:
+                w, w_pos = cand, cand_pos
+        if w is None:  # pragma: no cover - ruled out by the terminal cases
+            raise BBDDError("no expansion SV: all ITE operands literal at v")
+        f_nq, f_eq = cofactors(fn, v, w)
+        g_nq, g_eq = cofactors(gn, v, w)
+        h_nq, h_eq = cofactors(hn, v, w)
+        tpush((_COMBINE, (v, w), key, None))
+        tpush(
+            (
+                _CALL,
+                f_nq,
+                (g_nq[0], g_nq[1] ^ ga),
+                (h_nq[0], h_nq[1] ^ ha),
+            )
+        )
+        tpush(
+            (
+                _CALL,
+                f_eq,
+                (g_eq[0], g_eq[1] ^ ga),
+                (h_eq[0], h_eq[1] ^ ha),
+            )
+        )
+    return results[-1]
 
 
 def restrict(manager, edge: Edge, var, value: bool) -> Edge:
     """Cofactor ``f`` with ``var = value``.
 
-    Three structural cases per node (couple ``(v, w)`` at position ``p``):
+    Three structural cases per node (couple ``(v, w)``):
 
     * ``v == var`` — the branching condition collapses onto ``w``:
       ``f|v=c = ITE(w, f_eq, f_neq)`` if ``c == 1`` else with the branches
-      swapped (for literal nodes the cofactor is the constant).
+      swapped (for literal nodes the cofactor is the constant);
     * ``w == var`` — both the condition and the children mention ``var``:
-      restrict the children, then ``f|w=c = ITE(v, ..)``.
+      restrict the children, then ``f|w=c = ITE(v, ..)``;
     * otherwise — restrict the children and rebuild the node in place.
+
+    Restriction commutes with complement, so memo entries are keyed on
+    the bare node (``(TAG_RESTRICT, uid, var, value)``) and the incoming
+    attribute is re-applied at the end.  Subgraphs whose support mask
+    does not contain ``var`` are returned untouched.
     """
     var = manager.var_index(var)
-    var_pos = manager.order.position(var)
-    order = manager.order
-    memo: Dict[Tuple[int, bool], Edge] = {}
+    root, root_attr = edge
+    manager._in_op += 1
+    try:
+        node, attr = _restrict_iter(manager, root, var, bool(value))
+    finally:
+        manager._in_op -= 1
+    result = (node, attr ^ root_attr)
+    manager._maybe_gc_protect(result)
+    return result
 
-    def rec(node: BBDDNode, attr: bool) -> Edge:
-        if node.is_sink or order.position(node.pv) > var_pos:
-            return (node, attr)
-        key = (node.uid, attr)
-        cached = memo.get(key)
-        if cached is not None:
-            return cached
-        pv = node.pv
-        if node.sv == SV_ONE:
+
+def _restrict_iter(manager, root: BBDDNode, var: int, value: bool) -> Edge:
+    bit = 1 << var
+    if not root.supp & bit:
+        return (root, False)
+    lookup, insert = _memo_fns(manager)
+    make = manager._make
+    sink = manager.sink
+    results: List[Edge] = []
+    rpush = results.append
+    rpop = results.pop
+    tasks: List[tuple] = [(_CALL, root, None)]
+    tpush = tasks.append
+    tpop = tasks.pop
+    while tasks:
+        tag, node, key = tpop()
+        if tag == _CALL:
+            if not node.supp & bit:
+                rpush((node, False))
+                continue
+            key = (TAG_RESTRICT, node.uid, var, value)
+            cached = lookup(key)
+            if cached is not None:
+                rpush(cached)
+                continue
+            pv = node.pv
+            if node.sv == SV_ONE:
+                # supp == {pv} and var in supp, so this is lit(var).
+                result = (sink, not value)
+                insert(key, result)
+                rpush(result)
+                continue
             if pv == var:
-                result = (manager.sink, attr ^ (not value))
-            else:
-                result = (node, attr)
-            memo[key] = result
-            return result
-        d: Edge = (node.neq, attr ^ node.neq_attr)
-        e: Edge = (node.eq, attr)
-        sv = node.sv
-        if pv == var:
-            w_lit = manager.literal_edge(sv)
-            result = ite(manager, w_lit, e, d) if value else ite(manager, w_lit, d, e)
-        elif sv == var:
-            d2 = rec(d[0], d[1])
-            e2 = rec(e[0], e[1])
-            v_lit = manager.literal_edge(pv)
-            result = ite(manager, v_lit, e2, d2) if value else ite(manager, v_lit, d2, e2)
+                # Children never mention pv: collapse the condition on sv.
+                d: Edge = (node.neq, node.neq_attr)
+                e: Edge = (node.eq, False)
+                w_lit = manager.literal_edge(node.sv)
+                result = (
+                    ite(manager, w_lit, e, d)
+                    if value
+                    else ite(manager, w_lit, d, e)
+                )
+                insert(key, result)
+                rpush(result)
+                continue
+            combine = _COMBINE_ITE if node.sv == var else _COMBINE
+            tpush((combine, node, key))
+            tpush((_CALL, node.neq, None))
+            tpush((_CALL, node.eq, None))
+            continue
+        d0, d1 = rpop()
+        e2 = rpop()
+        d2 = (d0, d1 ^ node.neq_attr)
+        if tag == _COMBINE_ITE:
+            v_lit = manager.literal_edge(node.pv)
+            result = (
+                ite(manager, v_lit, e2, d2)
+                if value
+                else ite(manager, v_lit, d2, e2)
+            )
         else:
-            d2 = rec(d[0], d[1])
-            e2 = rec(e[0], e[1])
-            result = manager._make(pv, node.sv, d2, e2)
-        memo[key] = result
-        return result
-
-    return rec(edge[0], edge[1])
+            result = make(node.pv, node.sv, d2, e2)
+        insert(key, result)
+        rpush(result)
+    return results[-1]
 
 
 def compose(manager, edge: Edge, var, g: Edge) -> Edge:
     """Substitute the function ``g`` for variable ``var`` in ``f``."""
-    f1 = restrict(manager, edge, var, True)
-    f0 = restrict(manager, edge, var, False)
-    return ite(manager, g, f1, f0)
+    manager._in_op += 1
+    try:
+        f1 = restrict(manager, edge, var, True)
+        f0 = restrict(manager, edge, var, False)
+        result = ite(manager, g, f1, f0)
+    finally:
+        manager._in_op -= 1
+    manager._maybe_gc_protect(result)
+    return result
 
 
 def exists(manager, edge: Edge, variables) -> Edge:
     """Existential quantification over ``variables``."""
-    result = edge
-    for var in _as_iterable(variables):
-        f1 = restrict(manager, result, var, True)
-        f0 = restrict(manager, result, var, False)
-        result = manager.apply_edges(f1, f0, OP_OR)
-    return result
+    return _quantify(manager, edge, variables, OP_OR)
 
 
 def forall(manager, edge: Edge, variables) -> Edge:
     """Universal quantification over ``variables``."""
-    result = edge
-    for var in _as_iterable(variables):
-        f1 = restrict(manager, result, var, True)
-        f0 = restrict(manager, result, var, False)
-        result = manager.apply_edges(f1, f0, OP_AND)
+    return _quantify(manager, edge, variables, OP_AND)
+
+
+def _quantify(manager, edge: Edge, variables, op: int) -> Edge:
+    manager._in_op += 1
+    try:
+        result = edge
+        for var in _as_iterable(variables):
+            result = _quantify_iter(manager, result, manager.var_index(var), op)
+    finally:
+        manager._in_op -= 1
+    manager._maybe_gc_protect(result)
     return result
+
+
+def _quantify_iter(manager, edge: Edge, var: int, op: int) -> Edge:
+    """Quantify one variable natively over the biconditional expansion.
+
+    At a couple ``(v, w)`` the two branches are disjoint, so for any
+    combining operator ``Q f = (f|var=0) <op> (f|var=1)`` distributes
+    through the expansion; when ``var`` is either couple member both
+    cofactors select the same pair of children and the node reduces to
+    ``d <op> e`` directly.  Quantification does *not* commute with
+    complement, so memo keys carry the edge attribute:
+    ``(TAG_QUANT, uid, attr, var, op)``.
+    """
+    bit = 1 << var
+    root, root_attr = edge
+    if not root.supp & bit:
+        return edge
+    lookup, insert = _memo_fns(manager)
+    make = manager._make
+    apply_edges = manager.apply_edges
+    results: List[Edge] = []
+    rpush = results.append
+    rpop = results.pop
+    tasks: List[tuple] = [(_CALL, root, root_attr, None)]
+    tpush = tasks.append
+    tpop = tasks.pop
+    while tasks:
+        tag, node, attr, key = tpop()
+        if tag == _CALL:
+            if not node.supp & bit:
+                rpush((node, attr))
+                continue
+            key = (TAG_QUANT, node.uid, attr, var, op)
+            cached = lookup(key)
+            if cached is not None:
+                rpush(cached)
+                continue
+            d: Edge = (node.neq, attr ^ node.neq_attr)
+            e: Edge = (node.eq, attr)
+            if node.pv == var:
+                # Children never mention the primary variable, and the
+                # same surviving condition selects both cofactors:
+                # Q f = (sv ? d : e) <op> (sv ? e : d) = d <op> e
+                # (for the literal node this is the constant op(0, 1)).
+                result = apply_edges(d, e, op)
+                insert(key, result)
+                rpush(result)
+                continue
+            if node.sv == var:
+                # The children still depend on the secondary variable, so
+                # the cofactors do not collapse — combine two (cached)
+                # native restricts.
+                f0 = restrict(manager, (node, attr), var, False)
+                f1 = restrict(manager, (node, attr), var, True)
+                result = apply_edges(f0, f1, op)
+                insert(key, result)
+                rpush(result)
+                continue
+            tpush((_COMBINE, node, attr, key))
+            tpush((_CALL, d[0], d[1], None))
+            tpush((_CALL, e[0], e[1], None))
+            continue
+        d2 = rpop()
+        e2 = rpop()
+        result = make(node.pv, node.sv, d2, e2)
+        insert(key, result)
+        rpush(result)
+    return results[-1]
 
 
 def support(manager, edge: Edge) -> frozenset:

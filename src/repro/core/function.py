@@ -43,13 +43,22 @@ class Function:
         self.manager = manager
         self.node = edge[0]
         self.attr = edge[1]
-        self.node.ref += 1
+        manager.acquire_ref(self.node)
 
     def __del__(self) -> None:
         # Interpreter shutdown may have torn down attributes already.
         node = getattr(self, "node", None)
-        if node is not None:
+        if node is None:
+            return
+        manager = getattr(self, "manager", None)
+        if manager is None:
             node.ref -= 1
+            return
+        try:
+            # Dropping a handle feeds the automatic garbage collector.
+            manager.release_ref(node)
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
 
     # -- identity -----------------------------------------------------------
 
@@ -149,12 +158,33 @@ class Function:
             values[self.manager.var_index(key)] = bool(bit)
         return values
 
+    def _support_indices(self) -> Iterator[int]:
+        mask = self.node.supp
+        var = 0
+        while mask:
+            if mask & 1:
+                yield var
+            mask >>= 1
+            var += 1
+
     def evaluate(self, assignment: Mapping) -> bool:
         """Evaluate at an assignment keyed by variable name or index.
 
-        The assignment must cover the function's structural variables.
+        The assignment must cover the function's support variables;
+        missing support variables raise
+        :class:`~repro.core.exceptions.VariableError`.  Variables outside
+        the support may be omitted (they default to False, which cannot
+        change the result).
         """
+        from repro.core.exceptions import VariableError
+
         values = self._values_from(assignment)
+        missing = [v for v in self._support_indices() if v not in values]
+        if missing:
+            names = ", ".join(self.manager.var_name(v) for v in missing)
+            raise VariableError(
+                f"assignment misses support variable(s): {names}"
+            )
         for var in range(self.manager.num_vars):
             values.setdefault(var, False)
         return _trav.evaluate(self.edge, values)
@@ -167,28 +197,39 @@ class Function:
         return _trav.sat_count(self.manager, self.edge)
 
     def sat_one(self) -> Optional[Dict[str, bool]]:
-        """One satisfying assignment (by name), or None if unsatisfiable."""
-        for constraints, value in _trav.iter_paths(self.manager, self.edge):
-            if not value:
-                continue
-            return self._assignment_from_path(constraints)
-        return None
+        """One satisfying assignment (by name), or None if unsatisfiable.
 
-    def _assignment_from_path(self, constraints: Dict[int, str]) -> Dict[str, bool]:
+        The assignment covers the function's whole support (support
+        variables the witness path leaves unconstrained are fixed to
+        False), so it always evaluates to True via :meth:`evaluate`.
+        """
+        path = _trav.find_sat_path(self.manager, self.edge, want=True)
+        if path is None:
+            return None
+        return self._assignment_from_path(path)
+
+    def _assignment_from_path(self, path) -> Dict[str, bool]:
+        """Concretize a root-to-sink path (``(pv, sv, rel)`` triples).
+
+        Constraints resolve bottom-up against the couple partner actually
+        on the path (*not* the global order's partner — under the
+        support-chained CVO a node's SV is its function's next *support*
+        variable, which may skip order positions).  A partner the path
+        never pins absolutely is a free variable and defaults to False;
+        remaining unconstrained support variables are False as well.
+        """
         values: Dict[int, bool] = {}
-        order = self.manager.order
-        # Resolve chain constraints bottom-up: the deepest couple pins an
-        # absolute value (literal nodes / bottom couple), relations then
-        # propagate upwards.
-        for var in sorted(constraints, key=order.position, reverse=True):
-            rel = constraints[var]
-            if rel in ("0", "1"):
-                values[var] = rel == "1"
+        # ``path`` is root-to-sink; resolve deepest-first so each couple's
+        # partner is already fixed (or known free) when it is needed.
+        for pv, sv, rel in reversed(path):
+            if rel == "0" or rel == "1":
+                values[pv] = rel == "1"
             else:
-                pos = order.position(var)
-                sv = order.sv_of_position(pos)
-                sv_value = values.get(sv, False)
-                values[var] = (not sv_value) if rel == "!=" else sv_value
+                if sv not in values:
+                    values[sv] = False
+                values[pv] = (not values[sv]) if rel == "!=" else values[sv]
+        for var in self._support_indices():
+            values.setdefault(var, False)
         return {self.manager.var_name(v): b for v, b in values.items()}
 
     def node_count(self) -> int:

@@ -6,20 +6,30 @@ This module implements the manipulation core of Sec. IV of the paper:
   reduction rules R1 (unique table), R2 (identical children), R4 (literal
   degeneration) and the complement-attribute normalization (``=``-edges are
   always regular);
-* ``apply_edges`` — Algorithm 1: the recursive formulation of any
-  two-operand Boolean operation over biconditional expansions, with
-  terminal-case short circuits, a computed table, operator update for
-  complement attributes (``updateop``) and on-the-fly chain transformation
-  of single-variable operands;
-* reference-counting garbage collection with cascade sweep.
+* ``apply_edges`` — Algorithm 1: any two-operand Boolean operation over
+  biconditional expansions, with terminal-case short circuits, a computed
+  table, operator update for complement attributes (``updateop``) and
+  on-the-fly chain transformation of single-variable operands.  The
+  expansion is driven by an **explicit pending-frame stack**, not Python
+  recursion, so operand depth is limited by memory alone (Adiar-style
+  level-by-level manipulation scales where recursion cannot);
+* reference-counting memory management with **cascading** counts: a node
+  whose count drops to zero immediately releases its children (and a
+  revived node re-acquires them), so the number of dead nodes is known
+  exactly at all times and :meth:`BBDDManager.dead_count` is O(1).
+  Garbage collection triggers automatically (dd/CUDD style) when the
+  dead/total ratio crosses a configurable threshold, but only at safe
+  points — never while an operation holds intermediate edges.
 
 All hot-path functions work on bare ``(node, attr)`` edge tuples; the
-user-facing wrapper lives in :mod:`repro.core.function`.
+user-facing wrapper lives in :mod:`repro.core.function`.  Code that holds
+bare edges across several manager operations must either reference them
+(:meth:`BBDDManager.inc_ref`) or suspend collection with
+:meth:`BBDDManager.defer_gc` for the duration.
 """
 
 from __future__ import annotations
 
-import sys
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.computed_table import make_computed_table
@@ -36,7 +46,6 @@ from repro.core.operations import (
     diagonal,
     flip_a,
     flip_b,
-    is_commutative,
     op_from_name,
     restrict_a,
     restrict_b,
@@ -44,7 +53,52 @@ from repro.core.operations import (
 from repro.core.order import ChainVariableOrder
 from repro.core.unique_table import make_unique_table
 
-_RECURSION_HEADROOM = 100_000
+#: Pending-frame tags of the iterative apply engine.
+_CALL = 0
+_COMBINE = 1
+_UNWIND = 2
+
+#: Maximum number of swept node shells kept for reuse by ``_make``.
+_FREE_POOL_CAP = 1 << 15
+
+# Terminal-case outcome tables, precomputed per 4-bit operator so the hot
+# loop replaces the ``restrict_a``/``diagonal`` + ``_UNARY`` dict chain
+# with one tuple index.  Outcomes are coded so complementing the operator
+# (output-polarity normalization) is ``outcome ^ 1``.
+_U_FALSE, _U_TRUE, _U_ID, _U_NOT = 0, 1, 2, 3
+_OUTCOME_CODE = {UNARY_FALSE: _U_FALSE, UNARY_TRUE: _U_TRUE, UNARY_ID: _U_ID, UNARY_NOT: _U_NOT}
+_RA1 = tuple(_OUTCOME_CODE[restrict_a(op, 1)] for op in range(16))
+_RB1 = tuple(_OUTCOME_CODE[restrict_b(op, 1)] for op in range(16))
+_RA0 = tuple(_OUTCOME_CODE[restrict_a(op, 0)] for op in range(16))
+_RB0 = tuple(_OUTCOME_CODE[restrict_b(op, 0)] for op in range(16))
+_DIAG = tuple(_OUTCOME_CODE[diagonal(op)] for op in range(16))
+
+
+class _GCDeferral:
+    """Context manager suspending automatic GC (re-entrant).
+
+    Entering bumps the manager's in-operation counter, which inhibits
+    :meth:`BBDDManager._maybe_gc`.  Leaving deliberately does **not**
+    collect: code commonly returns bare (unreferenced) edges produced
+    inside the block, and ``__exit__`` runs before the caller can
+    reference them — an exit-time sweep would reclaim the very results
+    the deferral protected.  An armed collection simply happens at the
+    next organic safe point (end of an apply/derived op, or an explicit
+    ``dec_ref``), where the fresh result is protected.
+    """
+
+    __slots__ = ("_manager",)
+
+    def __init__(self, manager: "BBDDManager") -> None:
+        self._manager = manager
+
+    def __enter__(self) -> "BBDDManager":
+        self._manager._in_op += 1
+        return self._manager
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._manager._in_op -= 1
+        return False
 
 
 class BBDDManager:
@@ -58,6 +112,16 @@ class BBDDManager:
         ``"dict"`` (default, native hashing) or ``"cantor"`` (the paper's
         Cantor-pairing tables); the computed table additionally accepts
         ``"disabled"`` for ablation runs.
+    auto_gc:
+        Enable automatic garbage collection (default).  When enabled, a
+        collection runs at the next safe point after the dead/total node
+        ratio exceeds ``gc_threshold`` (and at least ``gc_min_nodes``
+        nodes are stored).
+    gc_threshold:
+        Dead/total ratio that arms the automatic collector.
+    gc_min_nodes:
+        Minimum stored-node count before automatic GC considers running
+        (keeps small working sets collection-free).
     """
 
     def __init__(
@@ -65,6 +129,9 @@ class BBDDManager:
         variables: Union[int, Sequence[str]],
         unique_backend: str = "dict",
         computed_backend: str = "dict",
+        auto_gc: bool = True,
+        gc_threshold: float = 0.5,
+        gc_min_nodes: int = 1024,
     ) -> None:
         if isinstance(variables, int):
             names = [f"x{i}" for i in range(variables)]
@@ -79,15 +146,30 @@ class BBDDManager:
         self._uid = 0
         self.sink = make_sink(self._next_uid())
         self._unique = make_unique_table(unique_backend)
+        # Hot-path accelerators: per-variable support bits (avoids big-int
+        # shifts per node), the dict backend's raw table, and a free list
+        # of swept node shells for allocation-free rebuilds.
+        self._var_bits: List[int] = [1 << i for i in range(len(names))]
+        self._uniq_raw = getattr(self._unique, "_table", None)
+        self._free_nodes: List[BBDDNode] = []
         self._cache = make_computed_table(computed_backend)
         self._literals: Dict[int, BBDDNode] = {}
         self._by_pv: Dict[int, set] = {i: set() for i in range(len(names))}
         self._by_sv: Dict[int, set] = {i: set() for i in range(len(names))}
         self._node_count = 0
+        self.peak_nodes = 0
         self.gc_count = 0
+        self.auto_gc_runs = 0
 
-        if sys.getrecursionlimit() < _RECURSION_HEADROOM:
-            sys.setrecursionlimit(_RECURSION_HEADROOM)
+        self.auto_gc = auto_gc
+        self.gc_threshold = gc_threshold
+        self.gc_min_nodes = gc_min_nodes
+        #: The stored nodes with a zero reference count, maintained
+        #: incrementally by the ref/deref/make/sweep hooks; GC sweeps this
+        #: set directly instead of scanning the unique table.
+        self._dead_set: set = set()
+        #: Depth of in-flight operations; automatic GC only runs at zero.
+        self._in_op = 0
 
     # ------------------------------------------------------------------
     # identifiers and variables
@@ -128,6 +210,7 @@ class BBDDManager:
             raise VariableError(f"variable {name!r} already exists")
         self._names.append(name)
         self._index[name] = index
+        self._var_bits.append(1 << index)
         self._by_pv[index] = set()
         self._by_sv[index] = set()
         self._order.append(index)
@@ -171,14 +254,23 @@ class BBDDManager:
         return (self.sink, True)
 
     def literal_node(self, var: int) -> BBDDNode:
-        """The R4 literal node for ``var`` (created on demand)."""
+        """The R4 literal node for ``var`` (created on demand).
+
+        Like every node, a fresh literal is born dead (count zero, no
+        child references); acquiring it references the sink twice.
+        """
         node = self._literals.get(var)
         if node is None:
             node = BBDDNode(var, SV_ONE, self.sink, True, self.sink, self._next_uid())
+            node.floating = True
+            self.sink.ref += 2  # birth holds both (sink) children
+            node.tkey = node.key()
             self._literals[var] = node
-            self._unique.insert(node.key(), node)
-            self.sink.ref += 2
+            self._unique.insert(node.tkey, node)
             self._node_count += 1
+            self._dead_set.add(node)
+            if self._node_count > self.peak_nodes:
+                self.peak_nodes = self._node_count
         return node
 
     def literal_edge(self, var: Union[int, str], positive: bool = True) -> Edge:
@@ -218,34 +310,37 @@ class BBDDManager:
         * SV-elimination — if the candidate function does not actually
           depend on ``sv`` (both children rooted at ``sv`` and
           ``d|sv=0 == e|sv=1`` and ``e|sv=0 == d|sv=1``), the couple
-          re-chains past ``sv``; rule R4 (single-variable degeneration to
-          a literal node) is the terminal case of this cascade;
+          re-chains past ``sv`` (iterated in place; rule R4 —
+          single-variable degeneration to a literal node — is the
+          terminal case of this cascade);
         * ``=``-edge regularity normalization, then unique-table
           resolution (R1 / strong canonical form).
         """
-        dn, da = d
-        en, ea = e
-        if dn is en and da == ea:
-            return e  # R2
-        if sv == SV_ONE:
-            # Boundary: no further support variable; children are
-            # constants and the node degenerates to the literal of pv.
-            if not (dn.is_sink and en.is_sink):
-                raise BBDDError("boundary-couple children must be constants")
-            return (self.literal_node(pv), ea)
-        if dn.pv == sv and en.pv == sv and not dn.is_sink and not en.is_sink:
-            # Both children rooted at sv: the candidate may not depend on
-            # sv at all, in which case the chain skips it (R3/R4).
-            if self._shannon_view(d, sv, 0) == self._shannon_view(e, sv, 1) and (
-                self._shannon_view(e, sv, 0) == self._shannon_view(d, sv, 1)
-            ):
-                if dn.sv == SV_ONE:
-                    # d = lit(sv)^da, e = lit(sv)^~da: rule R4 proper.
-                    return (self.literal_node(pv), ea)
-                # Re-chain: f = (pv = t) ? A : B with A/B = d's children.
-                a_edge = (dn.neq, dn.neq_attr ^ da)
-                b_edge = (dn.eq, da)
-                return self._make(pv, dn.sv, b_edge, a_edge)
+        while True:
+            dn, da = d
+            en, ea = e
+            if dn is en and da == ea:
+                return e  # R2
+            if sv == SV_ONE:
+                # Boundary: no further support variable; children are
+                # constants and the node degenerates to the literal of pv.
+                if not (dn.is_sink and en.is_sink):
+                    raise BBDDError("boundary-couple children must be constants")
+                return (self.literal_node(pv), ea)
+            if dn.pv == sv and en.pv == sv and not dn.is_sink and not en.is_sink:
+                # Both children rooted at sv: the candidate may not depend
+                # on sv at all, in which case the chain skips it (R3/R4).
+                if self._shannon_view(d, sv, 0) == self._shannon_view(e, sv, 1) and (
+                    self._shannon_view(e, sv, 0) == self._shannon_view(d, sv, 1)
+                ):
+                    if dn.sv == SV_ONE:
+                        # d = lit(sv)^da, e = lit(sv)^~da: rule R4 proper.
+                        return (self.literal_node(pv), ea)
+                    # Re-chain: f = (pv = t) ? A : B with A/B = d's children.
+                    sv = dn.sv
+                    d, e = (dn.eq, da), (dn.neq, dn.neq_attr ^ da)
+                    continue
+            break
         attr = False
         if ea:
             # Normalize: =-edges are stored regular; complement both
@@ -253,16 +348,63 @@ class BBDDManager:
             attr = True
             da = not da
         key = (pv, sv, dn.uid, da, en.uid)
-        node = self._unique.lookup(key)
+        unique = self._unique
+        raw = self._uniq_raw
+        if raw is not None:
+            unique._lookups += 1
+            node = raw.get(key)
+            if node is not None:
+                unique._hits += 1
+        else:
+            node = unique.lookup(key)
         if node is None:
-            node = BBDDNode(pv, sv, dn, da, en, self._next_uid())
-            node.supp = (1 << pv) | (1 << sv) | dn.supp | en.supp
-            self._unique.insert(key, node)
-            dn.ref += 1
-            en.ref += 1
+            uid = self._uid + 1
+            self._uid = uid
+            free = self._free_nodes
+            if free:
+                # Recycle a swept shell: no allocation, fresh identity.
+                node = free.pop()
+                node.pv = pv
+                node.sv = sv
+                node.neq = dn
+                node.neq_attr = da
+                node.eq = en
+                node.ref = 0
+                node.uid = uid
+            else:
+                node = BBDDNode(pv, sv, dn, da, en, uid)
+            node.floating = True
+            bits = self._var_bits
+            node.supp = bits[pv] | bits[sv] | dn.supp | en.supp
+            node.tkey = key
+            if raw is not None:
+                raw[key] = node
+            else:
+                unique.insert(key, node)
+            # Birth acquires both children (floating children resolve in
+            # O(1); a once-dead child needs a full revive).
+            if dn.ref:
+                dn.ref += 1
+            elif dn.floating:
+                dn.floating = False
+                dn.ref = 1
+                self._dead_set.discard(dn)
+            else:
+                self._ref_node(dn)
+            if en.ref:
+                en.ref += 1
+            elif en.floating:
+                en.floating = False
+                en.ref = 1
+                self._dead_set.discard(en)
+            else:
+                self._ref_node(en)
             self._by_pv[pv].add(node)
             self._by_sv[sv].add(node)
             self._node_count += 1
+            self._dead_set.add(node)
+            if self._node_count > self.peak_nodes:
+                self.peak_nodes = self._node_count
         return (node, attr)
 
     # ------------------------------------------------------------------
@@ -299,15 +441,17 @@ class BBDDManager:
         )
 
     # ------------------------------------------------------------------
-    # Algorithm 1: f (op) g
+    # Algorithm 1: f (op) g — the iterative engine
     # ------------------------------------------------------------------
 
     def apply_edges(self, f: Edge, g: Edge, op: int) -> Edge:
         """Compute ``f (op) g`` for edges; ``op`` is a 4-bit operator table.
 
         Complement attributes on the operands are pushed into the operator
-        (the paper's ``updateop``), so the recursive core and the computed
-        table always see attribute-free operands.
+        (the paper's ``updateop``), so the iterative core and the computed
+        table always see attribute-free operands.  This is a safe point:
+        automatic GC may run after the result is computed (the result
+        itself is protected).
         """
         fn, fa = f
         if fa:
@@ -315,71 +459,414 @@ class BBDDManager:
         gn, ga = g
         if ga:
             op = flip_b(op)
-        return self._apply(fn, gn, op)
+        self._in_op += 1
+        try:
+            result = self._apply(fn, gn, op)
+        finally:
+            self._in_op -= 1
+        self._maybe_gc_protect(result)
+        return result
 
     def apply_named(self, f: Edge, g: Edge, name: str) -> Edge:
         return self.apply_edges(f, g, op_from_name(name))
 
-    def _unary(self, outcome: str, node: BBDDNode) -> Edge:
-        if outcome == UNARY_FALSE:
-            return (self.sink, True)
-        if outcome == UNARY_TRUE:
-            return (self.sink, False)
-        if outcome == UNARY_ID:
-            return (node, False)
-        return (node, True)
-
     def _apply(self, fn: BBDDNode, gn: BBDDNode, op: int) -> Edge:
-        # -- terminal cases (Alg. 1 alpha) --------------------------------
-        if fn.is_sink:
-            return self._unary(restrict_a(op, 1), gn)
-        if gn.is_sink:
-            return self._unary(restrict_b(op, 1), fn)
-        if fn is gn:
-            return self._unary(diagonal(op), fn)
-        # Degenerate operators depend on at most one operand.
-        if ((op >> 1) & 0b101) == (op & 0b101):  # independent of b
-            return self._unary(restrict_b(op, 0), fn)
-        if ((op >> 2) & 0b11) == (op & 0b11):  # independent of a
-            return self._unary(restrict_a(op, 0), gn)
+        """Iterative Algorithm 1 over an explicit pending-frame stack.
 
-        # -- computed table (Alg. 1 beta) ----------------------------------
-        if is_commutative(op) and gn.uid < fn.uid:
-            fn, gn = gn, fn
-        key = (fn.uid, gn.uid, op)
-        cached = self._cache.lookup(key)
-        if cached is not None:
-            return cached
+        Frames are ``(_CALL, fn, gn, op, 0)`` (expand an operand pair) or
+        ``(_COMBINE, v, w, key, neg)`` (build the node once both cofactor
+        results sit on the value stack).  The ``=``-branch frame is
+        pushed last so it expands first, matching the recursive
+        formulation's evaluation order.
 
-        # -- recursive step (Alg. 1 gamma) ----------------------------------
-        # Expansion couple: PV = earliest root variable; SV = earliest
-        # following variable visible in either operand's structure (the
-        # operand's own SV if rooted at v, its PV if rooted deeper).
-        position = self._order.position
-        pf = position(fn.pv)
-        pg = position(gn.pv)
-        v = fn.pv if pf <= pg else gn.pv
-        w = None
-        w_pos = len(self._names) + 1
-        for node in (fn, gn):
-            if node.pv == v:
-                cand = node.sv
-                if cand == SV_ONE:
+        Operators are normalized by **output polarity** (``op`` and
+        ``~op`` share one cache entry and one expansion; the complement
+        rides on the result edge), which halves the work on XOR-rich
+        operand pairs where both polarities of a subproblem occur — the
+        complement attribute makes the negation free.
+        """
+        position = self._order._position  # bound dict: hot-path lookups
+        identity = self._order.is_identity
+        cache = self._cache
+        raw = cache._table if type(cache).__name__ == "DictComputedTable" else None
+        if raw is None:
+            lookup = cache.lookup
+            insert = cache.insert
+        else:
+            # Dict backend: skip the per-call stats bookkeeping in the hot
+            # loop and settle the counters in bulk on exit.
+            lookup = raw.get
+            insert = raw.__setitem__
+        n_lookups = 0
+        n_hits = 0
+        make = self._make
+        sink = self.sink
+        true_edge = (sink, False)
+        false_edge = (sink, True)
+        names_len = len(self._names)
+        results: List[Edge] = []
+        rpush = results.append
+        rpop = results.pop
+        tasks: List[tuple] = [(_CALL, fn, gn, op, 0)]
+        tpush = tasks.append
+        tpop = tasks.pop
+        while tasks:
+            tag, a, b, c, neg = tpop()
+            if tag == _COMBINE:
+                d = rpop()
+                e = rpop()
+                result = make(a, b, d, e)
+                insert(c, result)
+                if neg:
+                    rpush((result[0], not result[1]))
+                else:
+                    rpush(result)
+                continue
+            fn, gn, op = a, b, c
+            # Output-polarity normalization: represent ~op as (op, neg).
+            neg = op & 1
+            if neg:
+                op ^= 0xF
+            # -- terminal cases (Alg. 1 alpha) -----------------------------
+            survivor = None
+            if fn is sink:
+                out = _RA1[op]
+                survivor = gn
+            elif gn is sink:
+                out = _RB1[op]
+                survivor = fn
+            elif fn is gn:
+                out = _DIAG[op]
+                survivor = fn
+            elif ((op >> 1) & 0b101) == (op & 0b101):  # independent of b
+                out = _RB0[op]
+                survivor = fn
+            elif ((op >> 2) & 0b11) == (op & 0b11):  # independent of a
+                out = _RA0[op]
+                survivor = gn
+            if survivor is not None:
+                out ^= neg
+                if out == _U_ID:
+                    rpush((survivor, False))
+                elif out == _U_NOT:
+                    rpush((survivor, True))
+                elif out == _U_TRUE:
+                    rpush(true_edge)
+                else:
+                    rpush(false_edge)
+                continue
+
+            # -- computed table (Alg. 1 beta) ------------------------------
+            if gn.uid < fn.uid and ((op >> 1) & 1) == ((op >> 2) & 1):
+                fn, gn = gn, fn
+            key = (fn.uid, gn.uid, op)
+            n_lookups += 1
+            cached = lookup(key)
+            if cached is not None:
+                n_hits += 1
+                if neg:
+                    rpush((cached[0], not cached[1]))
+                else:
+                    rpush(cached)
+                continue
+
+            # -- terminal-substitution fast path ---------------------------
+            # When one operand's support lies entirely below the other's
+            # (and support masks order like positions, i.e. the CVO is
+            # still the identity), the upper operand's terminals select a
+            # fixed residue of the lower operand: the result is a single
+            # structural pass over the upper diagram, no expansion frames.
+            # This is the shape of every incremental chain build
+            # (f = f <op> next), e.g. the parity construction.
+            if identity:
+                fs = fn.supp
+                gs = gn.supp
+                if fs.bit_length() < (gs & -gs).bit_length():
+                    if fn.sv != SV_ONE:  # literal roots use the generic path
+                        result = self._splice(
+                            fn, _RA1[op], _RA0[op], gn, op, True
+                        )
+                        insert(key, result)
+                        if neg:
+                            rpush((result[0], not result[1]))
+                        else:
+                            rpush(result)
+                        continue
+                elif gs.bit_length() < (fs & -fs).bit_length() and gn.sv != SV_ONE:
+                    result = self._splice(gn, _RB1[op], _RB0[op], fn, op, False)
+                    insert(key, result)
+                    if neg:
+                        rpush((result[0], not result[1]))
+                    else:
+                        rpush(result)
                     continue
+
+            # -- expansion step (Alg. 1 gamma) -----------------------------
+            # Expansion couple: PV = earliest root variable; SV = earliest
+            # following variable visible in either operand's structure (the
+            # operand's own SV if rooted at v, its PV if rooted deeper).
+            pf = position[fn.pv]
+            pg = position[gn.pv]
+            v = fn.pv if pf <= pg else gn.pv
+            w = None
+            w_pos = names_len + 1
+            cand = fn.sv if fn.pv == v else fn.pv
+            if cand != SV_ONE:
+                w = cand
+                w_pos = position[cand]
+            cand = gn.sv if gn.pv == v else gn.pv
+            if cand != SV_ONE:
+                cand_pos = position[cand]
+                if cand_pos < w_pos:
+                    w, w_pos = cand, cand_pos
+            if w is None:
+                raise BBDDError("no expansion SV: both operands literal at v")
+            # Inlined biconditional cofactors (see _cofactors) for both
+            # operands; the subcall operators fold the edge attributes.
+            if fn.pv != v:
+                f_nq_n = f_eq_n = fn
+                f_nq_a = f_eq_a = False
+            elif fn.sv == SV_ONE:
+                lw = self.literal_node(w)
+                f_nq_n = f_eq_n = lw
+                f_nq_a, f_eq_a = True, False
+            elif fn.sv == w:
+                f_nq_n, f_nq_a = fn.neq, fn.neq_attr
+                f_eq_n, f_eq_a = fn.eq, False
             else:
-                cand = node.pv
-            cand_pos = position(cand)
-            if cand_pos < w_pos:
-                w, w_pos = cand, cand_pos
-        if w is None:
-            raise BBDDError("no expansion SV: both operands literal at v")
-        f_neq, f_eq = self._cofactors(fn, v, w)
-        g_neq, g_eq = self._cofactors(gn, v, w)
-        e = self.apply_edges(f_eq, g_eq, op)
-        d = self.apply_edges(f_neq, g_neq, op)
-        result = self._make(v, w, d, e)
-        self._cache.insert(key, result)
-        return result
+                d_edge = (fn.neq, fn.neq_attr)
+                e_edge = (fn.eq, False)
+                f_nq_n, f_nq_a = make(w, fn.sv, e_edge, d_edge)
+                f_eq_n, f_eq_a = make(w, fn.sv, d_edge, e_edge)
+            if gn.pv != v:
+                g_nq_n = g_eq_n = gn
+                g_nq_a = g_eq_a = False
+            elif gn.sv == SV_ONE:
+                lw = self.literal_node(w)
+                g_nq_n = g_eq_n = lw
+                g_nq_a, g_eq_a = True, False
+            elif gn.sv == w:
+                g_nq_n, g_nq_a = gn.neq, gn.neq_attr
+                g_eq_n, g_eq_a = gn.eq, False
+            else:
+                d_edge = (gn.neq, gn.neq_attr)
+                e_edge = (gn.eq, False)
+                g_nq_n, g_nq_a = make(w, gn.sv, e_edge, d_edge)
+                g_eq_n, g_eq_a = make(w, gn.sv, d_edge, e_edge)
+            tpush((_COMBINE, v, w, key, neg))
+            sub = op
+            if f_nq_a:
+                sub = ((sub & 0b0011) << 2) | ((sub & 0b1100) >> 2)  # flip_a
+            if g_nq_a:
+                sub = ((sub & 0b0101) << 1) | ((sub & 0b1010) >> 1)  # flip_b
+            tpush((_CALL, f_nq_n, g_nq_n, sub, 0))
+            sub = op
+            if f_eq_a:
+                sub = ((sub & 0b0011) << 2) | ((sub & 0b1100) >> 2)
+            if g_eq_a:
+                sub = ((sub & 0b0101) << 1) | ((sub & 0b1010) >> 1)
+            tpush((_CALL, f_eq_n, g_eq_n, sub, 0))
+        if raw is not None:
+            cache.lookups += n_lookups
+            cache.hits += n_hits
+        return results[-1]
+
+    def _splice(
+        self,
+        root: BBDDNode,
+        out1: int,
+        out0: int,
+        other: BBDDNode,
+        op: int,
+        root_is_a: bool,
+    ) -> Edge:
+        """Terminal substitution: rebuild ``root`` with its sinks replaced.
+
+        ``out1``/``out0`` are the unary outcome codes for the terminal
+        values 1/0 (w.r.t. the surviving operand ``other``, which lies
+        entirely below ``root`` in the order).  A single memoized
+        bottom-up pass over ``root``'s diagram; literal nodes at the
+        bottom of the chain re-enter the generic engine (their couple
+        partner comes from ``other``'s structure).
+
+        When the two residues are complements of each other (XOR-shaped
+        outcomes) the substitution commutes with complement, so the memo
+        collapses to one entry per node and results are shared through
+        complement attributes.
+        """
+        sink = self.sink
+        if out1 == _U_ID:
+            r1: Edge = (other, False)
+        elif out1 == _U_NOT:
+            r1 = (other, True)
+        else:
+            r1 = (sink, out1 == _U_FALSE)
+        if out0 == _U_ID:
+            r0: Edge = (other, False)
+        elif out0 == _U_NOT:
+            r0 = (other, True)
+        else:
+            r0 = (sink, out0 == _U_FALSE)
+        linear = r1[0] is r0[0]  # complement pair: F(~f) == ~F(f)
+        make = self._make
+        apply_inner = self._apply
+        memo: Dict = {}
+        memo_get = memo.get
+        bits = self._var_bits
+        raw = self._uniq_raw
+        unique = self._unique
+        dead_set = self._dead_set
+        dead_add = dead_set.add
+        dead_discard = dead_set.discard
+        by_pv = self._by_pv
+        by_sv = self._by_sv
+        free = self._free_nodes
+        results: List[Edge] = []
+        rpush = results.append
+        rpop = results.pop
+        tasks: List[tuple] = [(_CALL, root, False)]
+        tpush = tasks.append
+        tpop = tasks.pop
+        while tasks:
+            tag, node, attr = tpop()
+            if tag == _COMBINE:
+                d = rpop()
+                e = rpop()
+                if linear:
+                    if node.neq_attr:
+                        d = (d[0], not d[1])
+                    result = make(node.pv, node.sv, d, e)
+                    memo[node.uid] = result
+                else:
+                    result = make(node.pv, node.sv, d, e)
+                    memo[(node.uid, attr)] = result
+                rpush(result)
+                continue
+            if tag == _UNWIND:
+                # ``node`` holds a trail of complement-pair chain nodes
+                # (root first); the value stack holds the tail result.
+                # The node constructor is inlined for the common case
+                # (no SV-elimination, dict unique backend) — this loop
+                # builds the bulk of every incremental chain step.
+                e = rpop()
+                for nd in reversed(node):
+                    en, ea = e
+                    sv = nd.sv
+                    if en.pv == sv or not nd.neq_attr or raw is None:
+                        # Possible reduction (or non-dict backend): take
+                        # the full canonical constructor.
+                        e = make(nd.pv, sv, (en, ea ^ nd.neq_attr), e)
+                        memo[nd.uid] = e
+                        continue
+                    pv = nd.pv
+                    # d = (en, ~ea), e = (en, ea); after =-edge
+                    # normalization the stored neq-attr is always True
+                    # and the external attr equals ea.
+                    key = (pv, sv, en.uid, True, en.uid)
+                    unique._lookups += 1
+                    new = raw.get(key)
+                    if new is None:
+                        uid = self._uid + 1
+                        self._uid = uid
+                        if free:
+                            new = free.pop()
+                            new.pv = pv
+                            new.sv = sv
+                            new.neq = en
+                            new.neq_attr = True
+                            new.eq = en
+                            new.ref = 0
+                            new.uid = uid
+                        else:
+                            new = BBDDNode(pv, sv, en, True, en, uid)
+                        new.floating = True
+                        new.supp = bits[pv] | bits[sv] | en.supp
+                        new.tkey = key
+                        raw[key] = new
+                        r = en.ref
+                        if r:
+                            en.ref = r + 2
+                        elif en.floating:
+                            en.floating = False
+                            en.ref = 2
+                            dead_discard(en)
+                        else:
+                            self._ref_node(en)
+                            en.ref += 1
+                        by_pv[pv].add(new)
+                        by_sv[sv].add(new)
+                        nc = self._node_count + 1
+                        self._node_count = nc
+                        dead_add(new)
+                        if nc > self.peak_nodes:
+                            self.peak_nodes = nc
+                    else:
+                        unique._hits += 1
+                    e = (new, ea)
+                    memo[nd.uid] = e
+                rpush(e)
+                continue
+            if node is sink:
+                if attr:
+                    rpush(r0)
+                else:
+                    rpush(r1)
+                continue
+            if node.sv == SV_ONE:
+                # Bottom-of-chain literal: its couple partner lives in the
+                # other operand — delegate to the generic expansion.  An
+                # incoming complement flips the terminal *before* the
+                # substitution, so it folds into the operator (updateop),
+                # never onto the result (that is only sound when the two
+                # residues are complements, i.e. the linear case).
+                if root_is_a:
+                    sub = flip_a(op) if attr else op
+                    result = apply_inner(node, other, sub)
+                else:
+                    sub = flip_b(op) if attr else op
+                    result = apply_inner(other, node, sub)
+                rpush(result)
+                continue
+            # In linear mode every frame carries attr == False (the root
+            # is a bare operand and all linear pushes below use False);
+            # complements are folded at the combine sites instead.
+            mk = node.uid if linear else (node.uid, attr)
+            hit = memo.get(mk)
+            if hit is not None:
+                rpush(hit)
+                continue
+            if linear:
+                if node.neq is node.eq:
+                    # Complement-pair children (e.g. any XOR chain): one
+                    # child visit suffices (the d-branch is its negation),
+                    # and because =-edges are regular the whole descent is
+                    # attribute-free — collect the run as a frame-free
+                    # trail and unwind it bottom-up.
+                    trail = [node]
+                    tappend = trail.append
+                    memo_get = memo.get
+                    nd = node.eq
+                    while True:
+                        if nd is sink or nd.sv == SV_ONE:
+                            break
+                        hit = memo_get(nd.uid)
+                        if hit is not None:
+                            break
+                        if nd.neq is not nd.eq:
+                            break
+                        tappend(nd)
+                        nd = nd.eq
+                    tpush((_UNWIND, trail, False))
+                    tpush((_CALL, nd, False))
+                else:
+                    tpush((_COMBINE, node, attr))
+                    tpush((_CALL, node.neq, False))
+                    tpush((_CALL, node.eq, False))
+            else:
+                tpush((_COMBINE, node, attr))
+                tpush((_CALL, node.neq, attr ^ node.neq_attr))
+                tpush((_CALL, node.eq, attr))
+        return results[-1]
 
     # Convenience edge-level operations used across the package.
 
@@ -399,39 +886,191 @@ class BBDDManager:
     # ------------------------------------------------------------------
     # memory management (Sec. IV-A3)
     # ------------------------------------------------------------------
+    #
+    # Reference counts are *cascading*: a live node holds one count on
+    # each child, a dead node holds none.  ``_ref_node`` therefore
+    # revives a dead subgraph (re-acquiring child counts) and
+    # ``_deref_node`` releases one (dropping them), keeping ``_dead``
+    # exact without any scan.
 
     def size(self) -> int:
         """Number of nodes currently stored (chain + literal, sink excluded)."""
         return self._node_count
 
     def dead_count(self) -> int:
+        """Number of stored nodes with zero references — O(1)."""
+        return len(self._dead_set)
+
+    def _scan_dead(self) -> int:
+        """O(n) recount of dead nodes (invariant checking / debugging)."""
         return sum(1 for n in self._unique.values() if n.ref == 0)
 
+    def _ref_node(self, node: BBDDNode) -> None:
+        """Acquire one reference.
+
+        A floating node (fresh, still holding its birth counts on the
+        children) resolves in O(1); a node that once died released its
+        child counts, so reviving it re-acquires the subgraph (cascade).
+        """
+        if node.ref < 0:
+            raise BBDDError(f"use after sweep: {node!r}")
+        if node.ref == 0 and node is not self.sink:
+            discard = self._dead_set.discard
+            discard(node)
+            node.ref = 1
+            if node.floating:
+                node.floating = False
+                return
+            sink = self.sink
+            stack = [node.neq, node.eq]
+            while stack:
+                n = stack.pop()
+                if n.ref == 0 and n is not sink:
+                    discard(n)
+                    n.ref = 1
+                    if n.floating:
+                        n.floating = False
+                    else:
+                        stack.append(n.neq)
+                        stack.append(n.eq)
+                else:
+                    n.ref += 1
+        else:
+            node.ref += 1
+
+    def _deref_node(self, node: BBDDNode) -> None:
+        """Release one reference; a dying node releases its children."""
+        node.ref -= 1
+        if node.ref == 0 and node is not self.sink:
+            add = self._dead_set.add
+            sink = self.sink
+            add(node)
+            stack = [node.neq, node.eq]
+            while stack:
+                n = stack.pop()
+                n.ref -= 1
+                if n.ref == 0 and n is not sink:
+                    add(n)
+                    stack.append(n.neq)
+                    stack.append(n.eq)
+
     def inc_ref(self, edge: Edge) -> None:
-        edge[0].ref += 1
+        self._ref_node(edge[0])
 
     def dec_ref(self, edge: Edge) -> None:
-        edge[0].ref -= 1
+        self._deref_node(edge[0])
+        self._maybe_gc()
+
+    def acquire_ref(self, node: BBDDNode) -> None:
+        """Function-handle hook: acquire one reference on ``node``."""
+        self._ref_node(node)
+
+    def release_ref(self, node: BBDDNode) -> None:
+        """Function-handle hook: drop one reference (mark-only).
+
+        Deliberately does **not** run the collector: handle releases can
+        fire at arbitrary points via Python's cyclic collector (e.g.
+        while a fresh, still-unreferenced result edge is being wrapped),
+        so ``__del__`` only accounts the garbage; the armed collection
+        runs at the next operation boundary, where results are protected.
+        """
+        self._deref_node(node)
+
+    def defer_gc(self) -> _GCDeferral:
+        """Suspend automatic GC for a block holding bare edges.
+
+        Re-entrant.  An armed collection does not run on exit (the block
+        may return bare edges); it happens at the next operation
+        boundary instead.  Use around any code that keeps unreferenced
+        ``(node, attr)`` tuples live across several manager operations.
+        """
+        return _GCDeferral(self)
+
+    def _gc_armed(self) -> bool:
+        return (
+            self._node_count >= self.gc_min_nodes
+            and len(self._dead_set) >= self._node_count * self.gc_threshold
+        )
+
+    def _maybe_gc(self) -> int:
+        """Run GC if automatic collection is armed and we are at a safe point."""
+        if not self.auto_gc or self._in_op or not self._gc_armed():
+            return 0
+        self.auto_gc_runs += 1
+        return self.gc()
+
+    def _maybe_gc_protect(self, edge: Edge) -> None:
+        """Auto-GC check that keeps ``edge`` (a fresh result) alive."""
+        if not self.auto_gc or self._in_op or not self._gc_armed():
+            return
+        node = edge[0]
+        self._ref_node(node)
+        try:
+            self.auto_gc_runs += 1
+            self.gc()
+        finally:
+            # Drop the protection without a death cascade: the node still
+            # holds its child counts, i.e. it goes back to floating.
+            node.ref -= 1
+            if node.ref == 0 and node is not self.sink:
+                node.floating = True
+                self._dead_set.add(node)
 
     def gc(self) -> int:
-        """Sweep unreferenced nodes (cascade) and clear the computed table.
+        """Sweep dead nodes and clear the computed table.
 
-        Returns the number of reclaimed nodes.  The computed table must be
-        cleared because its entries hold bare pointers that are only valid
-        while the pointed nodes stay canonical residents of the unique
-        table.
+        Returns the number of reclaimed nodes.  Dead nodes hold no child
+        references and are tracked in an explicit set (cascading counts),
+        so the sweep touches only the garbage — no unique-table scan.
+        The computed table must be cleared because its entries hold bare
+        pointers that are only valid while the pointed nodes stay
+        canonical residents of the unique table.
         """
         self._cache.clear()
-        dead = [n for n in list(self._unique.values()) if n.ref == 0]
+        dead = self._dead_set
+        raw = self._uniq_raw
+        delete = raw.__delitem__ if raw is not None else self._unique.delete
+        sink = self.sink
+        free = self._free_nodes
+        pool = free.append
         reclaimed = 0
-        for node in dead:
-            if node.ref == 0:
-                reclaimed += self._sweep(node)
+        while dead:
+            node = dead.pop()
+            node.ref = -1  # tombstone: catches use-after-sweep
+            delete(node.tkey)
+            reclaimed += 1
+            if node.sv == SV_ONE:
+                del self._literals[node.pv]
+                if node.floating:
+                    sink.ref -= 2
+                continue
+            self._by_pv[node.pv].discard(node)
+            self._by_sv[node.sv].discard(node)
+            if node.floating:
+                # Unacquired garbage still holds its birth counts on the
+                # children — release them; newly dead children join the
+                # set and are reclaimed by this same loop.
+                self._deref_node(node.neq)
+                self._deref_node(node.eq)
+            pool(node)
+        if len(free) > _FREE_POOL_CAP:
+            for node in free:
+                node.neq = node.eq = None
+                node.supp = 0
+                node.tkey = None
+            del free[_FREE_POOL_CAP:]
+        self._node_count -= reclaimed
         self.gc_count += 1
         return reclaimed
 
     def _sweep(self, node: BBDDNode) -> int:
-        """Reclaim ``node`` (ref == 0) and cascade into its children."""
+        """Reclaim the dead subgraph rooted at ``node`` (ref == 0).
+
+        Child references were already dropped when the nodes died, so
+        sweeping only removes the dead nodes from the tables (cascading
+        into dead children to reclaim whole subgraphs eagerly, which the
+        reordering surgery relies on).
+        """
         reclaimed = 0
         stack = [node]
         while stack:
@@ -439,18 +1078,22 @@ class BBDDManager:
             if n.ref != 0 or n.is_sink:
                 continue
             n.ref = -1  # tombstone: prevents double sweep
-            self._unique.delete(n.key())
+            self._unique.delete(n.tkey)
             self._node_count -= 1
+            self._dead_set.discard(n)
             if n.is_literal:
                 del self._literals[n.pv]
-                self.sink.ref -= 2
+                if n.floating:
+                    self.sink.ref -= 2
             else:
                 self._by_pv[n.pv].discard(n)
                 self._by_sv[n.sv].discard(n)
-                for child in (n.neq, n.eq):
-                    child.ref -= 1
-                    if child.ref == 0:
-                        stack.append(child)
+                if n.floating:
+                    # Unacquired garbage: release the birth counts first.
+                    self._deref_node(n.neq)
+                    self._deref_node(n.eq)
+                stack.append(n.neq)
+                stack.append(n.eq)
             reclaimed += 1
         return reclaimed
 
@@ -462,7 +1105,13 @@ class BBDDManager:
             "unique": self._unique.stats(),
             "computed": self._cache.stats(),
             "nodes": self._node_count,
+            "peak_nodes": self.peak_nodes,
+            "dead": len(self._dead_set),
             "gc_runs": self.gc_count,
+            "auto_gc_runs": self.auto_gc_runs,
+            "auto_gc": self.auto_gc,
+            "gc_threshold": self.gc_threshold,
+            "gc_min_nodes": self.gc_min_nodes,
         }
 
     # ------------------------------------------------------------------
@@ -514,8 +1163,10 @@ class BBDDManager:
         unique-table key consistency, R2 (no identical children), R4 (no
         chain node denoting a literal), ``=``-edge regularity (structural
         by construction, re-checked via key shape), CVO couple consistency,
-        strictly increasing child positions, literal node shape, and
-        non-negative reference counts.
+        strictly increasing child positions, literal node shape,
+        non-negative reference counts, cascading-count consistency (a live
+        node's children are live) and the exactness of the incremental
+        dead count.
         """
         from repro.core.exceptions import InvariantViolation
 
@@ -551,6 +1202,14 @@ class BBDDManager:
                     raise InvariantViolation(
                         f"child order violation: {node!r} -> {child!r}"
                     )
+                if (
+                    (node.ref > 0 or node.floating)
+                    and not child.is_sink
+                    and child.ref <= 0
+                ):
+                    raise InvariantViolation(
+                        f"held node with dead child: {node!r} -> {child!r}"
+                    )
             if (
                 node.neq.pv == node.sv
                 and node.eq.pv == node.sv
@@ -572,6 +1231,18 @@ class BBDDManager:
             )
             if node.supp != expected_supp:
                 raise InvariantViolation(f"support mask mismatch: {node!r}")
+        scanned_dead = self._scan_dead()
+        if scanned_dead != len(self._dead_set):
+            raise InvariantViolation(
+                f"incremental dead count {len(self._dead_set)} != scan "
+                f"{scanned_dead}"
+            )
+        for node in self._dead_set:
+            if node.ref != 0:
+                raise InvariantViolation(f"non-dead node in dead set: {node!r}")
+        for node in self._unique.values():
+            if node.floating and node.ref != 0:
+                raise InvariantViolation(f"floating node with refs: {node!r}")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -63,8 +63,10 @@ class BBDDNode:
         "neq_attr",
         "eq",
         "ref",
+        "floating",
         "uid",
         "supp",
+        "tkey",
         "__weakref__",
     )
 
@@ -83,11 +85,20 @@ class BBDDNode:
         self.neq_attr = neq_attr
         self.eq = eq
         self.ref = 0
+        # A *floating* node was created but never yet referenced: it holds
+        # one count on each child (from birth) although its own count is
+        # zero.  First acquisition clears the flag in O(1); death (a
+        # ref > 0 -> 0 transition) releases the child counts, so a node
+        # with ref == 0 and floating == False holds none.
+        self.floating = False
         self.uid = uid
         # Support bitmask over variable indices; maintained by the manager
         # (0 for the sink, 1 << pv for literals, the union + couple for
         # chain nodes).
         self.supp = 0 if pv == SINK_VAR else (1 << pv if pv >= 0 else 0)
+        # Materialized unique-table key (the tuple actually inserted);
+        # kept by the manager so sweeps need not rebuild it.
+        self.tkey = None
 
     # -- classification ------------------------------------------------------
 

@@ -24,7 +24,7 @@ from repro.core.node import SV_ONE
 class ChainVariableOrder:
     """Mutable variable order with CVO couple derivation."""
 
-    __slots__ = ("_order", "_position")
+    __slots__ = ("_order", "_position", "_misplaced")
 
     def __init__(self, order: Sequence[int]) -> None:
         self._order: List[int] = list(order)
@@ -32,9 +32,22 @@ class ChainVariableOrder:
         self._rebuild_positions()
         if len(self._position) != len(self._order):
             raise OrderError("variable order contains duplicates")
+        self._misplaced = sum(v != p for p, v in enumerate(self._order))
 
     def _rebuild_positions(self) -> None:
         self._position = {var: pos for pos, var in enumerate(self._order)}
+
+    @property
+    def is_identity(self) -> bool:
+        """True while position(v) == v for every variable.
+
+        While the order is the identity permutation, variable-index
+        comparisons on support masks are position comparisons — the
+        manager's terminal-substitution fast path keys on this.  Tracked
+        exactly (a misplaced-variable counter updated O(1) per swap), so
+        the flag recovers when reordering returns to the identity.
+        """
+        return self._misplaced == 0
 
     # -- queries ---------------------------------------------------------------
 
@@ -94,11 +107,18 @@ class ChainVariableOrder:
         self._order[position], self._order[position + 1] = b, a
         self._position[a] = position + 1
         self._position[b] = position
+        self._misplaced += (
+            (a != position + 1)
+            + (b != position)
+            - (a != position)
+            - (b != position + 1)
+        )
 
     def append(self, var: int) -> None:
         """Append a fresh variable at the bottom of the order."""
         if var in self._position:
             raise OrderError(f"variable {var} already in the order")
+        self._misplaced += var != len(self._order)
         self._position[var] = len(self._order)
         self._order.append(var)
 
@@ -108,6 +128,7 @@ class ChainVariableOrder:
             raise OrderError("new order must be a permutation of the variables")
         self._order = new
         self._rebuild_positions()
+        self._misplaced = sum(v != p for p, v in enumerate(new))
 
     def copy(self) -> "ChainVariableOrder":
         return ChainVariableOrder(self._order)

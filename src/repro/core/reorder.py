@@ -76,7 +76,16 @@ def _split(edge: Edge, var: int):
 
 
 def swap_adjacent(manager, k: int, stats: Optional[SwapStats] = None) -> None:
-    """Swap the variables at order positions ``k`` and ``k + 1`` in place."""
+    """Swap the variables at order positions ``k`` and ``k + 1`` in place.
+
+    The whole surgery runs with automatic GC deferred: plans hold bare
+    edges into the old structure, which a collection would invalidate.
+    """
+    with manager.defer_gc():
+        _swap_adjacent(manager, k, stats)
+
+
+def _swap_adjacent(manager, k: int, stats: Optional[SwapStats]) -> None:
     order = manager.order
     n = manager.num_vars
     if not 0 <= k < n - 1:
@@ -153,13 +162,20 @@ def swap_adjacent(manager, k: int, stats: Optional[SwapStats] = None) -> None:
     dead_candidates: List[BBDDNode] = []
 
     def overwrite(node: BBDDNode, sv: int, d: Edge, e: Edge) -> None:
-        """Re-point ``node`` at the canonical tuple (node.pv, sv, d, e)."""
+        """Re-point ``node`` at the canonical tuple (node.pv, sv, d, e).
+
+        Under cascading reference counts only a *live* node holds counts
+        on its children, so the child hand-over goes through the
+        manager's ref/deref hooks (reviving freshly built subtrees and
+        cascading releases into the orphaned old structure).
+        """
         dn, da = d
         en, ea = e
         if ea:
             raise BBDDError("CVO swap produced a complemented =-edge at a root")
         if dn is en and da == ea:
             raise BBDDError("CVO swap collapsed a chain node (R2)")
+        was_live = node.ref > 0
         old_children = (node.neq, node.eq)
         manager._by_sv[node.sv].discard(node)
         node.sv = sv
@@ -167,14 +183,17 @@ def swap_adjacent(manager, k: int, stats: Optional[SwapStats] = None) -> None:
         node.neq_attr = da
         node.eq = en
         node.supp = (1 << node.pv) | (1 << sv) | dn.supp | en.supp
-        dn.ref += 1
-        en.ref += 1
+        if was_live:
+            manager._ref_node(dn)
+            manager._ref_node(en)
         manager._by_sv[sv].add(node)
-        manager._unique.insert(node.key(), node)
-        for child in old_children:
-            child.ref -= 1
-            if child.ref == 0 and not child.is_sink:
-                dead_candidates.append(child)
+        node.tkey = node.key()
+        manager._unique.insert(node.tkey, node)
+        if was_live:
+            for child in old_children:
+                manager._deref_node(child)
+                if child.ref == 0 and not child.is_sink:
+                    dead_candidates.append(child)
         if stats:
             stats.nodes_rewritten += 1
 

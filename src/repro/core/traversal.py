@@ -8,7 +8,7 @@ leaves the variables at positions ``p+1 .. q-1`` unconstrained.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.node import SV_ONE, BBDDNode, Edge
 
@@ -60,16 +60,18 @@ def count_nodes(edges: Iterable[Edge]) -> int:
 
 
 def sat_count(manager, edge: Edge) -> int:
-    """Number of satisfying assignments over all manager variables."""
+    """Number of satisfying assignments over all manager variables.
+
+    Iterative post-order with memoization, so arbitrarily deep chains
+    count without touching the Python recursion limit.
+    """
     n = manager.num_vars
     order = manager.order
     memo: Dict[BBDDNode, int] = {}
 
-    def node_count(node: BBDDNode) -> int:
-        """Count over the variables at positions >= position(node)."""
-        cached = memo.get(node)
-        if cached is not None:
-            return cached
+    def compute(node: BBDDNode) -> int:
+        """Count over the variables at positions >= position(node);
+        requires both non-sink children to be memoized already."""
         p = order.position(node.pv)
         span = n - p
         if node.sv == SV_ONE:
@@ -85,50 +87,119 @@ def sat_count(manager, edge: Edge) -> int:
                     sub = 0 if attr else (1 << (n - q_sv))
                 else:
                     q = order.position(child.pv)
-                    sub = node_count(child)
+                    sub = memo[child]
                     if attr:
                         sub = (1 << (n - q)) - sub
                     sub <<= q - q_sv
                 result += sub
             result <<= q_sv - (p + 1)
-        memo[node] = result
         return result
 
     node, attr = edge
     if node.is_sink:
-        total = 0 if attr else (1 << n)
-        return total
+        return 0 if attr else (1 << n)
+    stack: List[BBDDNode] = [node]
+    while stack:
+        top = stack[-1]
+        if top in memo:
+            stack.pop()
+            continue
+        pending = [
+            c
+            for c in (top.neq, top.eq)
+            if not c.is_sink and c not in memo
+        ]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        memo[top] = compute(top)
     p = order.position(node.pv)
-    count = node_count(node)
+    count = memo[node]
     if attr:
         count = (1 << (n - p)) - count
     return count << p
 
 
-def iter_paths(manager, edge: Edge) -> Iterator[Tuple[Dict[int, str], bool]]:
+def iter_paths(
+    manager, edge: Edge
+) -> Iterator[Tuple[Dict[int, Tuple[str, Optional[int]]], bool]]:
     """Yield ``(constraints, value)`` for every root-to-sink path.
 
-    ``constraints`` maps each couple's PV to ``"=="``/``"!="`` (chain
-    nodes) or ``"1"``/``"0"`` (literal nodes); ``value`` is the sink value
-    after complement attributes.  Used by the DOT/report tooling and by
-    tests that cross-check path semantics.
+    ``constraints`` maps each couple's PV to ``(rel, sv)``: ``rel`` is
+    ``"=="``/``"!="`` for chain nodes (with ``sv`` the couple partner
+    *actually on the path* — under the support-chained CVO this is the
+    function's next support variable, not necessarily the global order's
+    neighbour) or ``"1"``/``"0"`` for literal nodes (``sv`` is None).
+    ``value`` is the sink value after complement attributes.  Iterative
+    (explicit DFS stack), so arbitrarily deep chains enumerate without
+    touching the Python recursion limit.
     """
-
-    def walk(node: BBDDNode, attr: bool, constraints: Dict[int, str]):
+    stack: List[Tuple[BBDDNode, bool, dict]] = [(edge[0], edge[1], {})]
+    while stack:
+        node, attr, constraints = stack.pop()
         if node.is_sink:
-            yield dict(constraints), not attr
-            return
+            yield constraints, not attr
+            continue
         if node.sv == SV_ONE:
-            branches = ((node.neq, attr ^ node.neq_attr, "0"), (node.eq, attr, "1"))
+            branches = (
+                (node.neq, attr ^ node.neq_attr, ("0", None)),
+                (node.eq, attr, ("1", None)),
+            )
         else:
-            branches = ((node.neq, attr ^ node.neq_attr, "!="), (node.eq, attr, "=="))
-        for child, child_attr, label in branches:
-            constraints[node.pv] = label
-            yield from walk(child, child_attr, constraints)
-            del constraints[node.pv]
+            branches = (
+                (node.neq, attr ^ node.neq_attr, ("!=", node.sv)),
+                (node.eq, attr, ("==", node.sv)),
+            )
+        # Push the =-branch first so the !=-branch is explored first,
+        # matching the historical (recursive) enumeration order.
+        for child, child_attr, label in reversed(branches):
+            extended = dict(constraints)
+            extended[node.pv] = label
+            stack.append((child, child_attr, extended))
 
+
+def find_sat_path(manager, edge: Edge, want: bool = True) -> Optional[List[tuple]]:
+    """One root-to-sink path on which the function evaluates to ``want``.
+
+    Returns the path as ``(pv, sv, rel)`` triples (root first) with
+    ``rel`` in ``{"0", "1", "==", "!="}`` and ``sv`` the couple partner on
+    the path (None for literal nodes), or None when no such path exists.
+
+    Runs in O(depth): every internal node of a canonical BBDD denotes a
+    non-constant function, so descending into *any* non-sink child keeps
+    both outcomes reachable; only sink children need their parity checked.
+    """
     node, attr = edge
-    yield from walk(node, attr, {})
+    if node.is_sink:
+        return [] if (not attr) == want else None
+    path: List[tuple] = []
+    while True:
+        if node.sv == SV_ONE:
+            branches = (
+                (node.neq, attr ^ node.neq_attr, "0", None),
+                (node.eq, attr, "1", None),
+            )
+        else:
+            branches = (
+                (node.neq, attr ^ node.neq_attr, "!=", node.sv),
+                (node.eq, attr, "==", node.sv),
+            )
+        descend = None
+        for child, child_attr, rel, sv in branches:
+            if child.is_sink:
+                if (not child_attr) == want:
+                    path.append((node.pv, sv, rel))
+                    return path
+            elif descend is None:
+                descend = (child, child_attr, rel, sv)
+        if descend is None:
+            # Both children are sinks of the wrong parity — impossible for
+            # a canonical (non-constant) node; defensive for corrupt DAGs.
+            return None
+        child, attr, rel, sv = descend
+        path.append((node.pv, sv, rel))
+        node = child
 
 
 def truth_table_mask(manager, edge: Edge, variables: Sequence[int]) -> int:

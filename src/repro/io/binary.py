@@ -174,5 +174,8 @@ def _load_file(fileobj, manager, rename: Rename):
         header = reader.header
         manager = BBDDManager([rename_fn(name) for name in header.names])
         manager.order.set_order(list(header.order))
-    _rebuilder, roots = reader.load_into(manager, rename=rename)
-    return manager, {name: Function(manager, edge) for edge, name in roots}
+    # Replay and root wrapping share one GC deferral: replayed nodes are
+    # held as bare edges until the Function handles reference them.
+    with manager.defer_gc():
+        _rebuilder, roots = reader.load_into(manager, rename=rename)
+        return manager, {name: Function(manager, edge) for edge, name in roots}

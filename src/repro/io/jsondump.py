@@ -89,6 +89,11 @@ def from_dict(
         manager = BBDDManager([rename_fn(name) for name in ordered_names])
     rebuilder = ForestRebuilder(manager, ordered_names, rename=rename)
     position_of = {name: pos for pos, name in enumerate(ordered_names)}
+    with manager.defer_gc():
+        return _replay(rebuilder, manager, data, position_of)
+
+
+def _replay(rebuilder, manager, data, position_of):
 
     def position_for(name):
         try:

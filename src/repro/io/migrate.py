@@ -168,34 +168,52 @@ class Migrator:
 
     def edge(self, edge: Edge) -> Edge:
         node, attr = edge
-        copied, base_attr = self._copy(node)
+        # The memo and the copies are bare edges in ``dst``; keep its
+        # automatic GC out of the way while the copy is in flight.
+        with self.dst.defer_gc():
+            copied, base_attr = self._copy(node)
         return (copied, base_attr ^ attr)
 
     def function(self, f: Function) -> Function:
         if f.manager is not self.src:
             raise BBDDError("function does not belong to the source manager")
-        return Function(self.dst, self.edge(f.edge))
+        with self.dst.defer_gc():
+            return Function(self.dst, self.edge(f.edge))
 
     def _copy(self, node: BBDDNode) -> Edge:
+        """Copy ``node`` into ``dst`` (iterative post-order, deep-safe)."""
         if node.is_sink:
             return (self.dst.sink, False)
-        cached = self._memo.get(node)
-        if cached is not None:
-            return cached
-        position = self.src.order.position(node.pv)
-        if node.sv == SV_ONE:
-            result = self._rebuilder.make_literal(position)
-        else:
-            dn, da = self._copy(node.neq)
-            e = self._copy(node.eq)
-            result = self._rebuilder.make_chain(
-                position,
-                self.src.order.position(node.sv),
-                (dn, da ^ node.neq_attr),
+        memo = self._memo
+        position = self.src.order.position
+        stack: List[BBDDNode] = [node]
+        while stack:
+            top = stack[-1]
+            if top in memo:
+                stack.pop()
+                continue
+            if top.sv == SV_ONE:
+                memo[top] = self._rebuilder.make_literal(position(top.pv))
+                stack.pop()
+                continue
+            pending = [
+                c for c in (top.neq, top.eq) if not c.is_sink and c not in memo
+            ]
+            if pending:
+                stack.extend(pending)
+                continue
+            stack.pop()
+            dn, da = (
+                (self.dst.sink, False) if top.neq.is_sink else memo[top.neq]
+            )
+            e = (self.dst.sink, False) if top.eq.is_sink else memo[top.eq]
+            memo[top] = self._rebuilder.make_chain(
+                position(top.pv),
+                position(top.sv),
+                (dn, da ^ top.neq_attr),
                 e,
             )
-        self._memo[node] = result
-        return result
+        return memo[node]
 
 
 def migrate(functions, dst, rename: Rename = None):

@@ -174,12 +174,15 @@ class LevelStreamReader:
         rebuilder = ForestRebuilder(
             manager, self.header.ordered_names(), rename=rename
         )
-        for position, records in self.iter_levels():
-            for sv_delta, neq_ref, eq_ref in records:
-                rebuilder.add_record(position, sv_delta, neq_ref, eq_ref)
-        roots = [
-            (rebuilder.edge_for(ref), name) for ref, name in self.read_roots()
-        ]
+        # The rebuilder's replay table holds bare edges; defer automatic
+        # GC until the caller has wrapped (or referenced) the roots.
+        with manager.defer_gc():
+            for position, records in self.iter_levels():
+                for sv_delta, neq_ref, eq_ref in records:
+                    rebuilder.add_record(position, sv_delta, neq_ref, eq_ref)
+            roots = [
+                (rebuilder.edge_for(ref), name) for ref, name in self.read_roots()
+            ]
         return rebuilder, roots
 
 

@@ -24,7 +24,16 @@ _GATE_TO_OP = {
 
 
 def _build(manager, network, make_manager_edge) -> Dict[str, object]:
-    """Shared builder core: fold every gate through ``apply_edges``."""
+    """Shared builder core: fold every gate through ``apply_edges``.
+
+    Signal edges are held bare across the whole bottom-up pass, so
+    automatic GC is deferred until the outputs are wrapped in handles.
+    """
+    with manager.defer_gc():
+        return _build_deferred(manager, network, make_manager_edge)
+
+
+def _build_deferred(manager, network, make_manager_edge) -> Dict[str, object]:
     edges: Dict[str, tuple] = {}
     for j, name in enumerate(network.inputs):
         edges[name] = manager.literal_edge(j)

@@ -1,0 +1,342 @@
+"""Iterative engine + automatic GC: deep chains, dead counting, native ops.
+
+These tests pin the PR-2 tentpole guarantees:
+
+* the whole operation engine (apply, derived ops, traversals) is
+  iterative — deep chains work under a *lowered* Python recursion limit,
+  and no ``sys.setrecursionlimit`` call remains under ``src/``;
+* automatic garbage collection keeps incremental chain builds bounded
+  (peak stored nodes stays within a small multiple of the result size);
+* the dead-node count is maintained incrementally (O(1) ``dead_count``)
+  and stays exact through apply/GC/reordering;
+* ``sat_one`` resolves couple constraints against the partner actually
+  on the path (the sparse-support bugfix) and ``evaluate`` rejects
+  assignments that miss support variables.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+from repro.core import BBDDManager
+from repro.core.exceptions import VariableError
+from repro.core.reorder import from_truth_table, reorder_to
+from repro.core.truthtable import TruthTable
+
+
+@pytest.fixture
+def low_recursion_limit():
+    """Clamp the recursion limit to prove no operation recurses on depth."""
+    old = sys.getrecursionlimit()
+    sys.setrecursionlimit(5_000)
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(old)
+
+
+def _parity_chain(manager, n):
+    f = manager.var(0)
+    for i in range(1, n):
+        f = f ^ manager.var(i)
+    return f
+
+
+# ---------------------------------------------------------------------------
+# deep-chain regression: iterative engine + auto-GC ceiling
+# ---------------------------------------------------------------------------
+
+
+def test_parity_2000_chain_under_low_recursion_limit(low_recursion_limit):
+    n = 2000
+    m = BBDDManager(n)
+    f = _parity_chain(m, n)
+    final = f.node_count()
+    assert final == n // 2
+    # Auto-GC must have reclaimed the dead intermediates: the manager
+    # never held anywhere near the ~n^2/4 nodes the build creates.
+    assert m.peak_nodes < 5 * final
+    assert m.size() < 5 * final
+    assert m.auto_gc_runs > 0
+    # Deep traversals are iterative too.
+    assert f.sat_count() == 1 << (n - 1)
+    witness = f.sat_one()
+    assert f.evaluate(witness)
+    m.check_invariants()
+
+
+def test_deep_derived_ops_are_iterative(low_recursion_limit):
+    n = 2000
+    m = BBDDManager(n)
+    f = _parity_chain(m, n)
+    # restrict: parity | x0=1 == complement of parity over the rest.
+    r = f.restrict(0, True)
+    rest = _parity_chain_from(m, 1, n)
+    assert r == ~rest
+    # compose x0 <- x1 makes the first couple cancel.
+    c = f.compose(0, m.var(1))
+    assert c == _parity_chain_from(m, 2, n)
+    # quantification: parity has both cofactors satisfiable everywhere.
+    assert f.exists([0, 1]).is_true
+    assert f.forall([0]).is_false
+    # ite over deep operands.
+    g = f.ite(m.true(), m.false())
+    assert g == f
+    m.check_invariants()
+
+
+def _parity_chain_from(manager, start, n):
+    f = manager.var(start)
+    for i in range(start + 1, n):
+        f = f ^ manager.var(i)
+    return f
+
+
+def test_no_recursion_limit_hack_left_in_src():
+    src = pathlib.Path(__file__).resolve().parent.parent / "src"
+    offenders = [
+        p
+        for p in src.rglob("*.py")
+        if "setrecursionlimit" in p.read_text(encoding="utf-8")
+    ]
+    assert offenders == []
+
+
+# ---------------------------------------------------------------------------
+# automatic GC and incremental dead counting
+# ---------------------------------------------------------------------------
+
+
+def test_dead_count_is_incremental_and_exact():
+    m = BBDDManager(8)
+    fs = [
+        m.function(from_truth_table(m, mask))
+        for mask in (0xDEAD_BEEF, 0x1234_5678, 0x0F0F_F0F0)
+    ]
+    assert m.dead_count() == m._scan_dead()
+    del fs[1]
+    assert m.dead_count() == m._scan_dead()
+    assert m.dead_count() > 0  # the dropped handle cascaded
+    reclaimed = m.gc()
+    assert reclaimed > 0
+    assert m.dead_count() == 0 == m._scan_dead()
+    m.check_invariants()
+
+
+def test_auto_gc_triggers_on_threshold():
+    m = BBDDManager(64, gc_min_nodes=64, gc_threshold=0.25)
+    f = m.var(0)
+    for i in range(1, 64):
+        f = f ^ m.var(i)
+        f = f | (m.var(i - 1) & m.var(i))
+    assert m.auto_gc_runs > 0
+    assert m.dead_count() <= max(m.gc_min_nodes, m.size())
+    m.check_invariants()
+
+
+def test_auto_gc_disabled_accumulates_dead():
+    m = BBDDManager(64, auto_gc=False, gc_min_nodes=1)
+    f = m.var(0)
+    for i in range(1, 64):
+        f = f ^ m.var(i)
+    assert m.auto_gc_runs == 0
+    assert m.dead_count() > 0  # intermediates were never reclaimed
+    assert m.dead_count() == m._scan_dead()
+    m.check_invariants()
+
+
+def test_defer_gc_blocks_collection_and_exit_keeps_bare_edges():
+    m = BBDDManager(32, gc_min_nodes=1, gc_threshold=0.01)
+    with m.defer_gc():
+        acc = m.literal_edge(0)
+        for i in range(1, 32):
+            acc = m.xor_edges(acc, m.literal_edge(i))
+        assert m.auto_gc_runs == 0
+    # Exiting must NOT collect (the bare result would be swept before the
+    # caller can reference it); the armed collection runs at the next
+    # operation boundary instead.
+    assert acc[0].ref >= 0
+    f = m.function(acc)
+    _g = f & m.var(0)  # next op: collection may now run, f is protected
+    assert f.evaluate({m.var_name(i): i == 0 for i in range(32)})
+    m.check_invariants()
+
+
+def test_identity_flag_recovers_after_swap_back():
+    from repro.core.reorder import swap_adjacent
+
+    m = BBDDManager(6)
+    _f = m.var(0) ^ m.var(3)
+    assert m.order.is_identity
+    swap_adjacent(m, 1)
+    assert not m.order.is_identity
+    swap_adjacent(m, 1)
+    # The misplaced-variable counter restores the flag exactly, so the
+    # terminal-substitution fast path re-enables after a round trip.
+    assert m.order.is_identity
+
+
+def test_migrate_deep_chain_is_iterative(low_recursion_limit):
+    from repro.io.migrate import migrate
+
+    n = 2000
+    src = BBDDManager(n)
+    f = _parity_chain(src, n)
+    dst = BBDDManager(n)
+    moved = migrate(f, dst)
+    assert moved.node_count() == n // 2
+    assert moved.sat_count() == 1 << (n - 1)
+    dst.check_invariants()
+
+
+def test_table_stats_exposes_gc_fields():
+    m = BBDDManager(8)
+    _f = m.var(0) & m.var(3)
+    stats = m.table_stats()
+    for field in ("dead", "peak_nodes", "gc_runs", "auto_gc_runs", "gc_threshold"):
+        assert field in stats
+    assert stats["dead"] == m.dead_count()
+
+
+def test_dead_count_exact_after_reorder():
+    m = BBDDManager(5)
+    f = m.function(from_truth_table(m, 0b_1001_0110_0101_1010_1100_0011_1111_0000))
+    g = m.var(0) & m.var(3)
+    del g
+    reorder_to(m, [4, 2, 0, 3, 1])
+    assert m.dead_count() == m._scan_dead()
+    m.check_invariants()
+    assert f.node_count() > 0
+
+
+# ---------------------------------------------------------------------------
+# sat_one sparse-support bugfix + evaluate support checking
+# ---------------------------------------------------------------------------
+
+
+def test_sat_one_sparse_support_issue_repro():
+    # The exact repro from the issue: support {x0, x2, x4} skips every
+    # other variable, so the old resolution against the *global* couple
+    # partner produced an unsatisfying assignment.
+    m = BBDDManager(6)
+    f = m.var(0) & ~m.var(2) & m.var(4)
+    witness = f.sat_one()
+    assert witness is not None
+    assert f.evaluate(witness)
+    assert witness["x0"] is True
+    assert witness["x2"] is False
+    assert witness["x4"] is True
+
+
+def test_sat_one_covers_support_and_satisfies():
+    m = BBDDManager(7)
+    cases = [
+        m.var(1) ^ m.var(5),
+        (m.var(0) & m.var(3)) | m.var(6),
+        (m.var(2) | ~m.var(4)) & (m.var(0) ^ m.var(6)),
+        ~m.var(1) & ~m.var(3) & ~m.var(5),
+    ]
+    for f in cases:
+        witness = f.sat_one()
+        assert witness is not None
+        # The witness names every support variable, so evaluate's strict
+        # support check passes and the function is satisfied.
+        assert set(witness) >= f.support()
+        assert f.evaluate(witness)
+
+
+def test_sat_one_unsat_and_constants():
+    m = BBDDManager(4)
+    assert m.false().sat_one() is None
+    assert m.true().sat_one() == {}
+    f = m.var(1) & ~m.var(1)
+    assert f.sat_one() is None
+
+
+def test_evaluate_raises_on_missing_support_variable():
+    m = BBDDManager(6)
+    f = m.var(0) & ~m.var(2) & m.var(4)
+    with pytest.raises(VariableError, match="x2"):
+        f.evaluate({"x0": 1, "x4": 1})
+    # Non-support variables may be omitted freely...
+    assert f.evaluate({"x0": 1, "x2": 0, "x4": 1})
+    # ...and supplying them is also fine.
+    assert not f.evaluate({"x0": 1, "x1": 1, "x2": 1, "x3": 0, "x4": 1, "x5": 1})
+
+
+def test_evaluate_constant_needs_no_assignment():
+    m = BBDDManager(3)
+    assert m.true().evaluate({})
+    assert not m.false().evaluate({})
+
+
+# ---------------------------------------------------------------------------
+# terminal-substitution fast path (disjoint-ordered operand supports)
+# ---------------------------------------------------------------------------
+
+
+def test_disjoint_support_operands_all_ops_exhaustive():
+    """Operands with f's support strictly above g's hit the splice fast
+    path; sweep every operand pair x all 16 operators against the
+    truth-table oracle, including complemented edges into the bottom
+    literal (where the complement must fold into the operator)."""
+    from repro.core.operations import ALL_OPS, op_name
+
+    n = 4
+    for fa_mask in range(1, 16):  # f over (x0, x1)
+        for gb_mask in range(1, 16):  # g over (x2, x3)
+            ma = mb = 0
+            for i in range(16):
+                if (fa_mask >> (i & 3)) & 1:
+                    ma |= 1 << i
+                if (gb_mask >> ((i >> 2) & 3)) & 1:
+                    mb |= 1 << i
+            m = BBDDManager(n)
+            f = m.function(from_truth_table(m, ma))
+            g = m.function(from_truth_table(m, mb))
+            want_f = TruthTable(n, ma)
+            want_g = TruthTable(n, mb)
+            for op in ALL_OPS:
+                got = f.apply(g, op)
+                want = want_f.apply(want_g, op)
+                assert got.truth_mask(range(n)) == want.mask, (
+                    f"{op_name(op)} on f={fa_mask:04b}, g={gb_mask:04b}"
+                )
+                # Canonicity of the spliced result.
+                assert got == m.function(from_truth_table(m, want.mask))
+            m.check_invariants()
+
+
+def test_disjoint_support_other_direction_and_deep():
+    # g's support strictly above f's (direction B of the fast path).
+    m = BBDDManager(6)
+    f = m.var(4) & ~m.var(5)
+    g = (m.var(0) ^ m.var(1)) | m.var(2)
+    got = g & f
+    want = TruthTable(6, g.truth_mask(range(6)) & f.truth_mask(range(6)))
+    assert got.truth_mask(range(6)) == want.mask
+
+
+# ---------------------------------------------------------------------------
+# engine semantics stay canonical through GC churn
+# ---------------------------------------------------------------------------
+
+
+def test_gc_churn_preserves_semantics_and_canonicity():
+    n = 5
+    m = BBDDManager(n, gc_min_nodes=1, gc_threshold=0.05)
+    mask_a = 0b_1110_0101_1010_0110_0011_1100_0101_1001
+    mask_b = 0b_0101_0101_1111_0000_1100_0011_1010_1010
+    fa = m.function(from_truth_table(m, mask_a))
+    fb = m.function(from_truth_table(m, mask_b))
+    for _ in range(10):
+        tmp = (fa & fb) ^ (fa | ~fb)
+        del tmp
+    got = (fa ^ fb).truth_mask(range(n))
+    want = TruthTable(n, mask_a).apply(TruthTable(n, mask_b), 0b0110).mask
+    assert got == want
+    # Canonicity: rebuilding the same function hits the same edge.
+    rebuilt = m.function(from_truth_table(m, mask_a))
+    assert rebuilt == fa
+    m.check_invariants()
