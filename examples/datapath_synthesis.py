@@ -4,14 +4,19 @@ Synthesizes a magnitude comparator and an adder with both flows — the
 conventional (commercial-substitute) flow and the BBDD front-end flow —
 and prints the area/delay/gate-count comparison.
 
-Run:  python examples/datapath_synthesis.py
+Run:  python examples/datapath_synthesis.py  (REPRO_BACKEND=bdd drives the
+front end through the baseline package via the same protocol)
 """
+
+import os
 
 from repro.circuits import datapath
 from repro.core.verilog_out import bbdd_to_verilog
-from repro.network.build import build_bbdd
+from repro.network.build import build
 from repro.synth.flow import baseline_flow, bbdd_flow, datapath_order
 from repro.synth.library import default_library
+
+BACKEND = os.environ.get("REPRO_BACKEND", "bbdd")
 
 
 def main() -> None:
@@ -24,7 +29,7 @@ def main() -> None:
     for rtl in (datapath.magnitude_dp(16), datapath.adder(16)):
         print(f"\n=== {rtl.name} ({rtl.num_inputs} inputs) ===")
         base = baseline_flow(rtl, library)
-        bb = bbdd_flow(rtl, library)
+        bb = bbdd_flow(rtl, library, backend=BACKEND)
         print(
             f"commercial flow : {base.area:7.2f} um2  {base.delay_ns:6.3f} ns  "
             f"{base.gate_count:4d} gates  (equivalent: {base.equivalent})"
@@ -42,12 +47,13 @@ def main() -> None:
         print("BBDD netlist cells:", bb.netlist.histogram())
 
     # The package's Verilog output (what the commercial tool would consume).
-    small = datapath.magnitude_dp(4)
-    ordered = small.copy()
-    ordered.inputs = datapath_order(small.inputs)
-    manager, functions = build_bbdd(ordered)
-    print("\nBBDD-rewritten Verilog for a 4-bit magnitude comparator:")
-    print(bbdd_to_verilog(manager, functions, module_name="magnitude4"))
+    if BACKEND == "bbdd":
+        small = datapath.magnitude_dp(4)
+        ordered = small.copy()
+        ordered.inputs = datapath_order(small.inputs)
+        manager, functions = build(ordered, backend=BACKEND)
+        print("\nBBDD-rewritten Verilog for a 4-bit magnitude comparator:")
+        print(bbdd_to_verilog(manager, functions, module_name="magnitude4"))
 
 
 if __name__ == "__main__":

@@ -1,16 +1,21 @@
-"""Combinational equivalence checking with BBDD canonicity.
+"""Combinational equivalence checking with decision-diagram canonicity.
 
 Two structurally different adder implementations (ripple-carry vs. a
 carry-select-style rewrite) are read as networks, built into one shared
-BBDD manager, and compared output by output — equivalence is a pointer
-comparison thanks to the strong canonical form.
+manager through the backend-agnostic repro.api protocol, and compared
+output by output — equivalence is a pointer comparison thanks to the
+strong canonical form, on either backend.
 
-Run:  python examples/equivalence_checking.py
+Run:  python examples/equivalence_checking.py   (REPRO_BACKEND=bdd to switch)
 """
 
+import os
+
 from repro.circuits import arith
-from repro.network.build import build_bbdd
+from repro.network.build import build
 from repro.network.network import LogicNetwork
+
+BACKEND = os.environ.get("REPRO_BACKEND", "bbdd")
 
 
 def ripple_adder(width: int) -> LogicNetwork:
@@ -64,8 +69,8 @@ def buggy_adder(width: int) -> LogicNetwork:
 
 
 def check(golden: LogicNetwork, candidate: LogicNetwork) -> None:
-    manager, golden_fns = build_bbdd(golden)
-    _, candidate_fns = build_bbdd(candidate, manager=manager)
+    manager, golden_fns = build(golden, backend=BACKEND)
+    _, candidate_fns = build(candidate, manager=manager)
     mismatches = []
     for name, f in golden_fns.items():
         if not f.equivalent(candidate_fns[name]):

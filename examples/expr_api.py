@@ -1,0 +1,53 @@
+"""The unified expression API: parse, quantify, substitute, switch backends.
+
+Run:  python examples/expr_api.py           (REPRO_BACKEND=bdd to switch)
+"""
+
+import os
+
+import repro
+
+
+def main() -> None:
+    backend = os.environ.get("REPRO_BACKEND", "bbdd")
+    manager = repro.open(backend, vars=["a", "b", "c", "d"])
+    print(f"backend: {manager.backend}  (registered: {', '.join(repro.backends())})")
+
+    # Parse the whole grammar: & | ^ ~ -> <-> ite(f,g,h) TRUE FALSE.
+    f = manager.add_expr("(a ^ b) | (c & d)")
+    g = manager.add_expr("a -> b <-> ~a | b")  # a tautology
+    print("f =", f.to_expr(), "| sat_count:", f.sat_count())
+    print("implication/iff tautology:", g.is_true)
+
+    # Quantifiers scope to the end of the expression.
+    h = manager.add_expr("\\E c, d: (a ^ b) | (c & d)")
+    print("\\E c, d: f =", h.to_expr())
+    print("\\A a: a | b =", manager.add_expr("\\A a: a | b").to_expr())
+
+    # let: simultaneous substitution — rename, restrict, compose at once.
+    swapped = f.let({"a": "b", "b": "a"})  # rename (swap, simultaneously)
+    print("f with a<->b swapped:", swapped == f, "(symmetric in a, b)")
+    print("f with d := 1:", f.let({"d": True}).to_expr())
+    print("f with c := a ^ d:", f.let({"c": manager.add_expr("a ^ d")}).to_expr())
+
+    # Canonicity makes the round trip a pointer comparison.
+    assert manager.add_expr(f.to_expr()) == f
+    print("add_expr(f.to_expr()) == f: True (pointer comparison)")
+
+    # The identical program runs on the other backend.
+    other = repro.open("bdd" if backend == "bbdd" else "bbdd", vars=["a", "b", "c", "d"])
+    f2 = other.add_expr("(a ^ b) | (c & d)")
+    print(
+        f"same expression on {other.backend}: sat_count {f2.sat_count()}, "
+        f"{f.node_count()} vs {f2.node_count()} nodes"
+    )
+
+    # ...and forests migrate across backends, re-canonicalized on the fly.
+    from repro.io import migrate
+
+    moved = migrate(f, other)
+    print("migrated across backends, still equal:", moved == f2)
+
+
+if __name__ == "__main__":
+    main()

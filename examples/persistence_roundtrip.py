@@ -1,25 +1,32 @@
-"""Persistence round trip: dump, scan, reload, migrate.
+"""Persistence round trip: dump, scan, reload, migrate — on any backend.
 
-Run:  python examples/persistence_roundtrip.py
+Both backends share the levelized binary container (BBDD couple records
+vs. BDD Shannon records, told apart by a header flag), and migration
+works across backends through the repro.api protocol.
+
+Run:  python examples/persistence_roundtrip.py  (REPRO_BACKEND=bdd to switch)
 """
 
 import os
 import tempfile
 
-from repro import BBDDManager
+import repro
 from repro import io as rio
 
 
 def main() -> None:
-    # Build a small shared forest: a comparator slice and a majority vote.
-    manager = BBDDManager(["a", "b", "c", "d"])
-    a, b, c, d = manager.variables()
-    equal = a.xnor(b) & c.xnor(d)
-    majority = (a & b) | (a & c) | (b & c)
+    backend = os.environ.get("REPRO_BACKEND", "bbdd")
+    loader = rio.load if backend == "bbdd" else rio.load_bdd
 
-    path = os.path.join(tempfile.mkdtemp(), "forest.bbdd")
+    # Build a small shared forest: a comparator slice and a majority vote.
+    manager = repro.open(backend, vars=["a", "b", "c", "d"])
+    equal = manager.add_expr("(a <-> b) & (c <-> d)")
+    majority = manager.add_expr("(a & b) | (a & c) | (b & c)")
+
+    suffix = ".bbdd" if backend == "bbdd" else ".bdd"
+    path = os.path.join(tempfile.mkdtemp(), "forest" + suffix)
     manager.dump({"equal": equal, "majority": majority}, path)
-    print(f"dumped to {path} ({os.path.getsize(path)} bytes)")
+    print(f"[{backend}] dumped to {path} ({os.path.getsize(path)} bytes)")
 
     # The header alone tells you what is inside — no node decoding.
     info = rio.scan(path)
@@ -27,28 +34,35 @@ def main() -> None:
 
     # Reload into a fresh manager (same variables, same order): the
     # canonical forest comes back node for node.
-    fresh, funcs = rio.load(path)
+    fresh, funcs = loader(path)
     print("fresh reload:", {n: f.node_count() for n, f in funcs.items()})
     order = ["a", "b", "c", "d"]
     assert funcs["equal"].truth_mask(order) == equal.truth_mask(order)
 
     # Reload under a *different* variable order, into a manager that also
     # holds unrelated variables: records are re-reduced on the fly.
-    other = BBDDManager(["d", "spare", "c", "b", "a"])
+    other = repro.open(backend, vars=["d", "spare", "c", "b", "a"])
     moved = other.load(path)
     assert moved["majority"].truth_mask(order) == majority.truth_mask(order)
     print("permuted+superset reload ok:", other.current_order())
 
     # Live migration (no file in between), with variable renaming.
-    target = BBDDManager(["p", "q", "r", "s"])
+    target = repro.open(backend, vars=["p", "q", "r", "s"])
     renamed = rio.migrate(
         {"equal": equal}, target, rename={"a": "p", "b": "q", "c": "r", "d": "s"}
     )
     print("migrated under rename:", renamed["equal"])
 
+    # Migration also crosses backends (re-canonicalized via the protocol).
+    cross = repro.open("bdd" if backend == "bbdd" else "bbdd", vars=order)
+    crossed = rio.migrate({"equal": equal}, cross)
+    assert crossed["equal"].truth_mask(order) == equal.truth_mask(order)
+    print(f"cross-backend migration -> {cross.backend} ok")
+
     # JSON interchange for debugging — print it, diff it, grep it.
-    doc = rio.to_dict(manager, {"equal": equal})
-    print("json nodes:", doc["nodes"])
+    if backend == "bbdd":
+        doc = rio.to_dict(manager, {"equal": equal})
+        print("json nodes:", doc["nodes"])
 
 
 if __name__ == "__main__":

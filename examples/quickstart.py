@@ -1,49 +1,57 @@
-"""Quickstart: building and manipulating BBDDs.
+"""Quickstart: the unified repro.open front end.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py        (REPRO_BACKEND=bdd to switch)
 """
 
-from repro import BBDDManager
-from repro.core.dot import to_dot
+import os
+
+import repro
 
 
 def main() -> None:
-    # A manager owns the variables, the unique/computed tables and the
-    # chain variable order (CVO).
-    manager = BBDDManager(["a", "b", "c", "d"])
+    # repro.open returns a manager for any registered backend — "bbdd"
+    # (the paper's package) or "bdd" (the CUDD comparator substitute) —
+    # with one identical API behind it.
+    backend = os.environ.get("REPRO_BACKEND", "bbdd")
+    manager = repro.open(backend, vars=["a", "b", "c", "d"])
     a, b, c, d = manager.variables()
 
-    # Boolean operators build reduced, ordered BBDDs via Algorithm 1.
+    # Build via operators or via the expression language.
     f = (a ^ b) | (c & d)
-    g = a.xnor(b)  # one biconditional node: the BBDD primitive
+    assert f == manager.add_expr("(a ^ b) | (c & d)")
+    g = a.xnor(b)  # the biconditional: one BBDD node, a chain of BDD nodes
 
+    print("backend:", manager.backend)
     print("f:", f)
-    print("g = a XNOR b uses", g.node_count(), "node (the comparator shape)")
-    print("CVO couples:", manager.cvo_couples())
+    print("g = a XNOR b uses", g.node_count(), "node(s)")
 
     # Canonicity: equivalent expressions share the same root pointer.
     h = (d & c) | (b ^ a)
     print("f == (d&c)|(b^a):", f == h, "(pointer comparison!)")
 
-    # Semantics: evaluation, counting, cofactors, quantification.
+    # Semantics: evaluation, counting, witnesses, cofactors, quantifiers.
     print("f(a=1, b=0, c=0, d=0) =", f(a=1, b=0, c=0, d=0))
     print("satisfying assignments of f:", f.sat_count(), "of 16")
     print("one witness:", f.sat_one())
     print("support of f:", sorted(f.support()))
-    print("f with a := 1:", f.restrict("a", True))
-    print("exists c, d . f:", f.exists(["c", "d"]))
+    print("f with a := 1:", f.restrict("a", True).to_expr())
+    print("exists c, d . f:", manager.add_expr("\\E c, d: (a ^ b) | (c & d)").to_expr())
+
+    # let: simultaneous substitution (rename / restrict / compose).
+    print("f[a := c & d]:", f.let({"a": c & d}).to_expr())
 
     # XOR-richness: parity is where BBDDs shine (Table I's parity row).
-    wide = BBDDManager(16)
-    parity = wide.variables()[0]
-    for v in wide.variables()[1:]:
-        parity = parity ^ v
-    print("16-variable parity BBDD:", parity.node_count(), "nodes")
+    wide = repro.open(backend, vars=16)
+    parity = wide.add_expr(" ^ ".join(f"x{i}" for i in range(16)))
+    print(f"16-variable parity under {backend}:", parity.node_count(), "nodes")
 
-    # Export: Graphviz for inspection, Verilog as the package's output
-    # format (Sec. IV-B of the paper).
-    print("\nDOT export of g:")
-    print(to_dot(manager, [g], names=["g"]))
+    # BBDD-specific introspection stays available on its manager.
+    if manager.backend == "bbdd":
+        from repro.core.dot import to_dot
+
+        print("CVO couples:", manager.cvo_couples())
+        print("\nDOT export of g:")
+        print(to_dot(manager, [g], names=["g"]))
 
 
 if __name__ == "__main__":

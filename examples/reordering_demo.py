@@ -1,31 +1,40 @@
-"""Chain variable re-ordering demo (the paper's Sec. IV-A4).
+"""Variable re-ordering demo (the paper's Sec. IV-A4).
 
 Builds the classic order-sensitive function — the equality of two bit
 vectors — under a hostile order (all of ``a`` before all of ``b``), then
-lets sifting find the interleaved order where the BBDD is a linear
-comparator chain.
+lets sifting find the interleaved order where the diagram is a linear
+comparator chain.  Runs on either backend through the uniform
+``manager.sift()`` protocol; the single-swap pointer-stability part is
+shown on the backend's native swap primitive.
 
-Run:  python examples/reordering_demo.py
+Run:  python examples/reordering_demo.py    (REPRO_BACKEND=bdd to switch)
 """
 
-from repro import BBDDManager
-from repro.core.reorder import sift, swap_adjacent
+import os
+
+import repro
 
 
 def main() -> None:
+    backend = os.environ.get("REPRO_BACKEND", "bbdd")
     width = 6
     names = [f"a{i}" for i in range(width)] + [f"b{i}" for i in range(width)]
-    manager = BBDDManager(names)
+    manager = repro.open(backend, vars=names)
 
-    equal = manager.true()
-    for i in range(width):
-        equal = equal & manager.var(f"a{i}").xnor(manager.var(f"b{i}"))
+    equal = manager.add_expr(
+        " & ".join(f"(a{i} <-> b{i})" for i in range(width))
+    )
 
+    print("backend:", manager.backend)
     print("function: a == b over", width, "bit operands")
     print("initial order:", " ".join(manager.current_order()))
     print("initial size:", equal.node_count(), "nodes (exponential separation)")
 
     # A single adjacent swap is local and pointer-stable (Fig. 2 theory).
+    if backend == "bbdd":
+        from repro.core.reorder import swap_adjacent
+    else:
+        from repro.bdd.reorder import swap_adjacent_bdd as swap_adjacent
     root_before = equal.node
     swap_adjacent(manager, width - 1)
     print(
@@ -35,8 +44,8 @@ def main() -> None:
         equal.node is root_before,
     )
 
-    result = sift(manager, converge=True)
-    print("\nafter sifting (Rudell's algorithm on the CVO):")
+    result = manager.sift(converge=True)
+    print("\nafter sifting (Rudell's algorithm via the uniform protocol):")
     print("order:", " ".join(manager.current_order()))
     print(
         f"size: {result.initial_size} -> {result.final_size} nodes "

@@ -1,0 +1,649 @@
+"""Backend-agnostic manager protocol and the shared function wrapper.
+
+This module defines the two halves of the unified ``repro.api`` front
+end (in the style of tulip-control/``dd``):
+
+* :class:`DDManager` — the **edge protocol** every decision-diagram
+  backend implements.  A backend subclasses it and provides the
+  primitives listed in its docstring (all operating on bare
+  ``(node, attr)`` edge tuples); everything user-facing —
+  :meth:`DDManager.add_expr`, :meth:`DDManager.let`, the whole
+  :class:`FunctionBase` surface — is written once against that protocol
+  and works identically on BBDDs (:class:`repro.core.BBDDManager`) and
+  on the baseline ROBDDs (:class:`repro.bdd.BDDManager`).
+* :class:`FunctionBase` — the user-facing handle.  It owns a reference
+  on its root node, overloads the Boolean operators and implements the
+  package API (evaluation, sat-count/sat-one, cofactors, composition,
+  quantification, simultaneous substitution, expression export) purely
+  in terms of the protocol, collapsing what used to be two near-
+  duplicate wrapper modules.
+
+Nothing here imports a concrete manager, so backends are free to import
+this module at class-definition time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Union
+
+from repro.core.exceptions import BBDDError, ForeignManagerError, VariableError
+from repro.core.operations import (
+    OP_AND,
+    OP_GT,
+    OP_LE,
+    OP_OR,
+    OP_XNOR,
+    OP_XOR,
+    op_from_name,
+)
+
+
+class DDManager:
+    """The uniform decision-diagram manager protocol.
+
+    A backend subclasses this and implements the primitives below
+    (``NotImplementedError`` stubs here document the contract; they all
+    take/return bare ``(node, attr)`` edges):
+
+    ``true_edge`` / ``false_edge``
+        Terminal edge properties.
+    ``literal_edge(var, positive=True)``
+        The projection function of a variable (name or index).
+    ``apply_edges(f, g, op)``
+        Any of the 16 two-operand operators (4-bit truth-table code).
+    ``ite_edges(f, g, h)`` / ``restrict_edge(f, var, value)`` /
+    ``compose_edge(f, var, g)`` / ``quantify_edge(f, vars, forall)``
+        The derived manipulation operations.
+    ``evaluate_edge(f, values)`` / ``sat_count_edge(f)`` /
+    ``sat_one_edge(f)`` / ``support_edge(f)`` / ``root_var(f)`` /
+    ``count_nodes(edges)``
+        Semantics and structure queries (``values`` and the returned
+        assignments are keyed by variable *index*).
+    ``acquire_ref(node)`` / ``release_ref(node)`` / ``defer_gc()``
+        Memory management hooks used by the function handles.
+    ``var_index`` / ``var_name`` / ``num_vars`` / ``order`` /
+    ``current_order`` / ``sift(**kw)`` / ``dump(functions, target)``
+        Variable bookkeeping, reordering and persistence.
+
+    The function-returning conveniences (``var``, ``nvar``,
+    ``variables``, ``true``, ``false``, ``function``, ``node_count``)
+    are installed by the backend's function module.
+    """
+
+    #: Registry name of the backend ("bbdd", "bdd", ...).
+    backend = "abstract"
+
+    # -- shared front-end surface (written once, works on any backend) --
+
+    def add_expr(self, text: str):
+        """Build a function from a Boolean expression string.
+
+        Grammar (see :mod:`repro.api.expr`): ``& | ^ ~ -> <->``,
+        ``ite(f, g, h)``, ``TRUE``/``FALSE``, and the quantifiers
+        ``\\E x, y: ...`` / ``\\A x, y: ...``.
+        """
+        from repro.api.expr import add_expr
+
+        return add_expr(self, text)
+
+    def let(self, substitutions: Mapping, f: "FunctionBase"):
+        """Manager-level spelling of :meth:`FunctionBase.let`."""
+        if f.manager is not self:
+            raise ForeignManagerError("function belongs to a different manager")
+        return f.let(substitutions)
+
+    def to_expr(self, f: "FunctionBase") -> str:
+        """Manager-level spelling of :meth:`FunctionBase.to_expr`."""
+        if f.manager is not self:
+            raise ForeignManagerError("function belongs to a different manager")
+        return f.to_expr()
+
+
+def rebuild_function(manager, root, var_fn, target, memo=None):
+    """Rebuild the regular (attribute-free) function of node ``root``
+    inside ``target``, mapping every source variable through ``var_fn``
+    (index -> target function).
+
+    The workhorse behind simultaneous substitution
+    (:meth:`FunctionBase.let`, where ``target`` is the source manager
+    itself) and cross-backend migration
+    (:class:`repro.io.migrate.ProtocolMigrator`): each Shannon node
+    rebuilds as ``ite(var_fn(v), then, else)``, each biconditional
+    couple as ``ite(var_fn(pv) <-> var_fn(sv), eq, neq)``, each literal
+    as ``var_fn(pv)`` — substitution distributes over the expansions, so
+    the walk is *simultaneous* by construction (values are never
+    re-substituted).  Iterative post-order, memoized per source node:
+    linear in the diagram size times the cost of the target operations.
+    A caller copying a shared forest may pass one ``memo`` dict across
+    calls to keep the sharing.
+
+    The couple/Shannon walks are structural fast paths for the built-in
+    backends; any other registered backend takes the protocol-pure
+    Shannon decomposition via ``root_var``/``restrict_edge`` (the same
+    one ``to_expr`` uses), so third-party backends plug in without this
+    function knowing their node layout.
+    """
+    true = target.true()
+    if root.is_sink:
+        return true
+    if memo is None:
+        memo = {}
+    backend = manager.backend
+    if backend not in ("bbdd", "bdd"):
+        return _rebuild_via_protocol(manager, root, var_fn, target, memo)
+    bbdd_nodes = backend == "bbdd"
+    stack = [root]
+    while stack:
+        top = stack[-1]
+        if top in memo:
+            stack.pop()
+            continue
+        if bbdd_nodes:
+            if top.is_literal:
+                memo[top] = var_fn(top.pv)
+                stack.pop()
+                continue
+            children = (top.neq, top.eq)
+        else:
+            children = (top.then, top.else_)
+        pending = [c for c in children if not c.is_sink and c not in memo]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        if bbdd_nodes:
+            d = true if top.neq.is_sink else memo[top.neq]
+            if top.neq_attr:
+                d = ~d
+            e = true if top.eq.is_sink else memo[top.eq]
+            memo[top] = var_fn(top.pv).xnor(var_fn(top.sv)).ite(e, d)
+        else:
+            t = true if top.then.is_sink else memo[top.then]
+            e = true if top.else_.is_sink else memo[top.else_]
+            if top.else_attr:
+                e = ~e
+            memo[top] = var_fn(top.var).ite(t, e)
+    return memo[root]
+
+
+def _rebuild_via_protocol(manager, root, var_fn, target, memo):
+    """Backend-agnostic :func:`rebuild_function` core.
+
+    Decomposes through the edge protocol only (``root_var`` +
+    ``restrict_edge``), memoized on ``(uid, attr)`` edge keys — the
+    cofactors of ``f = ite(v, f|v=1, f|v=0)`` never mention ``v``, so
+    mapping ``v`` through ``var_fn`` at every level is a simultaneous
+    substitution.  Bare cofactor edges are parked across the walk, so
+    GC stays deferred for its duration.
+    """
+    true = target.true()
+    false = ~true
+    pending: Dict[tuple, tuple] = {}
+    with manager.defer_gc():
+        stack = [(root, False)]
+        while stack:
+            edge = stack[-1]
+            node, attr = edge
+            key = (node.uid, attr)
+            if key in memo:
+                stack.pop()
+                continue
+            if node.is_sink:
+                memo[key] = false if attr else true
+                stack.pop()
+                continue
+            entry = pending.get(key)
+            if entry is None:
+                var = manager.root_var(edge)
+                high = manager.restrict_edge(edge, var, True)
+                low = manager.restrict_edge(edge, var, False)
+                pending[key] = (var, high, low)
+                stack.append(low)
+                stack.append(high)
+                continue
+            var, high, low = entry
+            t = memo[(high[0].uid, high[1])]
+            e = memo[(low[0].uid, low[1])]
+            memo[key] = var_fn(var).ite(t, e)
+            stack.pop()
+    return memo[(root.uid, False)]
+
+
+def install_function_helpers(manager_cls, function_cls) -> None:
+    """Attach the function-returning conveniences to a manager class.
+
+    Called by each backend's function module (which avoids a circular
+    import between its manager and function modules) with its concrete
+    :class:`FunctionBase` subclass; the installed surface —
+    ``var``/``nvar``/``variables``/``true``/``false``/``function``/
+    ``node_count`` — is therefore identical across backends by
+    construction.
+    """
+
+    def var(self, name_or_index):
+        return function_cls(self, self.literal_edge(name_or_index))
+
+    def nvar(self, name_or_index):
+        return function_cls(self, self.literal_edge(name_or_index, positive=False))
+
+    def variables(self):
+        return [function_cls(self, self.literal_edge(i)) for i in range(self.num_vars)]
+
+    def true(self):
+        return function_cls(self, self.true_edge)
+
+    def false(self):
+        return function_cls(self, self.false_edge)
+
+    def function(self, edge):
+        return function_cls(self, edge)
+
+    def node_count(self, functions):
+        edges = [f.edge if isinstance(f, FunctionBase) else f for f in functions]
+        return self.count_nodes(edges)
+
+    manager_cls.var = var
+    manager_cls.nvar = nvar
+    manager_cls.variables = variables
+    manager_cls.true = true
+    manager_cls.false = false
+    manager_cls.function = function
+    manager_cls.node_count = node_count
+
+
+class FunctionBase:
+    """A Boolean function handle over any :class:`DDManager` backend.
+
+    Create instances through the manager helpers (``manager.var``,
+    ``manager.true``, ``manager.add_expr``, ...) or by combining other
+    functions with the overloaded operators.  Because both backends keep
+    reduced, ordered, canonical diagrams, ``f == g`` is a pointer
+    comparison on ``(node, attr)``.
+    """
+
+    __slots__ = ("manager", "node", "attr", "__weakref__")
+
+    def __init__(self, manager, edge) -> None:
+        self.manager = manager
+        self.node = edge[0]
+        self.attr = edge[1]
+        manager.acquire_ref(self.node)
+
+    def __del__(self) -> None:
+        # Interpreter shutdown may have torn down attributes already.
+        node = getattr(self, "node", None)
+        if node is None:
+            return
+        manager = getattr(self, "manager", None)
+        if manager is None:
+            node.ref -= 1
+            return
+        try:
+            # Dropping a handle feeds the automatic garbage collector.
+            manager.release_ref(node)
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def edge(self):
+        return (self.node, self.attr)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, FunctionBase):
+            return NotImplemented
+        return (
+            self.manager is other.manager
+            and self.node is other.node
+            and self.attr == other.attr
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.manager), self.node.uid, self.attr))
+
+    def _wrap(self, edge) -> "FunctionBase":
+        return type(self)(self.manager, edge)
+
+    def _coerce(self, other):
+        """Normalize an operand to an edge of this manager.
+
+        Accepts a function of the same manager, or the Boolean constants
+        ``True``/``False``/``1``/``0`` (``bool`` or ``int`` only — any
+        other type raises ``TypeError``, including number-like objects
+        that merely compare equal to 0 or 1).
+        """
+        if isinstance(other, FunctionBase):
+            if other.manager is not self.manager:
+                raise ForeignManagerError(
+                    "cannot combine functions from different managers"
+                )
+            return other.edge
+        if isinstance(other, bool):
+            return self.manager.true_edge if other else self.manager.false_edge
+        if isinstance(other, int) and other in (0, 1):
+            return self.manager.true_edge if other else self.manager.false_edge
+        raise TypeError(
+            f"cannot combine {type(self).__name__} with {type(other).__name__}"
+        )
+
+    # -- Boolean operators --------------------------------------------------
+
+    def apply(self, other, op: Union[int, str]) -> "FunctionBase":
+        """Apply any of the 16 two-operand operators (table or name)."""
+        if isinstance(op, str):
+            op = op_from_name(op)
+        return self._wrap(self.manager.apply_edges(self.edge, self._coerce(other), op))
+
+    def __and__(self, other) -> "FunctionBase":
+        return self.apply(other, OP_AND)
+
+    __rand__ = __and__
+
+    def __or__(self, other) -> "FunctionBase":
+        return self.apply(other, OP_OR)
+
+    __ror__ = __or__
+
+    def __xor__(self, other) -> "FunctionBase":
+        return self.apply(other, OP_XOR)
+
+    __rxor__ = __xor__
+
+    def __invert__(self) -> "FunctionBase":
+        return self._wrap((self.node, not self.attr))
+
+    def xnor(self, other) -> "FunctionBase":
+        """Biconditional (equality) of two functions."""
+        return self.apply(other, OP_XNOR)
+
+    def implies(self, other) -> "FunctionBase":
+        return self.apply(other, OP_LE)
+
+    def and_not(self, other) -> "FunctionBase":
+        return self.apply(other, OP_GT)
+
+    def ite(self, g, h) -> "FunctionBase":
+        """``self ? g : h``."""
+        return self._wrap(
+            self.manager.ite_edges(self.edge, self._coerce(g), self._coerce(h))
+        )
+
+    # -- constants ----------------------------------------------------------
+
+    @property
+    def is_true(self) -> bool:
+        return self.node.is_sink and not self.attr
+
+    @property
+    def is_false(self) -> bool:
+        return self.node.is_sink and self.attr
+
+    @property
+    def is_constant(self) -> bool:
+        return self.node.is_sink
+
+    # -- semantics ----------------------------------------------------------
+
+    def _values_from(self, assignment: Mapping) -> Dict[int, bool]:
+        values: Dict[int, bool] = {}
+        for key, bit in assignment.items():
+            values[self.manager.var_index(key)] = bool(bit)
+        return values
+
+    def evaluate(self, assignment: Mapping) -> bool:
+        """Evaluate at an assignment keyed by variable name or index.
+
+        The assignment must cover the function's support variables;
+        missing support variables raise
+        :class:`~repro.core.exceptions.VariableError`.  Variables outside
+        the support may be omitted (they default to False, which cannot
+        change the result).
+        """
+        values = self._values_from(assignment)
+        if len(values) < self.manager.num_vars:
+            # Partial assignment: the support check needs the actual
+            # support (O(1) mask read on BBDDs, a DAG walk on BDDs —
+            # complete assignments skip it entirely).
+            missing = [
+                v for v in self.manager.support_edge(self.edge) if v not in values
+            ]
+            if missing:
+                names = ", ".join(
+                    self.manager.var_name(v) for v in sorted(missing)
+                )
+                raise VariableError(
+                    f"assignment misses support variable(s): {names}"
+                )
+            for var in range(self.manager.num_vars):
+                values.setdefault(var, False)
+        return self.manager.evaluate_edge(self.edge, values)
+
+    def __call__(self, **kwargs) -> bool:
+        return self.evaluate(kwargs)
+
+    def sat_count(self) -> int:
+        """Number of satisfying assignments over all manager variables."""
+        return self.manager.sat_count_edge(self.edge)
+
+    def sat_one(self) -> Optional[Dict[str, bool]]:
+        """One satisfying assignment (by name), or None if unsatisfiable.
+
+        The assignment covers the function's whole support (support
+        variables the witness path leaves unconstrained are fixed to
+        False), so it always evaluates to True via :meth:`evaluate`.
+        """
+        values = self.manager.sat_one_edge(self.edge)
+        if values is None:
+            return None
+        for var in self.manager.support_edge(self.edge):
+            values.setdefault(var, False)
+        return {self.manager.var_name(v): b for v, b in values.items()}
+
+    def node_count(self) -> int:
+        """Nodes of this function's diagram (sink excluded)."""
+        return self.manager.count_nodes([self.edge])
+
+    def support(self) -> frozenset:
+        """Names of the variables the function truly depends on."""
+        return frozenset(
+            self.manager.var_name(v) for v in self.manager.support_edge(self.edge)
+        )
+
+    def truth_mask(self, variables: Iterable) -> int:
+        """Truth-table bitmask over the given variables (testing helper)."""
+        manager = self.manager
+        indices = [manager.var_index(v) for v in variables]
+        values: Dict[int, bool] = {v: False for v in range(manager.num_vars)}
+        mask = 0
+        edge = self.edge
+        for i in range(1 << len(indices)):
+            for j, var in enumerate(indices):
+                values[var] = bool((i >> j) & 1)
+            if manager.evaluate_edge(edge, values):
+                mask |= 1 << i
+        return mask
+
+    # -- manipulation -------------------------------------------------------
+
+    def restrict(self, var, value: bool) -> "FunctionBase":
+        """Cofactor with ``var = value``."""
+        return self._wrap(self.manager.restrict_edge(self.edge, var, value))
+
+    def compose(self, var, g) -> "FunctionBase":
+        """Substitute function ``g`` for variable ``var``."""
+        return self._wrap(
+            self.manager.compose_edge(self.edge, var, self._coerce(g))
+        )
+
+    def exists(self, variables) -> "FunctionBase":
+        return self._wrap(self.manager.quantify_edge(self.edge, variables, False))
+
+    def forall(self, variables) -> "FunctionBase":
+        return self._wrap(self.manager.quantify_edge(self.edge, variables, True))
+
+    def equivalent(self, other) -> bool:
+        """Canonicity-based equivalence check (pointer comparison)."""
+        other_edge = self._coerce(other)
+        return self.node is other_edge[0] and self.attr == other_edge[1]
+
+    def let(self, substitutions: Mapping) -> "FunctionBase":
+        """Simultaneous substitution (the ``dd``-style ``let``).
+
+        ``substitutions`` maps variables (names or indices) to
+        replacement values, which may be
+
+        * a variable **name** (``str``) — rename,
+        * a Boolean **constant** (``bool`` or ``int`` 0/1) — restrict,
+        * a **function** of the same manager — compose.
+
+        All substitutions happen simultaneously: ``f.let({'x': 'y',
+        'y': 'x'})`` swaps the two variables, unlike a chain of
+        one-at-a-time ``compose`` calls.  Internally the function's
+        diagram is rebuilt bottom-up with every variable mapped through
+        the substitution (a vector compose), so values may freely
+        mention the substituted variables, and the cost is linear in
+        the diagram size — bulk renames of many variables are cheap.
+        """
+        manager = self.manager
+        consts = []
+        funcs = []
+        seen = set()
+        for var, value in substitutions.items():
+            index = manager.var_index(var)
+            if index in seen:
+                raise BBDDError(
+                    f"duplicate substitution for {manager.var_name(index)!r}"
+                )
+            seen.add(index)
+            if isinstance(value, FunctionBase):
+                if value.manager is not manager:
+                    raise ForeignManagerError(
+                        "substitution value belongs to a different manager"
+                    )
+                funcs.append((index, value))
+            elif isinstance(value, str):
+                funcs.append((index, self._wrap(manager.literal_edge(value))))
+            elif isinstance(value, bool) or (
+                isinstance(value, int) and value in (0, 1)
+            ):
+                consts.append((index, bool(value)))
+            else:
+                raise TypeError(
+                    "let values must be a variable name, a Boolean "
+                    f"constant, or a function; got {type(value).__name__}"
+                )
+        f = self
+        # Constants commute with everything: plain restricts, cheapest
+        # first.  They also cannot collide with the simultaneous pass
+        # below because each key is distinct.
+        for index, bit in consts:
+            f = f.restrict(index, bit)
+        if not funcs:
+            return f
+        # Simultaneous general substitution: rebuild f's diagram with
+        # every variable mapped through the substitution (vector
+        # compose).  Values are resolved against the *original* f, so
+        # they are never re-substituted — simultaneity by construction.
+        values: Dict[int, "FunctionBase"] = dict(funcs)
+
+        def var_fn(index: int) -> "FunctionBase":
+            value = values.get(index)
+            if value is None:
+                value = self._wrap(manager.literal_edge(index))
+                values[index] = value
+            return value
+
+        result = rebuild_function(manager, f.node, var_fn, manager)
+        return ~result if f.attr else result
+
+    # -- expression export --------------------------------------------------
+
+    def to_expr(self) -> str:
+        """Canonical, re-parseable expression string of the function.
+
+        The output uses only ``ite(v, T, E)`` nests (Shannon expansion on
+        the first support variable in the current order), literal
+        shortcuts ``v`` / ``~v``, and the constants ``TRUE``/``FALSE`` —
+        all inside the :meth:`DDManager.add_expr` grammar, so
+        ``manager.add_expr(f.to_expr()) == f`` for every function.  The
+        string is deterministic for a given function and variable order.
+
+        The grammar has no sharing construct (no let-binding), so the
+        output is a *tree*: a shared subgraph is re-rendered at every
+        reference, and share-heavy functions (e.g. wide parities) grow
+        exponentially in their support size.  ``to_expr`` is an
+        interchange/debugging surface for small functions — persist
+        large forests with :meth:`dump`, which keeps the DAG sharing.
+
+        Variable names that the grammar cannot re-tokenize — non-
+        identifiers, or collisions with the ``TRUE``/``FALSE``/``ite``
+        keywords — raise :class:`~repro.api.expr.ExprError` instead of
+        silently emitting a string that parses to a different function.
+        """
+        from repro.api.expr import exportable_name
+
+        manager = self.manager
+        memo: Dict[tuple, str] = {}
+        pending: Dict[tuple, tuple] = {}
+        root = self.edge
+        # Iterative post-order: bare child edges are parked in ``pending``
+        # until both sub-expressions are rendered, so GC stays deferred
+        # for the whole walk.
+        with manager.defer_gc():
+            stack = [root]
+            while stack:
+                edge = stack[-1]
+                node, attr = edge
+                key = (node.uid, attr)
+                if key in memo:
+                    stack.pop()
+                    continue
+                if node.is_sink:
+                    memo[key] = "FALSE" if attr else "TRUE"
+                    stack.pop()
+                    continue
+                entry = pending.get(key)
+                if entry is None:
+                    var = manager.root_var(edge)
+                    high = manager.restrict_edge(edge, var, True)
+                    low = manager.restrict_edge(edge, var, False)
+                    pending[key] = (var, high, low)
+                    stack.append(low)
+                    stack.append(high)
+                    continue
+                var, high, low = entry
+                s1 = memo[(high[0].uid, high[1])]
+                s0 = memo[(low[0].uid, low[1])]
+                name = exportable_name(manager.var_name(var))
+                if s1 == "TRUE" and s0 == "FALSE":
+                    memo[key] = name
+                elif s1 == "FALSE" and s0 == "TRUE":
+                    memo[key] = "~" + name
+                else:
+                    memo[key] = f"ite({name}, {s1}, {s0})"
+                stack.pop()
+        return memo[(root[0].uid, root[1])]
+
+    # -- persistence --------------------------------------------------------
+
+    def dump(self, target, name: str = "f0") -> None:
+        """Write this function to ``target`` in the backend's binary format.
+
+        ``target`` is a path or a binary file object; ``name`` is the
+        root's stored name (what the loader keys it by).
+        """
+        self.manager.dump({name: self}, target)
+
+    # -- display ------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        label = type(self).__name__
+        if self.is_true:
+            return f"<{label} TRUE>"
+        if self.is_false:
+            return f"<{label} FALSE>"
+        return (
+            f"<{label} root=v{self.manager.root_var(self.edge)}"
+            f"{'~' if self.attr else ''} nodes={self.node_count()}>"
+        )

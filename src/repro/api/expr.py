@@ -1,0 +1,303 @@
+"""Boolean expression language for the unified front end.
+
+A small recursive-descent parser over the grammar (precedence low to
+high; ``->`` is right-associative, the other binary operators are
+left-associative)::
+
+    expr    := quant
+    quant   := ('\\E' | '\\A') names ':' quant | iff
+    iff     := imp ('<->' imp)*
+    imp     := or ('->' imp)?
+    or      := xor ('|' xor)*
+    xor     := and ('^' and)*
+    and     := unary ('&' unary)*
+    unary   := '~' unary | atom
+    atom    := '(' expr ')' | 'ite' '(' expr ',' expr ',' expr ')'
+             | 'TRUE' | 'FALSE' | name
+    names   := name (',' name)*
+
+Quantifiers scope to the end of the expression (parenthesize to bound
+them): ``\\E x, y: x & y | z`` quantifies the whole disjunction.
+
+The AST is plain tuples — ``('var', name)``, ``('const', bool)``,
+``('not', e)``, ``('and'|'or'|'xor'|'imp'|'iff', a, b)``,
+``('ite', f, g, h)``, ``('exists'|'forall', [names], e)`` — and
+:func:`add_expr` evaluates it **iteratively** against any
+:class:`~repro.api.base.DDManager` backend, so operator chains of
+arbitrary length (``x0 ^ x1 ^ ... ^ x4000``) build without touching the
+Python recursion limit.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.core.exceptions import BBDDError
+
+
+class ExprError(BBDDError, ValueError):
+    """A Boolean expression string failed to tokenize or parse."""
+
+
+_TOKEN_RE = re.compile(
+    r"[ \t\r\n]*(?:"
+    r"(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<op><->|->|\\E|\\A|[~&|^(),:])"
+    r"|(?P<bad>\S)"
+    r")"
+)
+
+#: Token sentinel appended at end of input.
+_END = ("end", "")
+
+#: Names the lexer/parser claims for itself.
+_KEYWORDS = frozenset({"TRUE", "FALSE", "ite"})
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
+
+
+def exportable_name(name: str) -> str:
+    """Validate that a variable name survives an expression round trip.
+
+    ``to_expr`` output must re-tokenize to the same function, so names
+    must be grammar identifiers and must not collide with the
+    ``TRUE``/``FALSE``/``ite`` keywords; anything else raises
+    :class:`ExprError` (silently emitting it would parse back to a
+    *different* function).
+    """
+    if name in _KEYWORDS or _NAME_RE.match(name) is None:
+        raise ExprError(
+            f"variable name {name!r} cannot be exported to the expression "
+            "grammar (not an identifier, or a TRUE/FALSE/ite keyword); "
+            "rename it or persist with dump() instead"
+        )
+    return name
+
+
+def tokenize(text: str) -> List[Tuple[str, str]]:
+    """Split ``text`` into ``(kind, value)`` tokens (kind: name/op/end)."""
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:  # only trailing whitespace remains
+            break
+        if match.group("bad") is not None:
+            raise ExprError(
+                f"unexpected character {match.group('bad')!r} at offset "
+                f"{match.start('bad')} in expression"
+            )
+        if match.group("name") is not None:
+            tokens.append(("name", match.group("name")))
+        else:
+            tokens.append(("op", match.group("op")))
+        pos = match.end()
+    tokens.append(_END)
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- token helpers --------------------------------------------------
+
+    def peek(self) -> Tuple[str, str]:
+        return self.tokens[self.pos]
+
+    def next(self) -> Tuple[str, str]:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, value: str) -> None:
+        kind, got = self.next()
+        if kind == "end" or got != value:
+            shown = "end of input" if kind == "end" else repr(got)
+            raise ExprError(
+                f"expected {value!r} but found {shown} in {self.text!r}"
+            )
+
+    # -- grammar --------------------------------------------------------
+
+    def parse(self) -> tuple:
+        ast = self.expr()
+        kind, value = self.peek()
+        if kind != "end":
+            raise ExprError(
+                f"unexpected trailing {value!r} in {self.text!r}"
+            )
+        return ast
+
+    def expr(self) -> tuple:
+        kind, value = self.peek()
+        if kind == "op" and value in ("\\E", "\\A"):
+            self.next()
+            names = [self.name("quantified variable")]
+            while self.peek() == ("op", ","):
+                self.next()
+                names.append(self.name("quantified variable"))
+            self.expect(":")
+            body = self.expr()
+            return ("exists" if value == "\\E" else "forall", names, body)
+        return self.iff()
+
+    def name(self, what: str) -> str:
+        kind, value = self.next()
+        if kind != "name":
+            shown = "end of input" if kind == "end" else repr(value)
+            raise ExprError(f"expected {what} but found {shown}")
+        return value
+
+    def iff(self) -> tuple:
+        ast = self.imp()
+        while self.peek() == ("op", "<->"):
+            self.next()
+            ast = ("iff", ast, self.imp())
+        return ast
+
+    def imp(self) -> tuple:
+        ast = self.or_()
+        if self.peek() == ("op", "->"):
+            self.next()
+            ast = ("imp", ast, self.imp())  # right-associative
+        return ast
+
+    def or_(self) -> tuple:
+        ast = self.xor()
+        while self.peek() == ("op", "|"):
+            self.next()
+            ast = ("or", ast, self.xor())
+        return ast
+
+    def xor(self) -> tuple:
+        ast = self.and_()
+        while self.peek() == ("op", "^"):
+            self.next()
+            ast = ("xor", ast, self.and_())
+        return ast
+
+    def and_(self) -> tuple:
+        ast = self.unary()
+        while self.peek() == ("op", "&"):
+            self.next()
+            ast = ("and", ast, self.unary())
+        return ast
+
+    def unary(self) -> tuple:
+        if self.peek() == ("op", "~"):
+            self.next()
+            return ("not", self.unary())
+        return self.atom()
+
+    def atom(self) -> tuple:
+        kind, value = self.next()
+        if kind == "op" and value == "(":
+            ast = self.expr()
+            self.expect(")")
+            return ast
+        if kind == "name":
+            if value == "ite" and self.peek() == ("op", "("):
+                self.next()
+                f = self.expr()
+                self.expect(",")
+                g = self.expr()
+                self.expect(",")
+                h = self.expr()
+                self.expect(")")
+                return ("ite", f, g, h)
+            if value == "TRUE":
+                return ("const", True)
+            if value == "FALSE":
+                return ("const", False)
+            return ("var", value)
+        shown = "end of input" if kind == "end" else repr(value)
+        raise ExprError(f"expected an operand but found {shown} in {self.text!r}")
+
+
+def parse(text: str) -> tuple:
+    """Parse an expression string into its tuple AST."""
+    if not isinstance(text, str):
+        raise ExprError(f"expression must be a string, got {type(text).__name__}")
+    return _Parser(text).parse()
+
+
+# ----------------------------------------------------------------------
+# evaluation against a manager
+# ----------------------------------------------------------------------
+
+_EVAL = 0
+_COMBINE = 1
+
+
+def build(manager, ast: tuple):
+    """Evaluate a parsed AST into a function of ``manager``.
+
+    Iterative over an explicit stack, so left-deep operator chains of
+    arbitrary length evaluate without recursion.
+    """
+    results: list = []
+    tasks = [(_EVAL, ast)]
+    while tasks:
+        tag, node = tasks.pop()
+        kind = node[0]
+        if tag == _COMBINE:
+            if kind == "not":
+                results.append(~results.pop())
+            elif kind == "ite":
+                h = results.pop()
+                g = results.pop()
+                f = results.pop()
+                results.append(f.ite(g, h))
+            elif kind in ("exists", "forall"):
+                body = results.pop()
+                if kind == "exists":
+                    results.append(body.exists(node[1]))
+                else:
+                    results.append(body.forall(node[1]))
+            else:
+                b = results.pop()
+                a = results.pop()
+                if kind == "and":
+                    results.append(a & b)
+                elif kind == "or":
+                    results.append(a | b)
+                elif kind == "xor":
+                    results.append(a ^ b)
+                elif kind == "imp":
+                    results.append(a.implies(b))
+                else:  # iff
+                    results.append(a.xnor(b))
+            continue
+        if kind == "const":
+            results.append(manager.true() if node[1] else manager.false())
+        elif kind == "var":
+            results.append(manager.var(node[1]))
+        elif kind == "not":
+            tasks.append((_COMBINE, node))
+            tasks.append((_EVAL, node[1]))
+        elif kind == "ite":
+            tasks.append((_COMBINE, node))
+            # Push in reverse so operands are *evaluated* (and their
+            # results stacked) in source order.
+            tasks.append((_EVAL, node[3]))
+            tasks.append((_EVAL, node[2]))
+            tasks.append((_EVAL, node[1]))
+        elif kind in ("exists", "forall"):
+            tasks.append((_COMBINE, node))
+            tasks.append((_EVAL, node[2]))
+        else:
+            tasks.append((_COMBINE, node))
+            tasks.append((_EVAL, node[2]))
+            tasks.append((_EVAL, node[1]))
+    return results[-1]
+
+
+def add_expr(manager, text: str):
+    """Parse ``text`` and build it as a function of ``manager``."""
+    return build(manager, parse(text))

@@ -1,130 +1,22 @@
-"""User-facing handle on a baseline-package BDD function."""
+"""User-facing handle on a baseline-package BDD function.
+
+:class:`BDDFunction` is the ROBDD instantiation of the shared
+:class:`repro.api.base.FunctionBase` wrapper — the entire manipulation
+API (operators, ``ite``, ``restrict``, ``compose``, ``exists``/
+``forall``, ``sat_one``, ``let``, ``to_expr``, ``dump``) comes from the
+base against the :class:`~repro.api.base.DDManager` edge protocol, so
+the two backends expose an identical surface.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Union
-
-from repro.bdd.node import BDDEdge
-from repro.core.exceptions import ForeignManagerError
-from repro.core.operations import OP_AND, OP_OR, OP_XNOR, OP_XOR, op_from_name
+from repro.api.base import FunctionBase, install_function_helpers
 
 
-class BDDFunction:
+class BDDFunction(FunctionBase):
     """A Boolean function represented by a ROBDD edge (mirrors Function)."""
 
-    __slots__ = ("manager", "node", "attr", "__weakref__")
-
-    def __init__(self, manager, edge: BDDEdge) -> None:
-        self.manager = manager
-        self.node = edge[0]
-        self.attr = edge[1]
-        self.node.ref += 1
-
-    def __del__(self) -> None:
-        node = getattr(self, "node", None)
-        if node is not None:
-            node.ref -= 1
-
-    @property
-    def edge(self) -> BDDEdge:
-        return (self.node, self.attr)
-
-    def __eq__(self, other) -> bool:
-        if not isinstance(other, BDDFunction):
-            return NotImplemented
-        return (
-            self.manager is other.manager
-            and self.node is other.node
-            and self.attr == other.attr
-        )
-
-    def __hash__(self) -> int:
-        return hash((id(self.manager), self.node.uid, self.attr))
-
-    def _wrap(self, edge: BDDEdge) -> "BDDFunction":
-        return BDDFunction(self.manager, edge)
-
-    def _coerce(self, other) -> BDDEdge:
-        if isinstance(other, BDDFunction):
-            if other.manager is not self.manager:
-                raise ForeignManagerError(
-                    "cannot combine functions from different managers"
-                )
-            return other.edge
-        if other is True or other == 1:
-            return self.manager.true_edge
-        if other is False or other == 0:
-            return self.manager.false_edge
-        raise TypeError(f"cannot combine BDDFunction with {type(other).__name__}")
-
-    def apply(self, other, op: Union[int, str]) -> "BDDFunction":
-        if isinstance(op, str):
-            op = op_from_name(op)
-        return self._wrap(self.manager.apply_edges(self.edge, self._coerce(other), op))
-
-    def __and__(self, other) -> "BDDFunction":
-        return self.apply(other, OP_AND)
-
-    __rand__ = __and__
-
-    def __or__(self, other) -> "BDDFunction":
-        return self.apply(other, OP_OR)
-
-    __ror__ = __or__
-
-    def __xor__(self, other) -> "BDDFunction":
-        return self.apply(other, OP_XOR)
-
-    __rxor__ = __xor__
-
-    def __invert__(self) -> "BDDFunction":
-        return self._wrap((self.node, not self.attr))
-
-    def xnor(self, other) -> "BDDFunction":
-        return self.apply(other, OP_XNOR)
-
-    def ite(self, g, h) -> "BDDFunction":
-        return self._wrap(
-            self.manager.ite_edges(self.edge, self._coerce(g), self._coerce(h))
-        )
-
-    @property
-    def is_true(self) -> bool:
-        return self.node.is_sink and not self.attr
-
-    @property
-    def is_false(self) -> bool:
-        return self.node.is_sink and self.attr
-
-    @property
-    def is_constant(self) -> bool:
-        return self.node.is_sink
-
-    def evaluate(self, assignment: Mapping) -> bool:
-        values: Dict[int, bool] = {v: False for v in range(self.manager.num_vars)}
-        for key, bit in assignment.items():
-            values[self.manager.var_index(key)] = bool(bit)
-        return self.manager.evaluate(self.edge, values)
-
-    def __call__(self, **kwargs) -> bool:
-        return self.evaluate(kwargs)
-
-    def sat_count(self) -> int:
-        return self.manager.sat_count(self.edge)
-
-    def node_count(self) -> int:
-        return self.manager.count_nodes([self.edge])
-
-    def truth_mask(self, variables: Iterable) -> int:
-        indices = [self.manager.var_index(v) for v in variables]
-        mask = 0
-        values: Dict[int, bool] = {v: False for v in range(self.manager.num_vars)}
-        for i in range(1 << len(indices)):
-            for j, var in enumerate(indices):
-                values[var] = bool((i >> j) & 1)
-            if self.manager.evaluate(self.edge, values):
-                mask |= 1 << i
-        return mask
+    __slots__ = ()
 
     def __repr__(self) -> str:
         if self.is_true:
@@ -135,37 +27,10 @@ class BDDFunction:
 
 
 def _install_manager_helpers() -> None:
+    """Install the shared conveniences (here to avoid an import cycle)."""
     from repro.bdd.manager import BDDManager
 
-    def var(self, name_or_index) -> BDDFunction:
-        return BDDFunction(self, self.literal_edge(name_or_index))
-
-    def nvar(self, name_or_index) -> BDDFunction:
-        return BDDFunction(self, self.literal_edge(name_or_index, positive=False))
-
-    def variables(self) -> list:
-        return [BDDFunction(self, self.literal_edge(i)) for i in range(self.num_vars)]
-
-    def true(self) -> BDDFunction:
-        return BDDFunction(self, self.true_edge)
-
-    def false(self) -> BDDFunction:
-        return BDDFunction(self, self.false_edge)
-
-    def function(self, edge) -> BDDFunction:
-        return BDDFunction(self, edge)
-
-    def node_count(self, functions) -> int:
-        edges = [f.edge if isinstance(f, BDDFunction) else f for f in functions]
-        return self.count_nodes(edges)
-
-    BDDManager.var = var
-    BDDManager.nvar = nvar
-    BDDManager.variables = variables
-    BDDManager.true = true
-    BDDManager.false = false
-    BDDManager.function = function
-    BDDManager.node_count = node_count
+    install_function_helpers(BDDManager, BDDFunction)
 
 
 _install_manager_helpers()

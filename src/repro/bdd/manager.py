@@ -12,11 +12,12 @@ limit.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
+from repro.api.base import DDManager
 from repro.bdd.node import BDDEdge, BDDNode, make_bdd_sink
 from repro.core.computed_table import make_computed_table
-from repro.core.exceptions import BBDDError, VariableError
+from repro.core.exceptions import VariableError
 from repro.core.operations import (
     OP_AND,
     OP_OR,
@@ -40,8 +41,11 @@ _CALL = 0
 _COMBINE = 1
 
 
-class BDDManager:
+class BDDManager(DDManager):
     """Shared manager for a forest of ROBDDs (mirrors BBDDManager's API)."""
+
+    #: Registry name of this backend in the repro.api front end.
+    backend = "bdd"
 
     def __init__(
         self,
@@ -276,6 +280,86 @@ class BDDManager:
         return self.or_edges(fg, fh)
 
     # ------------------------------------------------------------------
+    # uniform DD protocol (repro.api) — derived ops and semantics
+    # ------------------------------------------------------------------
+    #
+    # Full parity with the BBDD core: native iterative restrict /
+    # compose / quantification live in :mod:`repro.bdd.ops`; the
+    # wrappers below bind them (plus the semantics queries) to the
+    # backend-agnostic :class:`repro.api.base.DDManager` edge protocol.
+
+    def restrict_edge(self, edge: BDDEdge, var, value: bool) -> BDDEdge:
+        from repro.bdd import ops as _ops
+
+        return _ops.restrict(self, edge, var, value)
+
+    def compose_edge(self, edge: BDDEdge, var, g: BDDEdge) -> BDDEdge:
+        from repro.bdd import ops as _ops
+
+        return _ops.compose(self, edge, var, g)
+
+    def quantify_edge(self, edge: BDDEdge, variables, forall: bool = False) -> BDDEdge:
+        from repro.bdd import ops as _ops
+
+        if forall:
+            return _ops.forall(self, edge, variables)
+        return _ops.exists(self, edge, variables)
+
+    def support_edge(self, edge: BDDEdge) -> frozenset:
+        from repro.bdd import ops as _ops
+
+        return _ops.support(self, edge)
+
+    def evaluate_edge(self, edge: BDDEdge, values: Dict[int, bool]) -> bool:
+        return self.evaluate(edge, values)
+
+    def sat_count_edge(self, edge: BDDEdge) -> int:
+        return self.sat_count(edge)
+
+    def sat_one_edge(self, edge: BDDEdge) -> Optional[Dict[int, bool]]:
+        from repro.bdd import ops as _ops
+
+        return _ops.sat_one_edge(self, edge)
+
+    def root_var(self, edge: BDDEdge) -> int:
+        """The first support variable (in order) — the root's label."""
+        return edge[0].var
+
+    def sift(self, **kwargs):
+        """Reorder variables with Rudell's sifting (see repro.bdd.reorder)."""
+        from repro.bdd.reorder import sift_bdd as _sift
+
+        return _sift(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # persistence (repro.io convenience surface)
+    # ------------------------------------------------------------------
+
+    def dump(self, functions, target) -> None:
+        """Write a forest to ``target`` in the levelized BDD binary format.
+
+        ``functions`` is a ``{name: BDDFunction}`` mapping (or a
+        sequence); ``target`` a path or binary file object.  See
+        :mod:`repro.io.bdd_binary`.
+        """
+        from repro.io import bdd_binary as _binary
+
+        _binary.dump(self, functions, target)
+
+    def load(self, source, rename=None) -> dict:
+        """Load a BDD dump *into this manager*; returns ``{name: BDDFunction}``.
+
+        The dump's variables (after the optional ``rename`` mapping)
+        must all exist here; nodes are re-reduced on the fly when the
+        relative order differs.  To load into a fresh manager use
+        :func:`repro.io.bdd_binary.load`.
+        """
+        from repro.io import bdd_binary as _binary
+
+        _manager, functions = _binary.load(source, manager=self, rename=rename)
+        return functions
+
+    # ------------------------------------------------------------------
     # semantics
     # ------------------------------------------------------------------
 
@@ -361,6 +445,14 @@ class BDDManager:
 
     def dec_ref(self, edge: BDDEdge) -> None:
         edge[0].ref -= 1
+
+    def acquire_ref(self, node: BDDNode) -> None:
+        """Function-handle hook: acquire one reference on ``node``."""
+        node.ref += 1
+
+    def release_ref(self, node: BDDNode) -> None:
+        """Function-handle hook: drop one reference (collected on gc())."""
+        node.ref -= 1
 
     def gc(self) -> int:
         self._cache.clear()

@@ -1,0 +1,224 @@
+"""Derived operations for the baseline BDD package.
+
+Brings the ROBDD backend to feature parity with the BBDD core
+(:mod:`repro.core.apply`) so both plug into the uniform
+:class:`repro.api.base.DDManager` protocol: native, memoized,
+**iterative** ``restrict``, ``compose``, ``exists``/``forall``, plus
+``support`` and a sat-path walker.  All procedures work on bare
+``(node, attr)`` edges, use explicit stacks (no recursion on diagram
+depth), and memoize in the manager's computed table under tagged keys —
+the same key scheme as the BBDD core (two-operand apply keys are
+``(uid, uid, op<16)`` triples; tagged keys lead with a distinct int >=
+16 and a different tuple shape, so the families never collide).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.bdd.node import BDDEdge, BDDNode
+from repro.core.apply import _memo_fns
+from repro.core.operations import OP_AND, OP_OR
+
+#: Computed-table tags (aligned with repro.core.apply's scheme).
+TAG_RESTRICT = 17
+TAG_QUANT = 18
+
+_CALL = 0
+_COMBINE = 1
+
+
+def restrict(manager, edge: BDDEdge, var, value: bool) -> BDDEdge:
+    """Cofactor ``f`` with ``var = value`` (Shannon restriction).
+
+    Restriction commutes with complement, so memo entries are keyed on
+    the bare node (``(TAG_RESTRICT, uid, var, value)``) and the incoming
+    attribute is re-applied at the end.  Subgraphs rooted strictly below
+    ``var`` in the order cannot mention it and are returned untouched.
+    """
+    var = manager.var_index(var)
+    value = bool(value)
+    root, root_attr = edge
+    position = manager._order.position
+    target_pos = position(var)
+    if root.is_sink or position(root.var) > target_pos:
+        return edge
+    lookup, insert = _memo_fns(manager)
+    make = manager._make
+    results: List[BDDEdge] = []
+    rpush = results.append
+    rpop = results.pop
+    tasks: List[tuple] = [(_CALL, root, None)]
+    tpush = tasks.append
+    tpop = tasks.pop
+    while tasks:
+        tag, node, key = tpop()
+        if tag == _CALL:
+            if node.is_sink or position(node.var) > target_pos:
+                rpush((node, False))
+                continue
+            key = (TAG_RESTRICT, node.uid, var, value)
+            cached = lookup(key)
+            if cached is not None:
+                rpush(cached)
+                continue
+            if node.var == var:
+                result = (
+                    (node.then, False) if value else (node.else_, node.else_attr)
+                )
+                insert(key, result)
+                rpush(result)
+                continue
+            tpush((_COMBINE, node, key))
+            tpush((_CALL, node.then, None))
+            tpush((_CALL, node.else_, None))
+            continue
+        t = rpop()
+        en, ea = rpop()
+        result = make(node.var, t, (en, ea ^ node.else_attr))
+        insert(key, result)
+        rpush(result)
+    node, attr = results[-1]
+    return (node, attr ^ root_attr)
+
+
+def compose(manager, edge: BDDEdge, var, g: BDDEdge) -> BDDEdge:
+    """Substitute the function ``g`` for variable ``var`` in ``f``."""
+    f1 = restrict(manager, edge, var, True)
+    f0 = restrict(manager, edge, var, False)
+    return manager.ite_edges(g, f1, f0)
+
+
+def exists(manager, edge: BDDEdge, variables) -> BDDEdge:
+    """Existential quantification over ``variables``."""
+    return _quantify(manager, edge, variables, OP_OR)
+
+
+def forall(manager, edge: BDDEdge, variables) -> BDDEdge:
+    """Universal quantification over ``variables``."""
+    return _quantify(manager, edge, variables, OP_AND)
+
+
+def _as_iterable(variables):
+    if isinstance(variables, (int, str)):
+        return (variables,)
+    return tuple(variables)
+
+
+def _quantify(manager, edge: BDDEdge, variables, op: int) -> BDDEdge:
+    result = edge
+    for var in _as_iterable(variables):
+        result = _quantify_one(manager, result, manager.var_index(var), op)
+    return result
+
+
+def _quantify_one(manager, edge: BDDEdge, var: int, op: int) -> BDDEdge:
+    """Quantify one variable: ``Q f = (f|var=1) <op> (f|var=0)``.
+
+    At a node labelled ``var`` both cofactors are the stored children,
+    so the node collapses to ``then <op> else`` directly; above it the
+    combining operator distributes through the Shannon expansion.
+    Quantification does *not* commute with complement, so memo keys
+    carry the edge attribute: ``(TAG_QUANT, uid, attr, var, op)``.
+    """
+    position = manager._order.position
+    target_pos = position(var)
+    root, root_attr = edge
+    if root.is_sink or position(root.var) > target_pos:
+        return edge
+    lookup, insert = _memo_fns(manager)
+    make = manager._make
+    apply_edges = manager.apply_edges
+    results: List[BDDEdge] = []
+    rpush = results.append
+    rpop = results.pop
+    tasks: List[tuple] = [(_CALL, root, root_attr, None)]
+    tpush = tasks.append
+    tpop = tasks.pop
+    while tasks:
+        tag, node, attr, key = tpop()
+        if tag == _CALL:
+            if node.is_sink or position(node.var) > target_pos:
+                rpush((node, attr))
+                continue
+            key = (TAG_QUANT, node.uid, attr, var, op)
+            cached = lookup(key)
+            if cached is not None:
+                rpush(cached)
+                continue
+            if node.var == var:
+                result = apply_edges(
+                    (node.then, attr), (node.else_, attr ^ node.else_attr), op
+                )
+                insert(key, result)
+                rpush(result)
+                continue
+            tpush((_COMBINE, node, attr, key))
+            tpush((_CALL, node.then, attr, None))
+            tpush((_CALL, node.else_, attr ^ node.else_attr, None))
+            continue
+        t = rpop()
+        e = rpop()
+        result = make(node.var, t, e)
+        insert(key, result)
+        rpush(result)
+    return results[-1]
+
+
+def support(manager, edge: BDDEdge) -> frozenset:
+    """Variables ``f`` truly depends on (as indices).
+
+    In a reduced OBDD every reachable node's label is essential (an
+    inessential variable's node would have identical children and be
+    removed by reduction), so the support is exactly the set of labels.
+    """
+    node, _attr = edge
+    seen = set()
+    vars_ = set()
+    stack: List[BDDNode] = [] if node.is_sink else [node]
+    while stack:
+        n = stack.pop()
+        if n in seen:
+            continue
+        seen.add(n)
+        vars_.add(n.var)
+        for child in (n.then, n.else_):
+            if not child.is_sink:
+                stack.append(child)
+    return frozenset(vars_)
+
+
+def sat_one_edge(manager, edge: BDDEdge) -> Optional[Dict[int, bool]]:
+    """One satisfying assignment ``{var index: bit}``, or None.
+
+    O(depth): every internal node of a canonical BDD with complement
+    edges denotes a non-constant function, so descending into *any*
+    non-sink child keeps both outcomes reachable; only sink children
+    need their parity checked.
+    """
+    node, attr = edge
+    if node.is_sink:
+        return {} if not attr else None
+    values: Dict[int, bool] = {}
+    while True:
+        # Then-edges of stored nodes are regular, so the then-branch
+        # parity is the incoming attribute itself.
+        branches = (
+            (node.then, attr, True),
+            (node.else_, attr ^ node.else_attr, False),
+        )
+        descend = None
+        for child, child_attr, bit in branches:
+            if child.is_sink:
+                if not child_attr:
+                    values[node.var] = bit
+                    return values
+            elif descend is None:
+                descend = (child, child_attr, bit)
+        if descend is None:
+            # Both children are sinks of the wrong parity — impossible
+            # for a canonical node; defensive for corrupt DAGs.
+            return None
+        child, attr, bit = descend
+        values[node.var] = bit
+        node = child

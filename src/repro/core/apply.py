@@ -33,7 +33,7 @@ apply, and an unmemoized restrict would be exponential).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Iterable, List
 
 from repro.core.computed_table import DisabledComputedTable
 from repro.core.exceptions import BBDDError

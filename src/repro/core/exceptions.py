@@ -17,6 +17,14 @@ class ForeignManagerError(BBDDError):
     """Functions from two different managers were combined."""
 
 
+class OperatorError(BBDDError, ValueError):
+    """An unknown Boolean operator name was supplied.
+
+    Subclasses ``ValueError`` as well for backward compatibility with
+    the historical ``op_from_name`` contract.
+    """
+
+
 class InvariantViolation(BBDDError):
     """An internal canonical-form invariant was violated.
 

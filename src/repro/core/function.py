@@ -1,9 +1,12 @@
 """User-facing handle on a BBDD function.
 
-A :class:`Function` owns a reference on its root node (released on
-garbage collection of the handle), overloads the Boolean operators, and
-exposes the package API: evaluation, satisfiability, counting, cofactors,
-composition, quantification and export helpers.
+:class:`Function` is the BBDD instantiation of the shared
+:class:`repro.api.base.FunctionBase` wrapper: all operators and the
+whole manipulation API (``ite``, ``restrict``, ``compose``,
+``exists``/``forall``, ``sat_one``, ``let``, ``to_expr``, ``dump``) are
+implemented once in the base against the
+:class:`~repro.api.base.DDManager` edge protocol; this module only adds
+the BBDD-specific display form and installs the manager conveniences.
 
 Because reduced and ordered BBDDs are canonical, ``f == g`` is a pointer
 comparison on ``(node, attr)`` — the strong-canonical-form payoff of
@@ -12,275 +15,18 @@ Sec. IV-A1.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Mapping, Optional, Union
-
-from repro.core import apply as _ops
-from repro.core import traversal as _trav
-from repro.core.exceptions import ForeignManagerError
-from repro.core.node import Edge
-from repro.core.operations import (
-    OP_AND,
-    OP_GT,
-    OP_LE,
-    OP_OR,
-    OP_XNOR,
-    OP_XOR,
-    op_from_name,
-)
+from repro.api.base import FunctionBase, install_function_helpers
 
 
-class Function:
+class Function(FunctionBase):
     """A Boolean function represented by a BBDD edge.
 
     Create instances through :class:`~repro.core.manager.BBDDManager`
-    helpers (``manager.var``, ``manager.true``, ...) or by combining other
-    functions with the overloaded operators.
+    helpers (``manager.var``, ``manager.true``, ``manager.add_expr``,
+    ...) or by combining other functions with the overloaded operators.
     """
 
-    __slots__ = ("manager", "node", "attr", "__weakref__")
-
-    def __init__(self, manager, edge: Edge) -> None:
-        self.manager = manager
-        self.node = edge[0]
-        self.attr = edge[1]
-        manager.acquire_ref(self.node)
-
-    def __del__(self) -> None:
-        # Interpreter shutdown may have torn down attributes already.
-        node = getattr(self, "node", None)
-        if node is None:
-            return
-        manager = getattr(self, "manager", None)
-        if manager is None:
-            node.ref -= 1
-            return
-        try:
-            # Dropping a handle feeds the automatic garbage collector.
-            manager.release_ref(node)
-        except Exception:  # pragma: no cover - interpreter teardown
-            pass
-
-    # -- identity -----------------------------------------------------------
-
-    @property
-    def edge(self) -> Edge:
-        return (self.node, self.attr)
-
-    def __eq__(self, other) -> bool:
-        if not isinstance(other, Function):
-            return NotImplemented
-        return (
-            self.manager is other.manager
-            and self.node is other.node
-            and self.attr == other.attr
-        )
-
-    def __hash__(self) -> int:
-        return hash((id(self.manager), self.node.uid, self.attr))
-
-    def _wrap(self, edge: Edge) -> "Function":
-        return Function(self.manager, edge)
-
-    def _coerce(self, other) -> Edge:
-        if isinstance(other, Function):
-            if other.manager is not self.manager:
-                raise ForeignManagerError(
-                    "cannot combine functions from different managers"
-                )
-            return other.edge
-        if other is True or other == 1:
-            return self.manager.true_edge
-        if other is False or other == 0:
-            return self.manager.false_edge
-        raise TypeError(f"cannot combine Function with {type(other).__name__}")
-
-    # -- Boolean operators ----------------------------------------------------
-
-    def apply(self, other, op: Union[int, str]) -> "Function":
-        """Apply any of the 16 two-operand operators (table or name)."""
-        if isinstance(op, str):
-            op = op_from_name(op)
-        return self._wrap(self.manager.apply_edges(self.edge, self._coerce(other), op))
-
-    def __and__(self, other) -> "Function":
-        return self.apply(other, OP_AND)
-
-    __rand__ = __and__
-
-    def __or__(self, other) -> "Function":
-        return self.apply(other, OP_OR)
-
-    __ror__ = __or__
-
-    def __xor__(self, other) -> "Function":
-        return self.apply(other, OP_XOR)
-
-    __rxor__ = __xor__
-
-    def __invert__(self) -> "Function":
-        return self._wrap((self.node, not self.attr))
-
-    def xnor(self, other) -> "Function":
-        """Biconditional (equality) of two functions."""
-        return self.apply(other, OP_XNOR)
-
-    def implies(self, other) -> "Function":
-        return self.apply(other, OP_LE)
-
-    def and_not(self, other) -> "Function":
-        return self.apply(other, OP_GT)
-
-    def ite(self, g, h) -> "Function":
-        """``self ? g : h``."""
-        return self._wrap(
-            _ops.ite(self.manager, self.edge, self._coerce(g), self._coerce(h))
-        )
-
-    # -- constants -------------------------------------------------------------
-
-    @property
-    def is_true(self) -> bool:
-        return self.node.is_sink and not self.attr
-
-    @property
-    def is_false(self) -> bool:
-        return self.node.is_sink and self.attr
-
-    @property
-    def is_constant(self) -> bool:
-        return self.node.is_sink
-
-    # -- semantics ---------------------------------------------------------------
-
-    def _values_from(self, assignment: Mapping) -> Dict[int, bool]:
-        values: Dict[int, bool] = {}
-        for key, bit in assignment.items():
-            values[self.manager.var_index(key)] = bool(bit)
-        return values
-
-    def _support_indices(self) -> Iterator[int]:
-        mask = self.node.supp
-        var = 0
-        while mask:
-            if mask & 1:
-                yield var
-            mask >>= 1
-            var += 1
-
-    def evaluate(self, assignment: Mapping) -> bool:
-        """Evaluate at an assignment keyed by variable name or index.
-
-        The assignment must cover the function's support variables;
-        missing support variables raise
-        :class:`~repro.core.exceptions.VariableError`.  Variables outside
-        the support may be omitted (they default to False, which cannot
-        change the result).
-        """
-        from repro.core.exceptions import VariableError
-
-        values = self._values_from(assignment)
-        missing = [v for v in self._support_indices() if v not in values]
-        if missing:
-            names = ", ".join(self.manager.var_name(v) for v in missing)
-            raise VariableError(
-                f"assignment misses support variable(s): {names}"
-            )
-        for var in range(self.manager.num_vars):
-            values.setdefault(var, False)
-        return _trav.evaluate(self.edge, values)
-
-    def __call__(self, **kwargs) -> bool:
-        return self.evaluate(kwargs)
-
-    def sat_count(self) -> int:
-        """Number of satisfying assignments over all manager variables."""
-        return _trav.sat_count(self.manager, self.edge)
-
-    def sat_one(self) -> Optional[Dict[str, bool]]:
-        """One satisfying assignment (by name), or None if unsatisfiable.
-
-        The assignment covers the function's whole support (support
-        variables the witness path leaves unconstrained are fixed to
-        False), so it always evaluates to True via :meth:`evaluate`.
-        """
-        path = _trav.find_sat_path(self.manager, self.edge, want=True)
-        if path is None:
-            return None
-        return self._assignment_from_path(path)
-
-    def _assignment_from_path(self, path) -> Dict[str, bool]:
-        """Concretize a root-to-sink path (``(pv, sv, rel)`` triples).
-
-        Constraints resolve bottom-up against the couple partner actually
-        on the path (*not* the global order's partner — under the
-        support-chained CVO a node's SV is its function's next *support*
-        variable, which may skip order positions).  A partner the path
-        never pins absolutely is a free variable and defaults to False;
-        remaining unconstrained support variables are False as well.
-        """
-        values: Dict[int, bool] = {}
-        # ``path`` is root-to-sink; resolve deepest-first so each couple's
-        # partner is already fixed (or known free) when it is needed.
-        for pv, sv, rel in reversed(path):
-            if rel == "0" or rel == "1":
-                values[pv] = rel == "1"
-            else:
-                if sv not in values:
-                    values[sv] = False
-                values[pv] = (not values[sv]) if rel == "!=" else values[sv]
-        for var in self._support_indices():
-            values.setdefault(var, False)
-        return {self.manager.var_name(v): b for v, b in values.items()}
-
-    def node_count(self) -> int:
-        """Nodes of this function's BBDD (sink excluded)."""
-        return _trav.count_nodes([self.edge])
-
-    def support(self) -> frozenset:
-        """Names of the variables the function truly depends on."""
-        vars_ = _ops.support(self.manager, self.edge)
-        return frozenset(self.manager.var_name(v) for v in vars_)
-
-    def truth_mask(self, variables: Iterable) -> int:
-        """Truth-table bitmask over the given variables (testing helper)."""
-        indices = [self.manager.var_index(v) for v in variables]
-        return _trav.truth_table_mask(self.manager, self.edge, indices)
-
-    # -- manipulation ---------------------------------------------------------------
-
-    def restrict(self, var, value: bool) -> "Function":
-        """Cofactor with ``var = value``."""
-        return self._wrap(_ops.restrict(self.manager, self.edge, var, value))
-
-    def compose(self, var, g: "Function") -> "Function":
-        """Substitute function ``g`` for variable ``var``."""
-        return self._wrap(_ops.compose(self.manager, self.edge, var, self._coerce(g)))
-
-    def exists(self, variables) -> "Function":
-        return self._wrap(_ops.exists(self.manager, self.edge, variables))
-
-    def forall(self, variables) -> "Function":
-        return self._wrap(_ops.forall(self.manager, self.edge, variables))
-
-    def equivalent(self, other) -> bool:
-        """Canonicity-based equivalence check (pointer comparison)."""
-        other_edge = self._coerce(other)
-        return self.node is other_edge[0] and self.attr == other_edge[1]
-
-    # -- persistence -----------------------------------------------------------------
-
-    def dump(self, target, name: str = "f0") -> None:
-        """Write this function to ``target`` in the levelized binary format.
-
-        ``target`` is a path or a binary file object; ``name`` is the
-        root's stored name (what :func:`repro.io.load` keys it by).
-        Mirrors ``dd``'s ``Function.dump`` convenience surface.
-        """
-        from repro.io import binary as _binary
-
-        _binary.dump(self.manager, {name: self}, target)
-
-    # -- display ------------------------------------------------------------------------
+    __slots__ = ()
 
     def __repr__(self) -> str:
         if self.is_true:
@@ -295,42 +41,10 @@ class Function:
 
 
 def _install_manager_helpers() -> None:
-    """Attach Function-returning convenience methods to BBDDManager.
-
-    Kept here to avoid a circular import between manager and function
-    modules while still giving users ``manager.var(..)`` etc.
-    """
+    """Install the shared conveniences (here to avoid an import cycle)."""
     from repro.core.manager import BBDDManager
 
-    def var(self, name_or_index) -> Function:
-        return Function(self, self.literal_edge(name_or_index))
-
-    def nvar(self, name_or_index) -> Function:
-        return Function(self, self.literal_edge(name_or_index, positive=False))
-
-    def variables(self) -> list:
-        return [Function(self, self.literal_edge(i)) for i in range(self.num_vars)]
-
-    def true(self) -> Function:
-        return Function(self, self.true_edge)
-
-    def false(self) -> Function:
-        return Function(self, self.false_edge)
-
-    def function(self, edge) -> Function:
-        return Function(self, edge)
-
-    def node_count(self, functions) -> int:
-        edges = [f.edge if isinstance(f, Function) else f for f in functions]
-        return _trav.count_nodes(edges)
-
-    BBDDManager.var = var
-    BBDDManager.nvar = nvar
-    BBDDManager.variables = variables
-    BBDDManager.true = true
-    BBDDManager.false = false
-    BBDDManager.function = function
-    BBDDManager.node_count = node_count
+    install_function_helpers(BBDDManager, Function)
 
 
 _install_manager_helpers()

@@ -32,8 +32,9 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.api.base import DDManager
 from repro.core.computed_table import make_computed_table
-from repro.core.exceptions import BBDDError, OrderError, VariableError
+from repro.core.exceptions import BBDDError, VariableError
 from repro.core.node import SV_ONE, BBDDNode, Edge, make_sink
 from repro.core.operations import (
     OP_AND,
@@ -101,7 +102,7 @@ class _GCDeferral:
         return False
 
 
-class BBDDManager:
+class BBDDManager(DDManager):
     """Shared manager for a forest of BBDDs over a common variable set.
 
     Parameters
@@ -123,6 +124,9 @@ class BBDDManager:
         Minimum stored-node count before automatic GC considers running
         (keeps small working sets collection-free).
     """
+
+    #: Registry name of this backend in the repro.api front end.
+    backend = "bbdd"
 
     def __init__(
         self,
@@ -882,6 +886,97 @@ class BBDDManager:
     @staticmethod
     def not_edge(f: Edge) -> Edge:
         return (f[0], not f[1])
+
+    # ------------------------------------------------------------------
+    # uniform DD protocol (repro.api) — derived ops and semantics
+    # ------------------------------------------------------------------
+    #
+    # These wrappers bind the native iterative procedures of
+    # :mod:`repro.core.apply` / :mod:`repro.core.traversal` to the
+    # backend-agnostic :class:`repro.api.base.DDManager` edge protocol,
+    # which is what the shared Function wrapper and every protocol
+    # client (network builder, harness, io) call.
+
+    def ite_edges(self, f: Edge, g: Edge, h: Edge) -> Edge:
+        from repro.core import apply as _ops
+
+        return _ops.ite(self, f, g, h)
+
+    def restrict_edge(self, edge: Edge, var, value: bool) -> Edge:
+        from repro.core import apply as _ops
+
+        return _ops.restrict(self, edge, var, value)
+
+    def compose_edge(self, edge: Edge, var, g: Edge) -> Edge:
+        from repro.core import apply as _ops
+
+        return _ops.compose(self, edge, var, g)
+
+    def quantify_edge(self, edge: Edge, variables, forall: bool = False) -> Edge:
+        from repro.core import apply as _ops
+
+        if forall:
+            return _ops.forall(self, edge, variables)
+        return _ops.exists(self, edge, variables)
+
+    def support_edge(self, edge: Edge) -> frozenset:
+        from repro.core import apply as _ops
+
+        return _ops.support(self, edge)
+
+    def evaluate_edge(self, edge: Edge, values: Dict[int, bool]) -> bool:
+        from repro.core import traversal as _trav
+
+        return _trav.evaluate(edge, values)
+
+    def sat_count_edge(self, edge: Edge) -> int:
+        from repro.core import traversal as _trav
+
+        return _trav.sat_count(self, edge)
+
+    def sat_one_edge(self, edge: Edge) -> Optional[Dict[int, bool]]:
+        """One satisfying assignment ``{var index: bit}``, or None.
+
+        Constraints resolve bottom-up against the couple partner actually
+        on the witness path (*not* the global order's partner — under the
+        support-chained CVO a node's SV is its function's next *support*
+        variable, which may skip order positions).  A partner the path
+        never pins absolutely is a free variable and defaults to False.
+        """
+        from repro.core import traversal as _trav
+
+        path = _trav.find_sat_path(self, edge, want=True)
+        if path is None:
+            return None
+        values: Dict[int, bool] = {}
+        # ``path`` is root-to-sink; resolve deepest-first so each couple's
+        # partner is already fixed (or known free) when it is needed.
+        for pv, sv, rel in reversed(path):
+            if rel == "0" or rel == "1":
+                values[pv] = rel == "1"
+            else:
+                if sv not in values:
+                    values[sv] = False
+                values[pv] = (not values[sv]) if rel == "!=" else values[sv]
+        return values
+
+    def root_var(self, edge: Edge) -> int:
+        """The first support variable (in order) of ``edge``'s function.
+
+        Under the support-chained CVO this is the root couple's PV.
+        """
+        return edge[0].pv
+
+    def count_nodes(self, edges: Iterable[Edge]) -> int:
+        from repro.core import traversal as _trav
+
+        return _trav.count_nodes(edges)
+
+    def sift(self, **kwargs):
+        """Reorder variables with Rudell's sifting (see repro.core.reorder)."""
+        from repro.core.reorder import sift as _sift
+
+        return _sift(self, **kwargs)
 
     # ------------------------------------------------------------------
     # memory management (Sec. IV-A3)

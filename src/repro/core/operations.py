@@ -59,7 +59,10 @@ _BY_NAME.update(
     {
         "IMPLIES": OP_LE,
         "IMP": OP_LE,
+        "IMPLY": OP_LE,
         "EQUIV": OP_XNOR,
+        "EQ": OP_XNOR,
+        "IFF": OP_XNOR,
         "XNOR2": OP_XNOR,
         "DIFF": OP_GT,
         "NIMP": OP_GT,
@@ -73,11 +76,24 @@ def op_name(op: int) -> str:
 
 
 def op_from_name(name: str) -> int:
-    """Return the 4-bit table for an operator *name* (case-insensitive)."""
+    """Return the 4-bit table for an operator *name*.
+
+    Case-insensitive; accepts the conventional names (``AND``, ``NAND``,
+    ``NOR``, ``XNOR``, ...) and the common aliases (``equiv``, ``imp``,
+    ``implies``, ...).  Unknown names raise
+    :class:`~repro.core.exceptions.OperatorError` (a ``BBDDError`` and
+    ``ValueError``) listing the valid names.
+    """
+    from repro.core.exceptions import OperatorError
+
     try:
         return _BY_NAME[name.upper()]
-    except KeyError:
-        raise ValueError(f"unknown Boolean operator name: {name!r}") from None
+    except (KeyError, AttributeError):
+        valid = ", ".join(sorted(_BY_NAME))
+        raise OperatorError(
+            f"unknown Boolean operator name: {name!r}; valid names "
+            f"(case-insensitive): {valid}"
+        ) from None
 
 
 def op_eval(op: int, a: int, b: int) -> int:

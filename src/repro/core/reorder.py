@@ -33,7 +33,7 @@ rebuild-based reordering used as a test oracle.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.core.exceptions import BBDDError, OrderError
 from repro.core.node import SV_ONE, BBDDNode, Edge

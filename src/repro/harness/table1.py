@@ -4,21 +4,26 @@ Pipeline per benchmark (exactly the paper's protocol, Sec. IV-B): build
 the decision diagrams bottom-up over the netlist using the initial
 variable order provided by the benchmark file (here: the generator's
 input order), record the build time; sift; record the sift time and the
-final shared node count.  Run identically on both packages and summarize
-the way the paper's Average row does: node reduction from the column
-means, speed-up from the summed times.
+final shared node count.  Every package runs through the **identical
+code path** — the :mod:`repro.api` protocol (``repro.network.build.build``
+with a backend name, ``manager.sift``, ``manager.node_count``) — so the
+comparison measures the representations, not the drivers.  ``--backend``
+selects which packages run (``bbdd``, ``bdd``, or ``both``); the summary
+mirrors the paper's Average row: node reduction from the column means,
+speed-up from the summed times.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.bdd.reorder import sift_bdd
 from repro.circuits.registry import TABLE1_ROWS, Table1Row, full_profile
-from repro.core.reorder import sift as sift_bbdd
 from repro.harness.report import format_table
-from repro.network.build import build_bbdd, build_bdd
+from repro.network.build import build
+
+#: Backends compared by default (the paper's Table I pairing).
+DEFAULT_BACKENDS: Tuple[str, ...] = ("bbdd", "bdd")
 
 
 class Table1Result:
@@ -49,24 +54,16 @@ def run_benchmark(
     sift: bool = True,
     max_swaps: Optional[int] = None,
 ) -> Table1Result:
-    """Build-and-sift one benchmark on one package ("bbdd" or "bdd")."""
+    """Build-and-sift one benchmark on one package (any registered backend)."""
     t0 = time.perf_counter()
-    if package == "bbdd":
-        manager, functions = build_bbdd(network)
-    elif package == "bdd":
-        manager, functions = build_bdd(network)
-    else:
-        raise ValueError(f"unknown package {package!r}")
+    manager, functions = build(network, backend=package)
     build_time = time.perf_counter() - t0
 
     handles = list(functions.values())
     sift_time = 0.0
     if sift:
         t1 = time.perf_counter()
-        if package == "bbdd":
-            sift_bbdd(manager, max_swaps=max_swaps)
-        else:
-            sift_bdd(manager, max_swaps=max_swaps)
+        manager.sift(max_swaps=max_swaps)
         sift_time = time.perf_counter() - t1
     nodes = manager.node_count(handles)
     return Table1Result(
@@ -81,15 +78,18 @@ def run_table1(
     max_swaps: Optional[int] = None,
     verbose: bool = False,
     checkpoint_dir: Optional[str] = None,
+    backends: Sequence[str] = DEFAULT_BACKENDS,
 ) -> Dict:
-    """Run the full Table I experiment; returns the result dictionary.
+    """Run the Table I experiment; returns the result dictionary.
 
-    With ``checkpoint_dir`` set, each benchmark's result row and BBDD
-    forest are persisted there as they complete (see
+    ``backends`` selects the packages under test (default: both, the
+    paper's comparison).  With ``checkpoint_dir`` set, each benchmark's
+    result row and BBDD forest are persisted there as they complete (see
     :class:`repro.io.checkpoint.CheckpointStore`), and rows with a
     stored result are reused instead of re-run — an interrupted run
     resumes where it stopped.
     """
+    backends = tuple(backends)
     if rows is None:
         rows = TABLE1_ROWS
     if full is None:
@@ -106,6 +106,8 @@ def run_table1(
         settings += "-nosift"
     if max_swaps is not None:
         settings += f"-swaps{max_swaps}"
+    if backends != DEFAULT_BACKENDS:
+        settings += "-" + "+".join(backends)
     results: List[dict] = []
     for row in rows:
         key = f"table1-{row.name}-{settings}"
@@ -118,96 +120,114 @@ def run_table1(
                     print(f"  {row.name:10s} [checkpoint] reusing stored result")
                 continue
         network = row.build(full=full)
-        bbdd = run_benchmark(network, "bbdd", sift=sift, max_swaps=max_swaps)
-        bdd = run_benchmark(network, "bdd", sift=sift, max_swaps=max_swaps)
         record = {
             "name": row.name,
             "inputs": network.num_inputs,
             "outputs": network.num_outputs,
-            "bbdd_nodes": bbdd.nodes,
-            "bbdd_build": bbdd.build_time,
-            "bbdd_sift": bbdd.sift_time,
-            "bdd_nodes": bdd.nodes,
-            "bdd_build": bdd.build_time,
-            "bdd_sift": bdd.sift_time,
             "paper_bbdd_nodes": row.paper_bbdd_nodes,
             "paper_bdd_nodes": row.paper_bdd_nodes,
             "fidelity": row.fidelity,
             "cached": False,
         }
+        bbdd_result = None
+        for backend in backends:
+            measured = run_benchmark(network, backend, sift=sift, max_swaps=max_swaps)
+            record[f"{backend}_nodes"] = measured.nodes
+            record[f"{backend}_build"] = measured.build_time
+            record[f"{backend}_sift"] = measured.sift_time
+            if backend == "bbdd":
+                bbdd_result = measured
         if store is not None:
-            store.save_forest(key, bbdd.manager, bbdd.functions)
+            if bbdd_result is not None:
+                store.save_forest(key, bbdd_result.manager, bbdd_result.functions)
             store.save_result(key, record)
         results.append(record)
         if verbose:
-            print(
-                f"  {row.name:10s} BBDD {bbdd.nodes:7d} nodes "
-                f"({bbdd.build_time:.2f}s/{bbdd.sift_time:.2f}s)  "
-                f"BDD {bdd.nodes:7d} nodes "
-                f"({bdd.build_time:.2f}s/{bdd.sift_time:.2f}s)"
-            )
-    return summarize(results, full)
+            parts = [f"  {row.name:10s}"]
+            for backend in backends:
+                parts.append(
+                    f"{backend.upper()} {record[f'{backend}_nodes']:7d} nodes "
+                    f"({record[f'{backend}_build']:.2f}s/"
+                    f"{record[f'{backend}_sift']:.2f}s)"
+                )
+            print("  ".join(parts))
+    return summarize(results, full, backends=backends)
 
 
-def summarize(results: List[dict], full: bool) -> Dict:
+def summarize(
+    results: List[dict],
+    full: bool,
+    backends: Sequence[str] = DEFAULT_BACKENDS,
+) -> Dict:
+    backends = tuple(backends)
     mean = lambda key: sum(r[key] for r in results) / len(results)
-    bbdd_nodes = mean("bbdd_nodes")
-    bdd_nodes = mean("bdd_nodes")
-    bbdd_time = sum(r["bbdd_build"] + r["bbdd_sift"] for r in results)
-    bdd_time = sum(r["bdd_build"] + r["bdd_sift"] for r in results)
-    node_reduction = 100.0 * (1.0 - bbdd_nodes / bdd_nodes) if bdd_nodes else 0.0
-    speedup = (bdd_time / bbdd_time) if bbdd_time > 0 else float("inf")
-    # Paper averages for reference.
-    paper_bbdd = sum(r["paper_bbdd_nodes"] for r in results) / len(results)
-    paper_bdd = sum(r["paper_bdd_nodes"] for r in results) / len(results)
-    paper_reduction = 100.0 * (1.0 - paper_bbdd / paper_bdd)
-    return {
+    summary: Dict = {
         "rows": results,
         "profile": "paper-scale" if full else "fast",
-        "avg_bbdd_nodes": bbdd_nodes,
-        "avg_bdd_nodes": bdd_nodes,
-        "node_reduction_pct": node_reduction,
-        "total_bbdd_time": bbdd_time,
-        "total_bdd_time": bdd_time,
-        "speedup": speedup,
-        "paper_node_reduction_pct": paper_reduction,
-        "paper_speedup": 1.63,
+        "backends": list(backends),
     }
+    for backend in backends:
+        summary[f"avg_{backend}_nodes"] = mean(f"{backend}_nodes")
+        summary[f"total_{backend}_time"] = sum(
+            r[f"{backend}_build"] + r[f"{backend}_sift"] for r in results
+        )
+    if "bbdd" in backends and "bdd" in backends:
+        bbdd_nodes = summary["avg_bbdd_nodes"]
+        bdd_nodes = summary["avg_bdd_nodes"]
+        bbdd_time = summary["total_bbdd_time"]
+        bdd_time = summary["total_bdd_time"]
+        summary["node_reduction_pct"] = (
+            100.0 * (1.0 - bbdd_nodes / bdd_nodes) if bdd_nodes else 0.0
+        )
+        summary["speedup"] = (bdd_time / bbdd_time) if bbdd_time > 0 else float("inf")
+        # Paper averages for reference.
+        paper_bbdd = mean("paper_bbdd_nodes")
+        paper_bdd = mean("paper_bdd_nodes")
+        summary["paper_node_reduction_pct"] = 100.0 * (1.0 - paper_bbdd / paper_bdd)
+        summary["paper_speedup"] = 1.63
+    return summary
 
 
 def render_table1(summary: Dict) -> str:
-    headers = [
-        "Benchmark", "In", "Out",
-        "BBDD nodes", "BBDD build(s)", "BBDD sift(s)",
-        "BDD nodes", "BDD build(s)", "BDD sift(s)",
-    ]
-    rows = [
-        [
-            r["name"], r["inputs"], r["outputs"],
-            r["bbdd_nodes"], r["bbdd_build"], r["bbdd_sift"],
-            r["bdd_nodes"], r["bdd_build"], r["bdd_sift"],
-        ]
-        for r in summary["rows"]
-    ]
-    rows.append(
-        [
-            "Average", "", "",
-            round(summary["avg_bbdd_nodes"], 1), "", "",
-            round(summary["avg_bdd_nodes"], 1), "", "",
-        ]
-    )
+    backends = tuple(summary.get("backends", DEFAULT_BACKENDS))
+    headers = ["Benchmark", "In", "Out"]
+    for backend in backends:
+        tag = backend.upper()
+        headers += [f"{tag} nodes", f"{tag} build(s)", f"{tag} sift(s)"]
+    rows = []
+    for r in summary["rows"]:
+        row = [r["name"], r["inputs"], r["outputs"]]
+        for backend in backends:
+            row += [
+                r[f"{backend}_nodes"],
+                r[f"{backend}_build"],
+                r[f"{backend}_sift"],
+            ]
+        rows.append(row)
+    average = ["Average", "", ""]
+    for backend in backends:
+        average += [round(summary[f"avg_{backend}_nodes"], 1), "", ""]
+    rows.append(average)
     table = format_table(
         headers,
         rows,
         title=f"Table I reproduction ({summary['profile']} profile)",
     )
-    footer = (
-        f"\nnode reduction: {summary['node_reduction_pct']:.2f}% "
-        f"(paper: {summary['paper_node_reduction_pct']:.2f}% on its suite; "
-        f"headline 19.48%)"
-        f"\nspeed-up (BDD time / BBDD time): {summary['speedup']:.2f}x "
-        f"(paper: 1.63x)"
-    )
+    if "node_reduction_pct" in summary:
+        footer = (
+            f"\nnode reduction: {summary['node_reduction_pct']:.2f}% "
+            f"(paper: {summary['paper_node_reduction_pct']:.2f}% on its suite; "
+            f"headline 19.48%)"
+            f"\nspeed-up (BDD time / BBDD time): {summary['speedup']:.2f}x "
+            f"(paper: 1.63x)"
+        )
+    else:
+        backend = backends[0]
+        footer = (
+            f"\nsingle-backend run ({backend}): "
+            f"total time {summary[f'total_{backend}_time']:.2f}s, "
+            f"avg nodes {summary[f'avg_{backend}_nodes']:.1f}"
+        )
     return table + footer
 
 
@@ -215,6 +235,13 @@ def main(argv: Optional[Sequence[str]] = None) -> None:  # pragma: no cover
     import argparse
 
     parser = argparse.ArgumentParser(description="Reproduce Table I.")
+    parser.add_argument(
+        "--backend",
+        choices=["bbdd", "bdd", "both"],
+        default="both",
+        help="package(s) under test; both compare through the identical "
+        "repro.api code path (default: both)",
+    )
     parser.add_argument(
         "--checkpoint",
         metavar="DIR",
@@ -229,11 +256,13 @@ def main(argv: Optional[Sequence[str]] = None) -> None:  # pragma: no cover
     )
     parser.add_argument("--no-sift", action="store_true", help="skip the sifting stage")
     args = parser.parse_args(argv)
+    backends = DEFAULT_BACKENDS if args.backend == "both" else (args.backend,)
     summary = run_table1(
         full=True if args.full else None,
         sift=not args.no_sift,
         verbose=True,
         checkpoint_dir=args.checkpoint,
+        backends=backends,
     )
     print(render_table1(summary))
 

@@ -23,12 +23,17 @@ def run_table2(
     check_equivalence: bool = True,
     verbose: bool = False,
     checkpoint_dir: Optional[str] = None,
+    backend: str = "bbdd",
 ) -> Dict:
     """Run the Table II experiment; returns the result dictionary.
 
-    With ``checkpoint_dir`` set, each datapath's result row and
-    front-end BBDD forest are persisted as they complete and re-runs
-    reuse stored rows (see :class:`repro.io.checkpoint.CheckpointStore`).
+    ``backend`` names the :mod:`repro.api` package driving the front-end
+    forest (the comparator/majority rewriting is BBDD-structural, so
+    other backends exercise the protocol path and fall back to the
+    designer's structure for mapping).  With ``checkpoint_dir`` set,
+    each datapath's result row and front-end forest are persisted as
+    they complete and re-runs reuse stored rows (see
+    :class:`repro.io.checkpoint.CheckpointStore`).
     """
     if rows is None:
         rows = TABLE2_ROWS
@@ -43,6 +48,8 @@ def run_table2(
     settings = "full" if full else "fast"
     if not check_equivalence:
         settings += "-nocheck"
+    if backend != "bbdd":
+        settings += f"-{backend}"
     library = default_library()
     results: List[dict] = []
     for row in rows:
@@ -62,11 +69,16 @@ def run_table2(
             library,
             check_equivalence=check_equivalence,
             keep_forest=store is not None,
+            backend=backend,
         )
+        # The dd-flow column keeps its historical "bbdd_*" keys for
+        # checkpoint compatibility; "backend" records which package
+        # actually produced it (render uses it for the column titles).
         record = {
             "name": row.name,
             "inputs": rtl.num_inputs,
             "outputs": rtl.num_outputs,
+            "backend": backend,
             "bbdd_area": bbdd.area,
             "bbdd_delay": bbdd.delay_ns,
             "bbdd_gates": bbdd.gate_count,
@@ -102,6 +114,7 @@ def summarize(results: List[dict], full: bool) -> Dict:
     return {
         "rows": results,
         "profile": "paper-scale" if full else "fast",
+        "backend": results[0].get("backend", "bbdd") if results else "bbdd",
         "avg_bbdd_area": bbdd_area,
         "avg_base_area": base_area,
         "avg_bbdd_delay": bbdd_delay,
@@ -119,9 +132,10 @@ def summarize(results: List[dict], full: bool) -> Dict:
 
 
 def render_table2(summary: Dict) -> str:
+    tag = summary.get("backend", "bbdd").upper()
     headers = [
         "Benchmark", "In", "Out",
-        "BBDD area", "BBDD delay", "BBDD gates",
+        f"{tag} area", f"{tag} delay", f"{tag} gates",
         "Comm area", "Comm delay", "Comm gates",
     ]
     rows = [
@@ -170,6 +184,14 @@ def main(argv: Optional[Sequence[str]] = None) -> None:  # pragma: no cover
         "and resume from them on re-runs",
     )
     parser.add_argument(
+        "--backend",
+        choices=["bbdd", "bdd"],
+        default="bbdd",
+        help="repro.api backend driving the front-end forest (the "
+        "comparator/majority rewriting is BBDD-structural; other "
+        "backends exercise the protocol path)",
+    )
+    parser.add_argument(
         "--full",
         action="store_true",
         help="paper-scale datapath widths (default: fast; REPRO_FULL=1 also works)",
@@ -179,6 +201,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:  # pragma: no cover
         full=True if args.full else None,
         verbose=True,
         checkpoint_dir=args.checkpoint,
+        backend=args.backend,
     )
     print(render_table2(summary))
 

@@ -8,11 +8,18 @@ The subsystem makes BBDDs durable and portable:
   shared forests with on-the-fly re-reduction on import;
 * :mod:`repro.io.stream` — one-level-at-a-time writer/reader and the
   header-only :func:`~repro.io.stream.scan`;
+* :mod:`repro.io.bdd_binary` — the same container for baseline-BDD
+  forests (Shannon node records, header flag bit 0 set);
 * :mod:`repro.io.jsondump` — JSON/dict interchange for debugging;
-* :mod:`repro.io.migrate` — cross-manager copy with variable remapping;
+* :mod:`repro.io.migrate` — cross-manager (and cross-backend) copy with
+  variable remapping;
 * :mod:`repro.io.checkpoint` — harness checkpoint store (``--checkpoint``).
 """
 
+from repro.io.bdd_binary import dump as dump_bdd
+from repro.io.bdd_binary import dumps as dumps_bdd
+from repro.io.bdd_binary import load as load_bdd
+from repro.io.bdd_binary import loads as loads_bdd
 from repro.io.binary import dump, dumps, load, loads
 from repro.io.checkpoint import CheckpointStore
 from repro.io.format import FormatError
@@ -25,6 +32,10 @@ __all__ = [
     "dumps",
     "load",
     "loads",
+    "dump_bdd",
+    "dumps_bdd",
+    "load_bdd",
+    "loads_bdd",
     "dump_json",
     "load_json",
     "to_dict",

@@ -20,7 +20,7 @@ from repro.core.function import Function
 from repro.core.node import SV_ONE, Edge
 from repro.core.traversal import levelize
 
-from repro.io.format import Header, SINK_ID, pack_ref
+from repro.io.format import FLAG_BDD, Header, SINK_ID, pack_ref
 from repro.io.migrate import Rename
 from repro.io.stream import LevelStreamReader, LevelStreamWriter
 
@@ -164,6 +164,13 @@ def loads(data: bytes, manager=None, rename: Rename = None):
 
 def _load_file(fileobj, manager, rename: Rename):
     reader = LevelStreamReader(fileobj)
+    if reader.header.flags & FLAG_BDD:
+        from repro.io.format import FormatError
+
+        raise FormatError(
+            "this is a baseline-BDD dump; use repro.io.bdd_binary.load / "
+            "BDDManager.load"
+        )
     if manager is None:
         from repro.core.manager import BBDDManager
         from repro.io.migrate import _resolve_rename

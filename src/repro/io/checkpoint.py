@@ -1,4 +1,4 @@
-"""Harness checkpointing: persist per-benchmark results and BBDD forests.
+"""Harness checkpointing: persist per-benchmark results and DD forests.
 
 A :class:`CheckpointStore` owns a directory with two artifact kinds per
 checkpoint key:
@@ -7,7 +7,10 @@ checkpoint key:
   atomically (tmp file + rename) so an interrupted run never leaves a
   half-written checkpoint behind;
 * ``<key>.bbdd`` — a levelized binary forest dump (see
-  :mod:`repro.io.format`) of the benchmark's BBDDs.
+  :mod:`repro.io.format`) of the benchmark's decision diagrams.  Saving
+  goes through the owning manager's ``dump`` protocol method, so any
+  :mod:`repro.api` backend's forest checkpoints (the header flag records
+  which codec wrote it); reloading dispatches on that flag.
 
 The Table I/II drivers (:mod:`repro.harness.table1`,
 :mod:`repro.harness.table2`) use it for ``--checkpoint DIR`` resume:
@@ -75,17 +78,28 @@ class CheckpointStore:
         path = self.forest_path(key)
         tmp = path + ".tmp"
         with open(tmp, "wb") as fileobj:
-            binary.dump(manager, functions, fileobj)
+            # Protocol dispatch: each backend writes its own record kind
+            # into the shared container (BBDD couples / BDD Shannon).
+            manager.dump(functions, fileobj)
         os.replace(tmp, path)
 
     def load_forest(self, key: str, manager=None):
-        """Reload a forest dump; returns ``(manager, {name: Function})``.
+        """Reload a forest dump; returns ``(manager, {name: function})``.
 
-        Returns ``None`` when no forest is stored under ``key``.
+        Returns ``None`` when no forest is stored under ``key``.  The
+        dump's header flag selects the codec (BBDD or baseline BDD).
         """
         path = self.forest_path(key)
         if not os.path.exists(path):
             return None
+        from repro.io.format import FLAG_BDD, read_header
+
+        with open(path, "rb") as fileobj:
+            flags = read_header(fileobj).flags
+        if flags & FLAG_BDD:
+            from repro.io import bdd_binary
+
+            return bdd_binary.load(path, manager=manager)
         return binary.load(path, manager=manager)
 
     # -- maintenance -------------------------------------------------------

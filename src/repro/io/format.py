@@ -49,6 +49,10 @@ from repro.core.exceptions import BBDDError
 MAGIC = b"BBDD"
 FORMAT_VERSION = 1
 
+#: Header flag bit: the dump holds baseline-BDD (Shannon) node records
+#: (see :mod:`repro.io.bdd_binary`) instead of BBDD couple records.
+FLAG_BDD = 1
+
 #: Node id of the 1-sink in every file.
 SINK_ID = 0
 

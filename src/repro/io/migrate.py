@@ -1,14 +1,22 @@
-"""Cross-manager migration: rebuild BBDDs inside a different manager.
+"""Cross-manager migration: rebuild decision diagrams in another manager.
 
-Two entry points share one rebuild core:
+Three entry points share the rebuild machinery:
 
 * :class:`ForestRebuilder` — drives the codecs (:mod:`repro.io.binary`,
   :mod:`repro.io.jsondump`): given a dump's variable order it replays
   serialized node records inside a target manager, re-reducing on the
   fly (see `Rebuild semantics` below).
-* :class:`Migrator` / :func:`migrate` — copies *live* functions from one
-  manager into another without a serialization round trip, with optional
-  variable renaming.
+* :class:`Migrator` — copies *live* BBDD functions into another BBDD
+  manager without a serialization round trip, with optional variable
+  renaming.
+* :class:`ProtocolMigrator` / :func:`migrate` — the backend-agnostic
+  path: copies live functions between *any* pair of
+  :class:`repro.api.base.DDManager` backends (BBDD -> BDD,
+  BDD -> BBDD, BDD -> BDD, ...) by replaying each source node through
+  the target's protocol operations (a Shannon node becomes
+  ``ite(v, t, e)``, a biconditional couple ``ite(v <-> w, eq, neq)``).
+  :func:`migrate` picks the structural fast path automatically when
+  both managers are BBDD.
 
 Rebuild semantics
 -----------------
@@ -26,6 +34,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Mapping, Sequence, Union
 
+from repro.api.base import FunctionBase, rebuild_function
 from repro.core import apply as _ops
 from repro.core.exceptions import BBDDError, VariableError
 from repro.core.function import Function
@@ -216,23 +225,78 @@ class Migrator:
         return memo[node]
 
 
+class ProtocolMigrator:
+    """Copies live functions between any two protocol backends.
+
+    Works node by node through the target's :class:`repro.api.base.DDManager`
+    protocol operations, so the source and target representations may
+    differ: each Shannon node is rebuilt as ``ite(v, then, else)``, each
+    biconditional couple as ``ite(v <-> w, eq, neq)`` and each literal
+    as the target's projection function.  Copies are memoized per source
+    node (complements ride on the handles), and the walk is iterative —
+    deep diagrams migrate without touching the recursion limit.
+    """
+
+    def __init__(self, src, dst, rename: Rename = None) -> None:
+        if src is dst:
+            raise BBDDError("source and target managers must differ")
+        self.src = src
+        self.dst = dst
+        self._rename = _resolve_rename(rename)
+        self._memo: Dict[object, FunctionBase] = {}
+        self._vars: Dict[int, FunctionBase] = {}
+
+    def _dst_var(self, index: int) -> FunctionBase:
+        f = self._vars.get(index)
+        if f is None:
+            name = self._rename(self.src.var_name(index))
+            try:
+                f = self.dst.function(self.dst.literal_edge(name))
+            except VariableError:
+                raise VariableError(
+                    f"source variable missing from target manager: {name!r}"
+                ) from None
+            self._vars[index] = f
+        return f
+
+    def function(self, f: FunctionBase) -> FunctionBase:
+        if f.manager is not self.src:
+            raise BBDDError("function does not belong to the source manager")
+        copied = rebuild_function(
+            self.src, f.node, self._dst_var, self.dst, memo=self._memo
+        )
+        return ~copied if f.attr else copied
+
+
+def _migrator_for(src, dst, rename: Rename):
+    """The structural fast path for BBDD pairs, the protocol path otherwise."""
+    if (
+        getattr(src, "backend", None) == "bbdd"
+        and getattr(dst, "backend", None) == "bbdd"
+    ):
+        return Migrator(src, dst, rename=rename)
+    return ProtocolMigrator(src, dst, rename=rename)
+
+
 def migrate(functions, dst, rename: Rename = None):
     """Copy functions into the manager ``dst``, remapping variables by name.
 
-    ``functions`` may be a single :class:`Function`, a sequence, or a
+    ``functions`` may be a single function handle, a sequence, or a
     name-keyed mapping; the result mirrors the input shape.  All inputs
-    must share one source manager.
+    must share one source manager.  Source and target may use different
+    backends — a BBDD forest migrates into a BDD manager and vice versa
+    (re-canonicalized through the target's protocol operations).
     """
-    if isinstance(functions, Function):
-        return Migrator(functions.manager, dst, rename=rename).function(functions)
+    if isinstance(functions, FunctionBase):
+        return _migrator_for(functions.manager, dst, rename).function(functions)
     if isinstance(functions, Mapping):
         items = list(functions.items())
         if not items:
             return {}
-        mig = Migrator(items[0][1].manager, dst, rename=rename)
+        mig = _migrator_for(items[0][1].manager, dst, rename)
         return {name: mig.function(f) for name, f in items}
     items = list(functions)
     if not items:
         return []
-    mig = Migrator(items[0].manager, dst, rename=rename)
+    mig = _migrator_for(items[0].manager, dst, rename)
     return [mig.function(f) for f in items]

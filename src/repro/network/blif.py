@@ -9,7 +9,7 @@ read; the writer emits one ``.names`` block per gate.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.network.network import LogicNetwork
 

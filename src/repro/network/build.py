@@ -9,7 +9,7 @@ manager.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.core.operations import OP_AND, OP_OR, OP_XNOR, OP_XOR, flip_output
 
@@ -83,6 +83,35 @@ def _build_deferred(manager, network, make_manager_edge) -> Dict[str, object]:
     return {name: make_manager_edge(edges[sig]) for name, sig in network.outputs}
 
 
+def build(
+    network,
+    backend: str = "bbdd",
+    manager=None,
+    unique_backend: str = "dict",
+    computed_backend: str = "dict",
+) -> Tuple[object, Dict[str, object]]:
+    """Build decision diagrams for all outputs of ``network``.
+
+    The one backend-agnostic entry point: ``backend`` names any
+    registered :mod:`repro.api` backend (``"bbdd"``, ``"bdd"``, ...)
+    and the returned manager/handles implement the uniform protocol, so
+    every client drives both packages through the identical code path.
+    Returns ``(manager, {output name: function})``; a fresh manager with
+    the network's input order is created unless one is supplied.
+    """
+    if manager is None:
+        from repro.api import open as _open
+
+        manager = _open(
+            backend,
+            vars=list(network.inputs),
+            unique_backend=unique_backend,
+            computed_backend=computed_backend,
+        )
+    functions = _build(manager, network, manager.function)
+    return manager, functions
+
+
 def build_bbdd(
     network,
     manager=None,
@@ -91,19 +120,16 @@ def build_bbdd(
 ) -> Tuple[object, Dict[str, object]]:
     """Build BBDDs for all outputs of ``network``.
 
-    Returns ``(manager, {output name: Function})``.  A fresh manager with
-    the network's input order is created unless one is supplied.
+    Deprecated backend-specific spelling of :func:`build`; prefer
+    ``build(network, backend="bbdd")``.
     """
-    from repro.core.manager import BBDDManager
-
-    if manager is None:
-        manager = BBDDManager(
-            list(network.inputs),
-            unique_backend=unique_backend,
-            computed_backend=computed_backend,
-        )
-    functions = _build(manager, network, manager.function)
-    return manager, functions
+    return build(
+        network,
+        backend="bbdd",
+        manager=manager,
+        unique_backend=unique_backend,
+        computed_backend=computed_backend,
+    )
 
 
 def build_bdd(
@@ -112,14 +138,15 @@ def build_bdd(
     unique_backend: str = "dict",
     computed_backend: str = "dict",
 ) -> Tuple[object, Dict[str, object]]:
-    """Build baseline-package BDDs for all outputs of ``network``."""
-    from repro.bdd.manager import BDDManager
+    """Build baseline-package BDDs for all outputs of ``network``.
 
-    if manager is None:
-        manager = BDDManager(
-            list(network.inputs),
-            unique_backend=unique_backend,
-            computed_backend=computed_backend,
-        )
-    functions = _build(manager, network, manager.function)
-    return manager, functions
+    Deprecated backend-specific spelling of :func:`build`; prefer
+    ``build(network, backend="bdd")``.
+    """
+    return build(
+        network,
+        backend="bdd",
+        manager=manager,
+        unique_backend=unique_backend,
+        computed_backend=computed_backend,
+    )

@@ -10,7 +10,7 @@ to verify the decision-diagram builders and the synthesis flows).
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Dict, Mapping
 
 
 def exhaustive_masks(num_inputs: int) -> Dict[int, int]:

@@ -12,7 +12,7 @@ not supported — benchmarks are bit-blasted, as the paper's flow requires
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.network.network import LogicNetwork
 

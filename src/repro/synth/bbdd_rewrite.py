@@ -20,7 +20,7 @@ inverters across the whole multi-output forest.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from repro.core.node import SV_ONE, BBDDNode, Edge
 from repro.network.network import LogicNetwork

@@ -18,7 +18,7 @@ import re
 import time
 from typing import Dict, List, Optional
 
-from repro.network.build import build_bbdd
+from repro.network.build import build
 from repro.network.network import LogicNetwork
 from repro.network.simulate import networks_equivalent
 from repro.synth.bbdd_rewrite import rewrite_functions
@@ -122,13 +122,20 @@ def bbdd_flow(
     sift: bool = False,
     selective: bool = True,
     keep_forest: bool = False,
+    backend: str = "bbdd",
 ) -> FlowResult:
     """The paper's flow: BBDD restructuring ahead of the synthesis tool.
 
-    The RTL is rebuilt as a BBDD forest under the datapath-interleaved
-    front-end order (optionally sifted), rewritten into comparator/
-    majority structure, and mapped structure-preservingly with the same
-    library and cleanup passes as the baseline.
+    The RTL is rebuilt as a decision-diagram forest under the
+    datapath-interleaved front-end order (optionally sifted), rewritten
+    into comparator/majority structure, and mapped structure-preservingly
+    with the same library and cleanup passes as the baseline.
+
+    The front end is driven through the :mod:`repro.api` protocol, so
+    ``backend`` may name any registered package; the comparator/majority
+    rewriting is a BBDD structural pass, so for other backends the flow
+    reports the forest metrics and falls back to the designer's original
+    structure for mapping (the selective pass-through below).
 
     ``selective`` models a sane front-end: when the BBDD restructuring of
     a circuit is *worse* than the structure the designer already wrote
@@ -143,14 +150,15 @@ def bbdd_flow(
 
     ordered = rtl.copy()
     ordered.inputs = datapath_order(rtl.inputs)
-    manager, functions = build_bbdd(ordered)
+    manager, functions = build(ordered, backend=backend)
     if sift:
-        from repro.core.reorder import sift as bbdd_sift
-
-        bbdd_sift(manager)
+        manager.sift()
     bbdd_nodes = manager.node_count(list(functions.values()))
-    rewritten = rewrite_functions(manager, functions)
-    rewritten.name = rtl.name
+    if manager.backend == "bbdd":
+        rewritten = rewrite_functions(manager, functions)
+        rewritten.name = rtl.name
+    else:
+        rewritten = rtl
     mapped_net = map_preserving(rewritten, library)
     if selective:
         passthrough = map_preserving(rtl, library)
@@ -162,7 +170,7 @@ def bbdd_flow(
         networks_equivalent(rtl, mapped_net) if check_equivalence else None
     )
     return FlowResult(
-        "bbdd+commercial",
+        f"{manager.backend}+commercial",
         mapped,
         runtime,
         equivalent,

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.network.network import Gate, LogicNetwork
+from repro.network.network import LogicNetwork
 
 _SYMMETRIC = {"AND", "OR", "XOR", "XNOR", "NAND", "NOR", "MAJ"}
 

@@ -1,0 +1,182 @@
+"""The Boolean expression language and the parser round-trip property.
+
+Covers the tentpole acceptance property — ``manager.add_expr(f.to_expr())
+== f`` under hypothesis on *both* backends — plus a semantic oracle for
+``add_expr`` and a cross-backend equivalence sweep (the same expression
+built via BBDD and BDD agrees on sat_count and on 64 random
+assignments).
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.api.expr import ExprError, parse
+
+_SETTINGS = dict(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+NAMES = ["a", "b", "c", "d"]
+BACKENDS = ["bbdd", "bdd"]
+
+
+def expressions(names=tuple(NAMES)):
+    """Random expression strings over ``names`` (whole grammar)."""
+    names = list(names)
+    atoms = st.sampled_from(names + ["TRUE", "FALSE"])
+
+    def extend(children):
+        binary = st.tuples(
+            children, st.sampled_from(["&", "|", "^", "->", "<->"]), children
+        ).map(lambda t: f"({t[0]} {t[1]} {t[2]})")
+        negation = children.map(lambda e: f"~({e})")
+        ite = st.tuples(children, children, children).map(
+            lambda t: f"ite({t[0]}, {t[1]}, {t[2]})"
+        )
+        quant = st.tuples(
+            st.sampled_from(["\\E", "\\A"]),
+            st.lists(st.sampled_from(names), min_size=1, max_size=2, unique=True),
+            children,
+        ).map(lambda t: f"({t[0]} {', '.join(t[1])}: {t[2]})")
+        return st.one_of(binary, negation, ite, quant)
+
+    return st.recursive(atoms, extend, max_leaves=12)
+
+
+def eval_ast(ast, assignment):
+    """Reference interpreter for the expression AST over plain bools."""
+    kind = ast[0]
+    if kind == "const":
+        return ast[1]
+    if kind == "var":
+        return assignment[ast[1]]
+    if kind == "not":
+        return not eval_ast(ast[1], assignment)
+    if kind == "ite":
+        return (
+            eval_ast(ast[2], assignment)
+            if eval_ast(ast[1], assignment)
+            else eval_ast(ast[3], assignment)
+        )
+    if kind in ("exists", "forall"):
+        results = []
+        for bits in range(1 << len(ast[1])):
+            sub = dict(assignment)
+            for j, name in enumerate(ast[1]):
+                sub[name] = bool((bits >> j) & 1)
+            results.append(eval_ast(ast[2], sub))
+        return any(results) if kind == "exists" else all(results)
+    a = eval_ast(ast[1], assignment)
+    b = eval_ast(ast[2], assignment)
+    if kind == "and":
+        return a and b
+    if kind == "or":
+        return a or b
+    if kind == "xor":
+        return a != b
+    if kind == "imp":
+        return (not a) or b
+    return a == b  # iff
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(expr=expressions())
+@settings(**_SETTINGS)
+def test_add_expr_to_expr_round_trip(backend, expr):
+    """The acceptance property: add_expr(f.to_expr()) == f (canonicity)."""
+    m = repro.open(backend, vars=NAMES)
+    f = m.add_expr(expr)
+    text = f.to_expr()
+    assert m.add_expr(text) == f
+    # The canonical output is deterministic.
+    assert f.to_expr() == text
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(expr=expressions(), data=st.data())
+@settings(**_SETTINGS)
+def test_add_expr_matches_reference_semantics(backend, expr, data):
+    m = repro.open(backend, vars=NAMES)
+    f = m.add_expr(expr)
+    ast = parse(expr)
+    bits = data.draw(st.integers(min_value=0, max_value=(1 << len(NAMES)) - 1))
+    assignment = {name: bool((bits >> i) & 1) for i, name in enumerate(NAMES)}
+    assert f.evaluate(assignment) == eval_ast(ast, assignment)
+
+
+@given(expr=expressions(names=("a", "b", "c", "d", "e", "f")))
+@settings(**_SETTINGS)
+def test_cross_backend_equivalence_sweep(expr):
+    """The same expression built via BBDD and BDD denotes one function."""
+    names = ["a", "b", "c", "d", "e", "f"]
+    bbdd = repro.open("bbdd", vars=names).add_expr(expr)
+    bdd = repro.open("bdd", vars=names).add_expr(expr)
+    assert bbdd.sat_count() == bdd.sat_count()
+    rng = random.Random(0xBBDD)
+    for _ in range(64):
+        assignment = {name: bool(rng.getrandbits(1)) for name in names}
+        assert bbdd.evaluate(assignment) == bdd.evaluate(assignment)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_expression_precedence_and_forms(backend):
+    m = repro.open(backend, vars=["a", "b", "c"])
+    a, b, c = (m.var(n) for n in "abc")
+    assert m.add_expr("a & b | c") == (a & b) | c
+    assert m.add_expr("a | b & c") == a | (b & c)
+    assert m.add_expr("a ^ b & c") == a ^ (b & c)
+    assert m.add_expr("~a & b") == ~a & b
+    assert m.add_expr("a -> b -> c") == a.implies(b.implies(c))  # right-assoc
+    assert m.add_expr("a -> b <-> ~a | b").is_true
+    assert m.add_expr("ite(a, b, c)") == a.ite(b, c)
+    assert m.add_expr("TRUE").is_true and m.add_expr("FALSE").is_false
+    assert m.add_expr("\\E a: a & b") == b
+    assert m.add_expr("\\A a, b: a | b").is_false
+    assert m.add_expr("\\E a, b: a & b").is_true
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_long_operator_chain_is_recursion_safe(backend):
+    n = 3000
+    m = repro.open(backend, vars=n)
+    f = m.add_expr(" ^ ".join(f"x{i}" for i in range(n)))
+    assert len(f.support()) == n
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "a &",
+        "& a",
+        "a b",
+        "ite(a, b)",
+        "(a | b",
+        "\\E : a",
+        "\\E a a: b",
+        "a ? b",
+        "a @ b",
+    ],
+)
+def test_parser_rejects_malformed(bad):
+    m = repro.open("bbdd", vars=["a", "b"])
+    with pytest.raises(ExprError):
+        m.add_expr(bad)
+    # ExprError doubles as ValueError and BBDDError.
+    from repro.core.exceptions import BBDDError
+
+    assert issubclass(ExprError, (ValueError, BBDDError))
+
+
+def test_add_expr_unknown_variable():
+    from repro.core.exceptions import VariableError
+
+    m = repro.open("bdd", vars=["a"])
+    with pytest.raises(VariableError):
+        m.add_expr("a & nope")

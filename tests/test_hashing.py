@@ -1,6 +1,6 @@
 """Cantor pairing and adaptive hash-policy tests (Sec. IV-A3)."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core import hashing
