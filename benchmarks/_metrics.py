@@ -1,0 +1,77 @@
+"""Machine-readable benchmark metrics (``BENCH_<name>.json``).
+
+Every ``bench_*.py`` records its headline numbers through
+:func:`record_metric`; the files land in ``benchmarks/out/`` (override
+with ``BENCH_OUT_DIR``) as::
+
+    {
+      "bench": "io",
+      "commit": "<git sha or 'unknown'>",
+      "metrics": [
+        {"name": "roundtrip_nodes_per_s", "value": 140000, "unit": "nodes/s"},
+        ...
+      ]
+    }
+
+CI uploads the directory as an artifact per run, so the performance
+trajectory is tracked from the commit that introduced this module on.
+Re-recording a metric name within one run overwrites the previous
+value (benches parameterize names instead).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from typing import Union
+
+_COMMIT: Union[str, None] = None
+
+
+def _commit() -> str:
+    global _COMMIT
+    if _COMMIT is None:
+        try:
+            result = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True,
+                text=True,
+                cwd=os.path.dirname(os.path.abspath(__file__)),
+                timeout=10,
+            )
+            _COMMIT = result.stdout.strip() or "unknown"
+        except Exception:
+            _COMMIT = "unknown"
+    return _COMMIT
+
+
+def _out_dir() -> str:
+    directory = os.environ.get("BENCH_OUT_DIR") or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "out"
+    )
+    os.makedirs(directory, exist_ok=True)
+    return directory
+
+
+def record_metric(bench: str, name: str, value, unit: str) -> str:
+    """Record one metric of benchmark ``bench``; returns the json path."""
+    path = os.path.join(_out_dir(), f"BENCH_{bench}.json")
+    doc = {"bench": bench, "metrics": []}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as fileobj:
+                doc = json.load(fileobj)
+        except (OSError, ValueError):
+            pass
+    doc["bench"] = bench
+    doc["commit"] = _commit()
+    metrics = [m for m in doc.get("metrics", []) if m.get("name") != name]
+    if isinstance(value, float):
+        value = round(value, 6)
+    metrics.append({"name": name, "value": value, "unit": unit})
+    doc["metrics"] = sorted(metrics, key=lambda m: m["name"])
+    with open(path, "w", encoding="utf-8") as fileobj:
+        json.dump(doc, fileobj, indent=2)
+        fileobj.write("\n")
+    return path

@@ -12,6 +12,7 @@ report.
 
 import pytest
 
+from _metrics import record_metric
 from repro.circuits import mcnc
 from repro.core.reorder import sift
 from repro.harness.table1 import run_benchmark
@@ -39,6 +40,7 @@ def test_ablation_computed_table(benchmark, computed):
     )
     benchmark.extra_info["nodes"] = nodes
     benchmark.extra_info["computed_table"] = computed
+    record_metric("ablation", f"computed_{computed}_nodes", nodes, "nodes")
 
 
 @pytest.mark.parametrize("backend", ["dict", "cantor"])
@@ -51,6 +53,7 @@ def test_ablation_table_backend(benchmark, backend):
     )
     benchmark.extra_info["nodes"] = nodes
     benchmark.extra_info["backend"] = backend
+    record_metric("ablation", f"tables_{backend}_nodes", nodes, "nodes")
 
 
 @pytest.mark.parametrize("use_sift", [False, True])
@@ -66,6 +69,7 @@ def test_ablation_sifting(benchmark, use_sift):
     nodes = benchmark.pedantic(pipeline, rounds=1, iterations=1)
     benchmark.extra_info["nodes"] = nodes
     benchmark.extra_info["sift"] = use_sift
+    record_metric("ablation", f"sift_{'on' if use_sift else 'off'}_nodes", nodes, "nodes")
 
 
 @pytest.mark.parametrize("package", ["bbdd", "bdd"])
@@ -76,3 +80,4 @@ def test_ablation_package_on_xor_rich(benchmark, package):
         run_benchmark, args=(net, package), rounds=1, iterations=1
     )
     benchmark.extra_info["nodes"] = result.nodes
+    record_metric("ablation", f"parity16_{package}_nodes", result.nodes, "nodes")

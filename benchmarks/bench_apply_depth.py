@@ -21,6 +21,7 @@ import time
 
 import pytest
 
+from _metrics import record_metric
 from repro.core import BBDDManager
 
 #: (variables, build-time gate in seconds).  The 4000-variable chain is
@@ -65,6 +66,9 @@ def test_chain_build_depth(benchmark, n, limit):
             "build_seconds": round(elapsed, 3),
         }
     )
+
+    record_metric("apply_depth", f"parity_{n}_build_time", round(elapsed, 3), "s")
+    record_metric("apply_depth", f"parity_{n}_peak_nodes", manager.peak_nodes, "nodes")
 
     # Memory gate: automatic GC keeps the build bounded.
     assert manager.peak_nodes < PEAK_FACTOR * final, (

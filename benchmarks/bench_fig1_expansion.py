@@ -7,6 +7,7 @@ operation Fig. 1's node semantics defines).
 
 import random
 
+from _metrics import record_metric
 from repro.core import BBDDManager
 from repro.core.node import SV_ONE
 from repro.core.reorder import from_truth_table
@@ -52,6 +53,7 @@ def test_fig1_expansion_validation(benchmark):
 
     checked = benchmark.pedantic(validate, rounds=1, iterations=1)
     benchmark.extra_info["nodes_checked"] = checked
+    record_metric("fig1_expansion", "nodes_checked", checked, "nodes")
     assert checked > 0
 
 
@@ -72,3 +74,9 @@ def test_fig1_evaluation_throughput(benchmark):
         return sum(evaluate(edge, vec) for vec in vectors)
 
     benchmark(run)
+    record_metric(
+        "fig1_expansion",
+        "eval_per_s",
+        round(len(vectors) / benchmark.stats.stats.mean),
+        "evals/s",
+    )

@@ -9,6 +9,7 @@ throughput against the rebuild-based reorderer.
 
 import random
 
+from _metrics import record_metric
 from repro.core import BBDDManager
 from repro.core.reorder import from_truth_table, swap_adjacent, SwapStats
 from repro.core.traversal import count_nodes
@@ -43,6 +44,7 @@ def test_fig2_swap_validation(benchmark):
 
     swaps = benchmark.pedantic(validate, rounds=1, iterations=1)
     benchmark.extra_info["swaps_validated"] = swaps
+    record_metric("fig2_swap", "swaps_validated", swaps, "swaps")
 
 
 def test_fig2_swap_throughput(benchmark):
@@ -64,4 +66,10 @@ def test_fig2_swap_throughput(benchmark):
 
     benchmark.pedantic(run, rounds=1, iterations=1)
     benchmark.extra_info.update(stats.as_dict())
+    record_metric(
+        "fig2_swap",
+        "swaps_per_s",
+        round(stats.swaps / max(benchmark.stats.stats.mean, 1e-9)),
+        "swaps/s",
+    )
     assert funcs[0].node_count() > 0

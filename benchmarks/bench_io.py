@@ -11,6 +11,7 @@ import time
 
 import pytest
 
+from _metrics import record_metric
 from repro import io as rio
 from repro.circuits.registry import TABLE1_ROWS
 from repro.network.build import build_bbdd
@@ -41,6 +42,9 @@ def test_roundtrip(benchmark, name):
     benchmark.extra_info["nodes"] = nodes
     benchmark.extra_info["file_bytes"] = len(data)
     benchmark.extra_info["bytes_per_node"] = round(len(data) / max(nodes, 1), 2)
+    record_metric(
+        "io", f"{name}_bytes_per_node", round(len(data) / max(nodes, 1), 2), "B/node"
+    )
 
 
 def test_io_throughput_largest_circuit(benchmark, capsys):
@@ -77,5 +81,10 @@ def test_io_throughput_largest_circuit(benchmark, capsys):
             f"({bytes_per_node:.2f} B/node), dump {nodes / t_dump:,.0f} n/s, "
             f"load {nodes / t_load:,.0f} n/s, round trip {throughput:,.0f} n/s"
         )
+    record_metric("io", "largest_nodes", nodes, "nodes")
+    record_metric("io", "bytes_per_node", round(bytes_per_node, 2), "B/node")
+    record_metric("io", "dump_nodes_per_s", round(nodes / t_dump), "nodes/s")
+    record_metric("io", "load_nodes_per_s", round(nodes / t_load), "nodes/s")
+    record_metric("io", "roundtrip_nodes_per_s", round(throughput), "nodes/s")
     assert bytes_per_node <= 16.0
     assert throughput >= 50_000

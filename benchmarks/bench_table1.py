@@ -9,6 +9,7 @@ circuits (see DESIGN.md §3.5).
 
 import pytest
 
+from _metrics import record_metric
 from repro.circuits.registry import TABLE1_ROWS
 from repro.harness.table1 import render_table1, run_benchmark, run_table1
 
@@ -35,6 +36,7 @@ def test_build_and_sift(benchmark, name, package):
     benchmark.extra_info["paper_nodes"] = (
         row.paper_bbdd_nodes if package == "bbdd" else row.paper_bdd_nodes
     )
+    record_metric("table1", f"{package}_{name}_nodes", result.nodes, "nodes")
 
 
 def test_table1_summary(benchmark, capsys):
@@ -43,4 +45,11 @@ def test_table1_summary(benchmark, capsys):
     with capsys.disabled():
         print()
         print(render_table1(summary))
+    for backend in summary["backends"]:
+        record_metric(
+            "table1", f"avg_{backend}_nodes", summary[f"avg_{backend}_nodes"], "nodes"
+        )
+        record_metric(
+            "table1", f"total_{backend}_time", summary[f"total_{backend}_time"], "s"
+        )
     assert summary["rows"]

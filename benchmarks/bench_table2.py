@@ -6,6 +6,7 @@ the paper's Average-row deltas (-11.02% area / -32.29% delay reference).
 
 import pytest
 
+from _metrics import record_metric
 from repro.circuits.registry import TABLE2_ROWS
 from repro.harness.table2 import render_table2, run_table2
 from repro.synth.flow import baseline_flow, bbdd_flow
@@ -31,6 +32,8 @@ def test_flow(benchmark, name, flow):
     benchmark.extra_info["gates"] = result.gate_count
     paper = row.paper_bbdd if flow == "bbdd" else row.paper_commercial
     benchmark.extra_info["paper_area_delay_gates"] = paper
+    record_metric("table2", f"{flow}_{name}_area", round(result.area, 2), "um2")
+    record_metric("table2", f"{flow}_{name}_delay", round(result.delay_ns, 3), "ns")
 
 
 def test_table2_summary(benchmark, capsys):

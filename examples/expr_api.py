@@ -43,9 +43,9 @@ def main() -> None:
     )
 
     # ...and forests migrate across backends, re-canonicalized on the fly.
-    from repro.io import migrate
+    from repro.io import migrate_forest
 
-    moved = migrate(f, other)
+    moved = migrate_forest(f, other)
     print("migrated across backends, still equal:", moved == f2)
 
 

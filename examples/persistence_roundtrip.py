@@ -16,14 +16,16 @@ from repro import io as rio
 
 def main() -> None:
     backend = os.environ.get("REPRO_BACKEND", "bbdd")
-    loader = rio.load if backend == "bbdd" else rio.load_bdd
+    # The BBDD and xmem backends share the couple-record container; only
+    # the baseline BDD package writes Shannon records (header flag).
+    loader = rio.load_bdd if backend == "bdd" else rio.load
 
     # Build a small shared forest: a comparator slice and a majority vote.
     manager = repro.open(backend, vars=["a", "b", "c", "d"])
     equal = manager.add_expr("(a <-> b) & (c <-> d)")
     majority = manager.add_expr("(a & b) | (a & c) | (b & c)")
 
-    suffix = ".bbdd" if backend == "bbdd" else ".bdd"
+    suffix = ".bdd" if backend == "bdd" else ".bbdd"
     path = os.path.join(tempfile.mkdtemp(), "forest" + suffix)
     manager.dump({"equal": equal, "majority": majority}, path)
     print(f"[{backend}] dumped to {path} ({os.path.getsize(path)} bytes)")
@@ -48,14 +50,14 @@ def main() -> None:
 
     # Live migration (no file in between), with variable renaming.
     target = repro.open(backend, vars=["p", "q", "r", "s"])
-    renamed = rio.migrate(
+    renamed = rio.migrate_forest(
         {"equal": equal}, target, rename={"a": "p", "b": "q", "c": "r", "d": "s"}
     )
     print("migrated under rename:", renamed["equal"])
 
     # Migration also crosses backends (re-canonicalized via the protocol).
     cross = repro.open("bdd" if backend == "bbdd" else "bbdd", vars=order)
-    crossed = rio.migrate({"equal": equal}, cross)
+    crossed = rio.migrate_forest({"equal": equal}, cross)
     assert crossed["equal"].truth_mask(order) == equal.truth_mask(order)
     print(f"cross-backend migration -> {cross.backend} ok")
 

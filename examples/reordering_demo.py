@@ -30,6 +30,23 @@ def main() -> None:
     print("initial order:", " ".join(manager.current_order()))
     print("initial size:", equal.node_count(), "nodes (exponential separation)")
 
+    if not getattr(manager, "supports_sift", True):
+        # The external-memory backend keeps canonical levelized files for
+        # one fixed order; migrate to an in-memory backend to reorder.
+        from repro.io import migrate_forest
+
+        core = repro.open("bbdd", vars=names)
+        moved = migrate_forest(equal, core)
+        result = core.sift(converge=True)
+        print(
+            f"\n{manager.backend} has no dynamic reordering; migrated to "
+            f"{core.backend} and sifted there: {result.initial_size} -> "
+            f"{result.final_size} nodes ({result.swaps} swaps)"
+        )
+        print("order:", " ".join(core.current_order()))
+        print("the comparator chain is linear:", moved.node_count(), "nodes")
+        return
+
     # A single adjacent swap is local and pointer-stable (Fig. 2 theory).
     if backend == "bbdd":
         from repro.core.reorder import swap_adjacent

@@ -16,8 +16,10 @@ style of tulip-control/``dd``):
   ``manager.add_expr(s)`` and ``f.to_expr()``.
 
 Built-in backends: ``"bbdd"`` (:class:`repro.core.BBDDManager`, the
-paper's package) and ``"bdd"`` (:class:`repro.bdd.BDDManager`, the CUDD
-comparator substitute).
+paper's package), ``"bdd"`` (:class:`repro.bdd.BDDManager`, the CUDD
+comparator substitute) and ``"xmem"``
+(:class:`repro.xmem.XmemManager`, the external-memory levelized
+backend — ``repro.open(backend="xmem", node_budget=...)``).
 """
 
 from __future__ import annotations
@@ -58,8 +60,15 @@ def _bdd_factory(variables, **kwargs):
     return BDDManager(variables, **kwargs)
 
 
+def _xmem_factory(variables, **kwargs):
+    from repro.xmem.manager import XmemManager
+
+    return XmemManager(variables, **kwargs)
+
+
 register_backend("bbdd", _bbdd_factory)
 register_backend("bdd", _bdd_factory)
+register_backend("xmem", _xmem_factory)
 
 
 def open(

@@ -12,8 +12,17 @@ The subsystem makes BBDDs durable and portable:
   forests (Shannon node records, header flag bit 0 set);
 * :mod:`repro.io.jsondump` — JSON/dict interchange for debugging;
 * :mod:`repro.io.migrate` — cross-manager (and cross-backend) copy with
-  variable remapping;
+  variable remapping (:func:`~repro.io.migrate.migrate_forest`,
+  :class:`~repro.io.migrate.Migrator`,
+  :class:`~repro.io.migrate.ProtocolMigrator`);
 * :mod:`repro.io.checkpoint` — harness checkpoint store (``--checkpoint``).
+
+Note: the convenience function is exported as :func:`migrate_forest`.
+The historical name ``migrate`` is *not* re-bound here — doing so used
+to shadow the :mod:`repro.io.migrate` submodule, so
+``repro.io.migrate.ProtocolMigrator`` raised ``AttributeError``.
+``repro.io.migrate`` is the module again (and stays callable as a
+deprecated alias of :func:`migrate_forest`).
 """
 
 from repro.io.bdd_binary import dump as dump_bdd
@@ -24,7 +33,7 @@ from repro.io.binary import dump, dumps, load, loads
 from repro.io.checkpoint import CheckpointStore
 from repro.io.format import FormatError
 from repro.io.jsondump import dump_json, from_dict, load_json, to_dict
-from repro.io.migrate import Migrator, migrate
+from repro.io.migrate import ForestRebuilder, Migrator, ProtocolMigrator, migrate_forest
 from repro.io.stream import FileInfo, LevelStreamReader, LevelStreamWriter, scan
 
 __all__ = [
@@ -40,8 +49,10 @@ __all__ = [
     "load_json",
     "to_dict",
     "from_dict",
-    "migrate",
+    "migrate_forest",
     "Migrator",
+    "ProtocolMigrator",
+    "ForestRebuilder",
     "scan",
     "FileInfo",
     "LevelStreamReader",

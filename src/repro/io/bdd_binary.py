@@ -90,6 +90,9 @@ def _levelized(manager, edges) -> List[Tuple[int, List[BDDNode]]]:
 
 def dump(manager, functions, target) -> None:
     """Write a BDD forest to ``target`` (a path or binary file object)."""
+    from repro.io.binary import check_dump_args
+
+    check_dump_args(functions, target)
     named = _named_edges(manager, functions)
     if hasattr(target, "write"):
         _dump_file(manager, named, target)
@@ -151,6 +154,9 @@ def load(
     manager may use a different order or a superset of variables;
     ``rename`` remaps dump variable names to target names first.
     """
+    from repro.io.binary import check_load_source
+
+    check_load_source(source)
     if hasattr(source, "read"):
         return _load_file(source, manager, rename)
     with open(source, "rb") as fileobj:

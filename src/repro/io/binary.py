@@ -14,8 +14,10 @@ complement normalization) happens on the fly via ``BBDDManager._make``.
 from __future__ import annotations
 
 import io as _io
+import os
 from typing import Dict, List, Mapping, Tuple
 
+from repro.core.exceptions import BBDDError
 from repro.core.function import Function
 from repro.core.node import SV_ONE, Edge
 from repro.core.traversal import levelize
@@ -23,6 +25,49 @@ from repro.core.traversal import levelize
 from repro.io.format import FLAG_BDD, Header, SINK_ID, pack_ref
 from repro.io.migrate import Rename
 from repro.io.stream import LevelStreamReader, LevelStreamWriter
+
+
+def check_dump_args(functions, target) -> None:
+    """Validate the ``dump(functions, target)`` argument order up front.
+
+    The classic slip is ``dump(path, [functions])`` — without this check
+    it dies deep inside ``open()`` with a bare ``TypeError``.  Raise a
+    :class:`~repro.core.exceptions.BBDDError` that names the expected
+    order instead.  Shared by the BBDD, BDD and xmem dump entry points.
+    """
+    if isinstance(functions, (str, bytes, os.PathLike)) or hasattr(
+        functions, "write"
+    ):
+        raise BBDDError(
+            "dump() arguments look swapped: got a path/file object in the "
+            "functions slot; the order is dump(functions, target) with the "
+            "forest first and the path (or binary file object) second"
+        )
+    if not (
+        hasattr(target, "write")
+        or isinstance(target, (str, bytes, os.PathLike))
+    ):
+        raise BBDDError(
+            f"dump() target must be a path or a writable binary file "
+            f"object, got {type(target).__name__}; the order is "
+            f"dump(functions, target) with the forest first"
+        )
+
+
+def check_load_source(source) -> None:
+    """Validate the ``load(source, ...)`` source argument up front.
+
+    Mirrors :func:`check_dump_args`: passing a forest (or a manager)
+    where the path belongs raises :class:`BBDDError` naming the expected
+    order instead of an opaque ``TypeError`` from ``open()``.
+    """
+    if hasattr(source, "read") or isinstance(source, (str, bytes, os.PathLike)):
+        return
+    raise BBDDError(
+        f"load() source must be a path or a readable binary file object, "
+        f"got {type(source).__name__}; the order is load(source, "
+        f"manager=...) with the path first"
+    )
 
 
 def _named_edges(functions) -> List[Tuple[str, Edge]]:
@@ -90,6 +135,7 @@ def dump(manager, functions, target) -> None:
     ``functions``: a Function, an edge, a sequence of either, or a
     ``{name: Function}`` mapping (names are stored and restored).
     """
+    check_dump_args(functions, target)
     named = _named_edges(functions)
     if hasattr(target, "write"):
         _dump_file(manager, named, target)
@@ -151,6 +197,7 @@ def load(
     different order or a superset of variables; ``rename`` remaps dump
     variable names to target names first.
     """
+    check_load_source(source)
     if hasattr(source, "read"):
         return _load_file(source, manager, rename)
     with open(source, "rb") as fileobj:

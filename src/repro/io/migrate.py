@@ -9,14 +9,23 @@ Three entry points share the rebuild machinery:
 * :class:`Migrator` — copies *live* BBDD functions into another BBDD
   manager without a serialization round trip, with optional variable
   renaming.
-* :class:`ProtocolMigrator` / :func:`migrate` — the backend-agnostic
-  path: copies live functions between *any* pair of
+* :class:`ProtocolMigrator` / :func:`migrate_forest` — the
+  backend-agnostic path: copies live functions between *any* pair of
   :class:`repro.api.base.DDManager` backends (BBDD -> BDD,
   BDD -> BBDD, BDD -> BDD, ...) by replaying each source node through
   the target's protocol operations (a Shannon node becomes
   ``ite(v, t, e)``, a biconditional couple ``ite(v <-> w, eq, neq)``).
-  :func:`migrate` picks the structural fast path automatically when
-  both managers are BBDD.
+  :func:`migrate_forest` picks a structural fast path automatically
+  when both managers share a record layout (BBDD pairs, and any pair
+  involving the external-memory ``xmem`` backend, whose levelized
+  representation is this format's record shape).
+
+``migrate_forest`` used to be exported as ``migrate``, which shadowed
+this very module in the ``repro.io`` namespace (``import
+repro.io.migrate`` yielded the *function*, so
+``repro.io.migrate.ProtocolMigrator`` raised ``AttributeError``).  The
+function was renamed; calling this **module** still works as a
+deprecated alias and forwards to :func:`migrate_forest`.
 
 Rebuild semantics
 -----------------
@@ -32,6 +41,7 @@ re-canonicalizes the function under the target order.
 
 from __future__ import annotations
 
+import sys as _sys
 from typing import Callable, Dict, List, Mapping, Sequence, Union
 
 from repro.api.base import FunctionBase, rebuild_function
@@ -269,16 +279,29 @@ class ProtocolMigrator:
 
 
 def _migrator_for(src, dst, rename: Rename):
-    """The structural fast path for BBDD pairs, the protocol path otherwise."""
-    if (
-        getattr(src, "backend", None) == "bbdd"
-        and getattr(dst, "backend", None) == "bbdd"
-    ):
+    """Pick the cheapest migrator for a backend pair.
+
+    Structural fast paths (record replay, no protocol ``ite`` chains)
+    exist for BBDD -> BBDD and for every pair involving the levelized
+    ``xmem`` backend; everything else takes the generic
+    :class:`ProtocolMigrator`.
+    """
+    src_backend = getattr(src, "backend", None)
+    dst_backend = getattr(dst, "backend", None)
+    if src_backend == "bbdd" and dst_backend == "bbdd":
         return Migrator(src, dst, rename=rename)
+    if dst_backend == "xmem" and src_backend in ("bbdd", "xmem"):
+        from repro.xmem.convert import ToXmemMigrator
+
+        return ToXmemMigrator(src, dst, rename=rename)
+    if src_backend == "xmem" and dst_backend == "bbdd":
+        from repro.xmem.convert import XmemToBBDDMigrator
+
+        return XmemToBBDDMigrator(src, dst, rename=rename)
     return ProtocolMigrator(src, dst, rename=rename)
 
 
-def migrate(functions, dst, rename: Rename = None):
+def migrate_forest(functions, dst, rename: Rename = None):
     """Copy functions into the manager ``dst``, remapping variables by name.
 
     ``functions`` may be a single function handle, a sequence, or a
@@ -300,3 +323,39 @@ def migrate(functions, dst, rename: Rename = None):
         return []
     mig = _migrator_for(items[0].manager, dst, rename)
     return [mig.function(f) for f in items]
+
+
+def migrate(functions, dst, rename: Rename = None):
+    """Deprecated alias of :func:`migrate_forest`.
+
+    The old name shadowed the ``repro.io.migrate`` module when
+    re-exported from ``repro.io``; use :func:`migrate_forest` (calling
+    the module object also forwards here for backward compatibility).
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.io.migrate.migrate() is deprecated; use migrate_forest()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return migrate_forest(functions, dst, rename=rename)
+
+
+class _CallableModule(_sys.modules[__name__].__class__):
+    """Module type that keeps the legacy ``repro.io.migrate(...)`` call
+    working (deprecated) now that the name is bound to the module again."""
+
+    def __call__(self, functions, dst, rename: Rename = None):
+        import warnings
+
+        warnings.warn(
+            "calling repro.io.migrate(...) is deprecated; use "
+            "repro.io.migrate_forest(...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return migrate_forest(functions, dst, rename=rename)
+
+
+_sys.modules[__name__].__class__ = _CallableModule

@@ -9,7 +9,7 @@ manager.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.operations import OP_AND, OP_OR, OP_XNOR, OP_XOR, flip_output
 
@@ -87,27 +87,33 @@ def build(
     network,
     backend: str = "bbdd",
     manager=None,
-    unique_backend: str = "dict",
-    computed_backend: str = "dict",
+    unique_backend: Optional[str] = None,
+    computed_backend: Optional[str] = None,
+    **manager_kwargs,
 ) -> Tuple[object, Dict[str, object]]:
     """Build decision diagrams for all outputs of ``network``.
 
     The one backend-agnostic entry point: ``backend`` names any
-    registered :mod:`repro.api` backend (``"bbdd"``, ``"bdd"``, ...)
-    and the returned manager/handles implement the uniform protocol, so
-    every client drives both packages through the identical code path.
-    Returns ``(manager, {output name: function})``; a fresh manager with
-    the network's input order is created unless one is supplied.
+    registered :mod:`repro.api` backend (``"bbdd"``, ``"bdd"``,
+    ``"xmem"``, ...) and the returned manager/handles implement the
+    uniform protocol, so every client drives all packages through the
+    identical code path.  Returns ``(manager, {output name: function})``;
+    a fresh manager with the network's input order is created unless one
+    is supplied.  Extra keyword arguments go to the backend factory
+    (``unique_backend``/``computed_backend`` for the table-backed
+    packages, ``node_budget`` for xmem, ...); the table-backend
+    arguments are only forwarded when set, since not every backend has
+    hash tables to configure.
     """
     if manager is None:
         from repro.api import open as _open
 
-        manager = _open(
-            backend,
-            vars=list(network.inputs),
-            unique_backend=unique_backend,
-            computed_backend=computed_backend,
-        )
+        kwargs = dict(manager_kwargs)
+        if unique_backend is not None:
+            kwargs["unique_backend"] = unique_backend
+        if computed_backend is not None:
+            kwargs["computed_backend"] = computed_backend
+        manager = _open(backend, vars=list(network.inputs), **kwargs)
     functions = _build(manager, network, manager.function)
     return manager, functions
 

@@ -1,0 +1,51 @@
+"""Shared test configuration: hypothesis profiles and fixtures.
+
+Two hypothesis profiles are registered:
+
+* ``fast`` (the default) — few examples per property; keeps the local
+  tier-1 run quick.
+* ``ci`` — the full example counts for thorough runs.
+
+Select with ``HYPOTHESIS_PROFILE=ci pytest`` (the CI workflow does).
+Property tests express only per-test *shape* settings (deadline,
+health checks) and inherit ``max_examples`` from the active profile.
+
+The slowest tests are additionally marked ``@pytest.mark.slow`` (see
+``pyproject.toml``); deselect them locally with ``-m "not slow"`` —
+they still run by default so the tier-1 gate covers everything.
+"""
+
+import os
+import sys
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "fast",
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    max_examples=75,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "fast"))
+
+
+@pytest.fixture
+def low_recursion_limit():
+    """Run a test under a low interpreter recursion limit.
+
+    Any engine that recursed on operand depth would blow this limit on
+    the deep-chain workloads; the iterative engines must not notice.
+    """
+    old = sys.getrecursionlimit()
+    sys.setrecursionlimit(1000)
+    try:
+        yield 1000
+    finally:
+        sys.setrecursionlimit(old)

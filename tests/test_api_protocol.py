@@ -21,6 +21,9 @@ from repro.core.manager import BBDDManager
 from repro.core.operations import op_from_name, OP_LE, OP_XNOR
 
 BACKENDS = ["bbdd", "bdd"]
+#: The in-core pair plus the external-memory backend: every sweep on the
+#: shared FunctionBase/protocol surface runs identically on all three.
+ALL_BACKENDS = BACKENDS + ["xmem"]
 
 
 # ----------------------------------------------------------------------
@@ -60,7 +63,7 @@ def test_register_backend_plugs_into_factory():
 
 def test_third_party_backend_uses_protocol_paths():
     """let/migrate on an unknown backend name must not sniff node layouts."""
-    from repro.io.migrate import migrate
+    from repro.io.migrate import migrate_forest
 
     class CustomManager(BBDDManager):
         backend = "custom"
@@ -72,7 +75,7 @@ def test_third_party_backend_uses_protocol_paths():
         g = f.let({"a": "b", "b": "a", "d": m.add_expr("a & c")})
         assert g == m.add_expr("(b ^ a) | (c & ~(a & c))")
         dst = repro.open("bdd", vars=["a", "b", "c", "d"])
-        moved = migrate(f, dst)
+        moved = migrate_forest(f, dst)
         assert moved.truth_mask(["a", "b", "c", "d"]) == f.truth_mask(
             ["a", "b", "c", "d"]
         )
@@ -102,7 +105,7 @@ def test_open_passes_table_backends():
 # ----------------------------------------------------------------------
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
 def test_constant_coercion_accepts_bool_and_01(backend):
     m = repro.open(backend, vars=["a"])
     a = m.var("a")
@@ -115,7 +118,7 @@ def test_constant_coercion_accepts_bool_and_01(backend):
     assert a.equivalent(a)
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
 @pytest.mark.parametrize("junk", [2, -1, 1.0, 0.0, "1", None, [1]])
 def test_constant_coercion_rejects_non_bits(backend, junk):
     """Only bool/int 0-or-1 coerce; number-likes that == 1 must not."""
@@ -125,7 +128,7 @@ def test_constant_coercion_rejects_non_bits(backend, junk):
         a & junk
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
 def test_foreign_manager_rejected(backend):
     from repro.core.exceptions import ForeignManagerError
 
@@ -153,7 +156,7 @@ def test_op_from_name_aliases_and_error():
 # ----------------------------------------------------------------------
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
 def test_let_rename_restrict_compose(backend):
     m = repro.open(backend, vars=["a", "b", "c"])
     f = m.add_expr("(a & b) | c")
@@ -164,7 +167,7 @@ def test_let_rename_restrict_compose(backend):
     assert f.let({"c": g}) == m.add_expr("(a & b) | (a ^ b)")
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
 def test_let_is_simultaneous(backend):
     m = repro.open(backend, vars=["a", "b"])
     f = m.add_expr("a & ~b")
@@ -174,7 +177,7 @@ def test_let_is_simultaneous(backend):
     assert not swapped.is_false
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
 def test_let_values_may_mention_substituted_vars(backend):
     m = repro.open(backend, vars=["a", "b"])
     f = m.add_expr("a ^ b")
@@ -182,7 +185,7 @@ def test_let_values_may_mention_substituted_vars(backend):
     assert g == m.add_expr("(a & b) ^ (a | b)")
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
 def test_let_rejects_bad_values(backend):
     m = repro.open(backend, vars=["a", "b"])
     f = m.var("a")
@@ -197,7 +200,7 @@ def test_let_rejects_bad_values(backend):
         f.let({"a": other.var("a")})
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
 def test_let_bulk_rename_is_linear(backend):
     """A 24-variable simultaneous rename must not cofactor-expand (2^24)."""
     n = 24
@@ -222,7 +225,7 @@ def test_to_expr_rejects_grammar_colliding_names():
         m2.var("a[0]").to_expr()
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
 def test_manager_level_let_and_to_expr(backend):
     m = repro.open(backend, vars=["a", "b"])
     f = m.add_expr("a & b")
@@ -292,7 +295,7 @@ def test_bdd_quantify_restrict_laws():
         assert m.var_name(var) not in f1.support()
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
 def test_sat_one_satisfies_on_both_backends(backend):
     rng = random.Random(11)
     names = [f"v{i}" for i in range(6)]
@@ -366,16 +369,16 @@ def test_dump_kind_flags_are_enforced():
         rio.loads_bdd(bbdd_dump)
 
 
-@pytest.mark.parametrize("src_backend", BACKENDS)
-@pytest.mark.parametrize("dst_backend", BACKENDS)
+@pytest.mark.parametrize("src_backend", ALL_BACKENDS)
+@pytest.mark.parametrize("dst_backend", ALL_BACKENDS)
 def test_cross_backend_migration_matrix(src_backend, dst_backend):
-    from repro.io.migrate import migrate
+    from repro.io.migrate import migrate_forest
 
     names = ["a", "b", "c", "d"]
     src = repro.open(src_backend, vars=names)
     dst = repro.open(dst_backend, vars=["d", "c", "b", "a", "extra"])
     f = src.add_expr("(a ^ b) | (c & ~d)")
-    moved = migrate({"f": f}, dst)["f"]
+    moved = migrate_forest({"f": f}, dst)["f"]
     assert isinstance(moved, FunctionBase)
     assert moved.manager is dst
     assert moved.truth_mask(names) == f.truth_mask(names)
@@ -386,7 +389,7 @@ def test_cross_backend_migration_matrix(src_backend, dst_backend):
 # ----------------------------------------------------------------------
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
 def test_network_build_generic_entry_point(backend):
     from repro.circuits import arith
     from repro.network.build import build

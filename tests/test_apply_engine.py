@@ -48,6 +48,7 @@ def _parity_chain(manager, n):
 # ---------------------------------------------------------------------------
 
 
+@pytest.mark.slow
 def test_parity_2000_chain_under_low_recursion_limit(low_recursion_limit):
     n = 2000
     m = BBDDManager(n)
@@ -66,6 +67,7 @@ def test_parity_2000_chain_under_low_recursion_limit(low_recursion_limit):
     m.check_invariants()
 
 
+@pytest.mark.slow
 def test_deep_derived_ops_are_iterative(low_recursion_limit):
     n = 2000
     m = BBDDManager(n)
@@ -177,14 +179,15 @@ def test_identity_flag_recovers_after_swap_back():
     assert m.order.is_identity
 
 
+@pytest.mark.slow
 def test_migrate_deep_chain_is_iterative(low_recursion_limit):
-    from repro.io.migrate import migrate
+    from repro.io.migrate import migrate_forest
 
     n = 2000
     src = BBDDManager(n)
     f = _parity_chain(src, n)
     dst = BBDDManager(n)
-    moved = migrate(f, dst)
+    moved = migrate_forest(f, dst)
     assert moved.node_count() == n // 2
     assert moved.sat_count() == 1 << (n - 1)
     dst.check_invariants()

@@ -16,14 +16,16 @@ from hypothesis import strategies as st
 import repro
 from repro.api.expr import ExprError, parse
 
+# max_examples comes from the active hypothesis profile (fast/ci —
+# see tests/conftest.py); only per-test shape settings live here.
 _SETTINGS = dict(
-    max_examples=60,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
 
 NAMES = ["a", "b", "c", "d"]
 BACKENDS = ["bbdd", "bdd"]
+ALL_BACKENDS = BACKENDS + ["xmem"]
 
 
 def expressions(names=tuple(NAMES)):
@@ -85,7 +87,7 @@ def eval_ast(ast, assignment):
     return a == b  # iff
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
 @given(expr=expressions())
 @settings(**_SETTINGS)
 def test_add_expr_to_expr_round_trip(backend, expr):
@@ -98,7 +100,7 @@ def test_add_expr_to_expr_round_trip(backend, expr):
     assert f.to_expr() == text
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
 @given(expr=expressions(), data=st.data())
 @settings(**_SETTINGS)
 def test_add_expr_matches_reference_semantics(backend, expr, data):
@@ -113,18 +115,17 @@ def test_add_expr_matches_reference_semantics(backend, expr, data):
 @given(expr=expressions(names=("a", "b", "c", "d", "e", "f")))
 @settings(**_SETTINGS)
 def test_cross_backend_equivalence_sweep(expr):
-    """The same expression built via BBDD and BDD denotes one function."""
+    """The same expression built on every backend denotes one function."""
     names = ["a", "b", "c", "d", "e", "f"]
-    bbdd = repro.open("bbdd", vars=names).add_expr(expr)
-    bdd = repro.open("bdd", vars=names).add_expr(expr)
-    assert bbdd.sat_count() == bdd.sat_count()
+    built = [repro.open(b, vars=names).add_expr(expr) for b in ALL_BACKENDS]
+    assert len({f.sat_count() for f in built}) == 1
     rng = random.Random(0xBBDD)
     for _ in range(64):
         assignment = {name: bool(rng.getrandbits(1)) for name in names}
-        assert bbdd.evaluate(assignment) == bdd.evaluate(assignment)
+        assert len({f.evaluate(assignment) for f in built}) == 1
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
 def test_expression_precedence_and_forms(backend):
     m = repro.open(backend, vars=["a", "b", "c"])
     a, b, c = (m.var(n) for n in "abc")
@@ -141,9 +142,13 @@ def test_expression_precedence_and_forms(backend):
     assert m.add_expr("\\E a, b: a & b").is_true
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
-def test_long_operator_chain_is_recursion_safe(backend):
-    n = 3000
+@pytest.mark.slow
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_long_operator_chain_is_recursion_safe(backend, low_recursion_limit):
+    # Deeper than the (lowered) interpreter recursion limit: an engine
+    # recursing on operand depth would crash; the iterative/level-sweep
+    # engines must not notice.
+    n = low_recursion_limit + 200
     m = repro.open(backend, vars=n)
     f = m.add_expr(" ^ ".join(f"x{i}" for i in range(n)))
     assert len(f.support()) == n

@@ -19,8 +19,9 @@ from repro.io.format import FormatError, unpack_ref
 from repro.io.stream import LevelStreamReader
 from repro.network.build import build_bbdd
 
+# max_examples comes from the active hypothesis profile (fast/ci —
+# see tests/conftest.py); only per-test shape settings live here.
 _SETTINGS = dict(
-    max_examples=25,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
@@ -215,7 +216,7 @@ def test_json_rejects_foreign_documents():
 def test_migrate_to_permuted_superset_manager():
     m, fns = _small_forest()
     m2 = BBDDManager(["d", "b", "extra", "a", "c"])
-    moved = rio.migrate(fns, m2)
+    moved = rio.migrate_forest(fns, m2)
     assert _masks(moved) == _masks(fns)
     m2.check_invariants()
     # Shared structure is migrated once: total target nodes stay bounded
@@ -229,16 +230,16 @@ def test_migrate_with_rename_and_shapes():
     m = BBDDManager(["a", "b"])
     f = m.var("a") ^ m.var("b")
     m2 = BBDDManager(["x", "y"])
-    moved = rio.migrate(f, m2, rename={"a": "x", "b": "y"})
+    moved = rio.migrate_forest(f, m2, rename={"a": "x", "b": "y"})
     assert moved.truth_mask(["x", "y"]) == f.truth_mask(["a", "b"])
-    assert rio.migrate([], m2) == []
-    assert rio.migrate({}, m2) == {}
+    assert rio.migrate_forest([], m2) == []
+    assert rio.migrate_forest({}, m2) == {}
 
 
 def test_migrate_same_manager_rejected():
     m, fns = _small_forest()
     with pytest.raises(BBDDError):
-        rio.migrate(fns, m)
+        rio.migrate_forest(fns, m)
 
 
 # ----------------------------------------------------------------------
@@ -324,6 +325,7 @@ def _spot_check(network, originals, reloaded, rng, vectors=8):
             assert reloaded[name].evaluate(assignment) == f.evaluate(assignment), name
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("backend", ["dict", "cantor"])
 def test_registry_dump_reload_sweep(backend):
     rng = random.Random(0xBBDD)

@@ -1,0 +1,176 @@
+"""Hostile-input coverage for the io subsystem, and the io regressions.
+
+* Truncation fuzz: a valid dump cut at *every* byte boundary must fail
+  with :class:`~repro.io.format.FormatError` (never ``IndexError`` /
+  ``struct.error`` / ``UnicodeDecodeError``) through all three readers
+  (``binary.load``, ``bdd_binary.load``, ``stream.scan``) — including
+  the empty-forest dump.
+* The ``repro.io.migrate`` module-shadowing regression: importing the
+  submodule must yield the module (exposing ``ProtocolMigrator``), with
+  the renamed :func:`~repro.io.migrate.migrate_forest` re-exported from
+  ``repro.io`` and the legacy spellings still callable (deprecated).
+* Swapped ``dump``/``load`` argument validation raises
+  :class:`~repro.core.exceptions.BBDDError` naming the expected order.
+"""
+
+import io as _io
+import types
+import warnings
+
+import pytest
+
+import repro
+from repro import io as rio
+from repro.core.exceptions import BBDDError
+from repro.io.format import FormatError
+
+NAMES = ["a", "b", "c"]
+
+#: Exception types that must never escape the readers on corrupt input.
+_FORBIDDEN = (IndexError, KeyError, UnicodeDecodeError)
+
+
+def _bbdd_dump() -> bytes:
+    m = repro.open("bbdd", vars=NAMES)
+    return rio.dumps(m, {"f": m.add_expr("(a ^ b) | c"), "g": m.add_expr("a <-> c")})
+
+
+def _bdd_dump() -> bytes:
+    m = repro.open("bdd", vars=NAMES)
+    return rio.dumps_bdd(m, {"f": m.add_expr("(a ^ b) | c")})
+
+
+def _empty_dump() -> bytes:
+    m = repro.open("bbdd", vars=NAMES)
+    return rio.dumps(m, {})
+
+
+def _assert_formaterror(fn, data):
+    try:
+        fn(data)
+    except FormatError:
+        return
+    except _FORBIDDEN as exc:  # pragma: no cover - the failure being tested
+        pytest.fail(f"non-FormatError escaped: {type(exc).__name__}: {exc}")
+    except Exception as exc:  # pragma: no cover - the failure being tested
+        pytest.fail(f"unexpected {type(exc).__name__}: {exc}")
+    else:
+        pytest.fail("truncated input loaded without error")
+
+
+@pytest.mark.parametrize("make_dump", [_bbdd_dump, _empty_dump])
+def test_bbdd_load_rejects_every_truncation(make_dump):
+    data = make_dump()
+    # Sanity: the untruncated dump loads.
+    rio.loads(data)
+    for cut in range(len(data)):
+        _assert_formaterror(rio.loads, data[:cut])
+
+
+def test_bdd_load_rejects_every_truncation():
+    data = _bdd_dump()
+    rio.loads_bdd(data)
+    for cut in range(len(data)):
+        _assert_formaterror(rio.loads_bdd, data[:cut])
+
+
+def test_xmem_load_rejects_every_truncation():
+    data = _bbdd_dump()
+    for cut in range(len(data)):
+        manager = repro.open("xmem", vars=NAMES)
+        _assert_formaterror(lambda d, m=manager: m.load(_io.BytesIO(d)), data[:cut])
+
+
+def test_scan_rejects_header_truncations():
+    data = _bbdd_dump()
+    full = rio.scan(_io.BytesIO(data))
+    assert full.node_count > 0
+    for cut in range(len(data)):
+        clipped = data[:cut]
+        try:
+            rio.scan(_io.BytesIO(clipped))
+        except FormatError:
+            continue
+        except _FORBIDDEN as exc:  # pragma: no cover
+            pytest.fail(f"scan leaked {type(exc).__name__} at cut {cut}")
+        # scan only validates the header + level directory; cuts inside
+        # the roots trailer are legitimately invisible to it.
+        assert cut > len(data) - 16, f"scan accepted deep truncation at {cut}"
+
+
+def test_garbage_and_wrong_magic_rejected():
+    for junk in (b"", b"\x00", b"BBD", b"NOPE" + b"\x00" * 64, b"\xff" * 32):
+        _assert_formaterror(rio.loads, junk)
+        _assert_formaterror(rio.loads_bdd, junk)
+        _assert_formaterror(lambda d: rio.scan(_io.BytesIO(d)), junk)
+
+
+def test_empty_forest_round_trips():
+    data = _empty_dump()
+    manager, functions = rio.loads(data)
+    assert functions == {}
+    info = rio.scan(_io.BytesIO(data))
+    assert info.node_count == 0 and info.header.num_roots == 0
+
+
+# ----------------------------------------------------------------------
+# regression: repro.io.migrate is a module again (the shadowing bug)
+# ----------------------------------------------------------------------
+
+
+def test_import_repro_io_migrate_is_a_module():
+    import repro.io.migrate as migrate_module
+
+    assert isinstance(migrate_module, types.ModuleType)
+    assert hasattr(migrate_module, "ProtocolMigrator")
+    assert hasattr(migrate_module, "Migrator")
+    assert hasattr(migrate_module, "migrate_forest")
+    # The package attribute is the module too, not the old function.
+    assert rio.migrate is migrate_module
+    # And the convenience function is re-exported under its new name.
+    assert rio.migrate_forest is migrate_module.migrate_forest
+    assert rio.ProtocolMigrator is migrate_module.ProtocolMigrator
+
+
+def test_legacy_migrate_spellings_still_call_through():
+    src = repro.open("bbdd", vars=["a", "b"])
+    dst = repro.open("bbdd", vars=["a", "b"])
+    f = src.add_expr("a ^ b")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        via_module_call = rio.migrate(f, dst)  # calling the module object
+        via_function = rio.migrate.migrate(f, dst)  # the deprecated function
+    assert via_module_call == via_function
+    assert sum(
+        issubclass(w.category, DeprecationWarning) for w in caught
+    ) >= 2
+
+
+# ----------------------------------------------------------------------
+# swapped dump/load arguments raise BBDDError naming the order
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ["bbdd", "bdd", "xmem"])
+def test_swapped_dump_arguments_raise_bbdd_error(backend, tmp_path):
+    m = repro.open(backend, vars=["a", "b"])
+    f = m.add_expr("a & b")
+    path = str(tmp_path / "forest.bbdd")
+    with pytest.raises(BBDDError, match=r"dump\(functions, target\)"):
+        m.dump(path, [f])
+    with pytest.raises(BBDDError, match="target"):
+        m.dump([f], [f])
+    with pytest.raises(BBDDError, match="load"):
+        m.load([f])
+    # The right order still works.
+    m.dump({"f": f}, path)
+    assert "f" in m.load(path)
+
+
+def test_module_level_dump_load_validation(tmp_path):
+    m = repro.open("bbdd", vars=["a"])
+    f = m.var("a")
+    with pytest.raises(BBDDError, match="swapped"):
+        rio.dump(m, str(tmp_path / "x.bbdd"), [f])
+    with pytest.raises(BBDDError, match="load"):
+        rio.load(f)

@@ -15,8 +15,9 @@ from repro.core import reorder
 from repro.core.operations import ALL_OPS
 from repro.core.truthtable import TruthTable
 
+# max_examples comes from the active hypothesis profile (fast/ci —
+# see tests/conftest.py); only per-test shape settings live here.
 _SETTINGS = dict(
-    max_examples=40,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
