@@ -1,0 +1,150 @@
+"""Serving gates: levelized batch evaluation vs looped walks, p50 latency.
+
+Builds a Table I circuit, takes its largest output function, and
+answers the same 10,000 random assignments two ways:
+
+* **looped** — the public ``f.evaluate(assignment)`` per query, one
+  root-to-sink walk each (the only option before ``repro.serve``);
+* **batched** — one ``f.evaluate_batch`` cohort sweep.  The batch side
+  is measured on both input forms: a pre-packed
+  :class:`~repro.serve.bulk.ColumnBatch` (the columnar wire format a
+  vectorized service keeps end-to-end; the acceptance gate, >= 20x) and
+  plain per-query mapping input (transpose included, reported as its
+  own metric).
+
+Each side receives the identical assignments in its natural format;
+constructing those inputs is excluded from both timings.  A second
+stage drives the full asyncio service (coalescing
+:class:`~repro.serve.server.BatchingServer` over an inline
+:class:`~repro.serve.pool.ForestPool`) with bursts of single queries
+and records the p50/p99 service latency.  Headline numbers land in
+``benchmarks/out/BENCH_serve.json``.
+"""
+
+import asyncio
+import random
+import time
+
+from repro.circuits.registry import TABLE1_ROWS
+from repro.network.build import build
+from repro.serve import BatchingServer, ColumnBatch, ForestPool
+from _metrics import record_metric
+
+CIRCUIT = "C1908"
+QUERIES = 10_000
+SPEEDUP_GATE = 20.0
+SERVICE_QUERIES = 600
+
+
+def _build_function():
+    row = next(r for r in TABLE1_ROWS if r.name == CIRCUIT)
+    network = row.build(full=False)
+    manager, functions = build(network, backend="bbdd")
+    # The largest output whose support is a strict subset of the
+    # inputs — the normal serving shape (clients send the variables
+    # the function reads, not the whole circuit interface).
+    candidates = sorted(
+        functions.items(), key=lambda item: item[1].node_count(), reverse=True
+    )
+    for _name, f in candidates:
+        if len(f.support()) < manager.num_vars:
+            return manager, functions, f
+    return manager, functions, candidates[0][1]
+
+
+def _workload(manager, f, rng):
+    support = sorted(f.support())
+    columns = {name: rng.getrandbits(QUERIES) for name in support}
+    batch = ColumnBatch(columns, QUERIES)
+    assignments = [
+        {name: bool((columns[name] >> i) & 1) for name in support}
+        for i in range(QUERIES)
+    ]
+    return batch, assignments
+
+
+def test_batched_evaluation_speedup(capsys):
+    manager, _functions, f = _build_function()
+    rng = random.Random(0xC0FFEE)
+    batch, assignments = _workload(manager, f, rng)
+
+    t0 = time.perf_counter()
+    looped = [f.evaluate(assignment) for assignment in assignments]
+    t_loop = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    batched = f.evaluate_batch(batch)
+    t_batch = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    batched_dicts = f.evaluate_batch(assignments)
+    t_batch_dicts = time.perf_counter() - t0
+
+    assert batched == looped
+    assert batched_dicts == looped
+
+    speedup = t_loop / t_batch
+    speedup_dicts = t_loop / t_batch_dicts
+    with capsys.disabled():
+        print(
+            f"\nserve: {CIRCUIT} f({len(f.support())} vars, "
+            f"{f.node_count()} nodes) x {QUERIES} queries: "
+            f"loop {t_loop:.3f}s, batched {t_batch * 1000:.2f}ms "
+            f"({speedup:.0f}x; mapping input {speedup_dicts:.1f}x)"
+        )
+
+    record_metric("serve", "loop_qps", QUERIES / t_loop, "queries/s")
+    record_metric("serve", "batched_qps", QUERIES / t_batch, "queries/s")
+    record_metric("serve", "batch_speedup", speedup, "ratio")
+    record_metric("serve", "batch_speedup_mapping_input", speedup_dicts, "ratio")
+
+    # -- the acceptance gate ------------------------------------------
+    assert speedup >= SPEEDUP_GATE, (
+        f"batched evaluation only {speedup:.1f}x faster than looped "
+        f"evaluate (gate: {SPEEDUP_GATE}x)"
+    )
+
+
+def test_service_p50_latency(tmp_path, capsys):
+    manager, functions, f = _build_function()
+    name = next(n for n, g in functions.items() if g is f)
+    path = tmp_path / "circuit.bbdd"
+    manager.dump({name: f}, str(path))
+    rng = random.Random(0xFEED)
+    support = sorted(f.support())
+    queries = [
+        {var: bool(rng.getrandbits(1)) for var in support}
+        for _ in range(SERVICE_QUERIES)
+    ]
+
+    async def drive():
+        pool = ForestPool(workers=0, cache_size=0)
+        server = BatchingServer(pool, str(path), batch_window=0.002, max_batch=256)
+        server.warm()
+        # Bursts of concurrent single queries, like coalesced traffic.
+        burst = 100
+        for start in range(0, len(queries), burst):
+            await asyncio.gather(
+                *(
+                    server.query(name, assignment)
+                    for assignment in queries[start : start + burst]
+                )
+            )
+        stats = server.stats()
+        pool.close()
+        return stats
+
+    stats = asyncio.run(drive())
+    p50_ms = stats["p50_latency_s"] * 1000
+    p99_ms = stats["p99_latency_s"] * 1000
+    with capsys.disabled():
+        print(
+            f"serve: {stats['queries']} service queries in "
+            f"{stats['batches_flushed']} flushes (mean batch "
+            f"{stats['mean_batch']:.0f}): p50 {p50_ms:.2f}ms, p99 {p99_ms:.2f}ms"
+        )
+    record_metric("serve", "service_p50_ms", p50_ms, "ms")
+    record_metric("serve", "service_p99_ms", p99_ms, "ms")
+    record_metric("serve", "service_mean_batch", stats["mean_batch"], "queries")
+    assert stats["queries"] == SERVICE_QUERIES
+    assert stats["batches_flushed"] <= SERVICE_QUERIES / 10

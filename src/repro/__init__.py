@@ -13,6 +13,10 @@ Public entry points:
   BBDD manipulation package (the paper's contribution).
 * :class:`repro.bdd.BDDManager` — the baseline ROBDD package (the paper's
   CUDD comparator substitute), at full API parity through the protocol.
+* :mod:`repro.serve` — the batched query service: vectorized bulk
+  evaluation (``Function.evaluate_batch``), a multi-process forest
+  pool, and an asyncio server coalescing single queries into levelized
+  sweeps (``python -m repro.serve``).
 * :mod:`repro.network` — combinational logic networks with BLIF/Verilog
   frontends.
 * :mod:`repro.circuits` — MCNC/ISCAS/datapath benchmark generators.
@@ -27,7 +31,7 @@ Public entry points:
 from repro.core import BBDDManager, Function
 from repro.api import open, register_backend, backends
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BBDDManager",

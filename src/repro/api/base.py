@@ -38,6 +38,33 @@ from repro.core.operations import (
 )
 
 
+def check_assignment_bit(bit, label, where: str) -> None:
+    """Validate one assignment value (the shared strictness contract).
+
+    Accepts ``bool`` and int ``0``/``1`` only; anything else raises
+    ``TypeError`` naming the variable (``label``) and the context
+    (``where`` — e.g. ``"assignment"`` or ``"assignment 3"``).  Used by
+    both the single-query path (:meth:`FunctionBase.evaluate`) and the
+    batch encoders (:mod:`repro.serve.bulk`), so the two surfaces
+    cannot drift apart.
+    """
+    if isinstance(bit, bool):
+        return
+    if isinstance(bit, int) and bit in (0, 1):
+        return
+    raise TypeError(
+        f"{where}: value for variable {label!r} must be a Boolean "
+        f"(bool, or int 0/1), got {bit!r}"
+    )
+
+
+def duplicate_assignment_error(manager, index: int, where: str) -> VariableError:
+    """The shared error for a variable assigned twice (name and index)."""
+    return VariableError(
+        f"{where} assigns variable {manager.var_name(index)!r} more than once"
+    )
+
+
 class DDManager:
     """The uniform decision-diagram manager protocol.
 
@@ -97,6 +124,78 @@ class DDManager:
         if f.manager is not self:
             raise ForeignManagerError("function belongs to a different manager")
         return f.to_expr()
+
+    def evaluate_batch(self, f: "FunctionBase", assignments):
+        """Manager-level spelling of :meth:`FunctionBase.evaluate_batch`."""
+        if f.manager is not self:
+            raise ForeignManagerError("function belongs to a different manager")
+        return f.evaluate_batch(assignments)
+
+    # -- batch protocol (repro.serve) ---------------------------------------
+
+    def batch_stream(self, edge):
+        """Top-down level stream of ``edge``'s diagram for cohort sweeps.
+
+        Backends with a levelized structure return ``(root_key, items)``
+        where ``items`` yields the reachable nodes parents-first in the
+        shape documented in :mod:`repro.serve.bulk`; the batch queries
+        below then run as a single sweep.  The default ``None`` makes
+        them fall back to one root-to-sink walk per query, so any
+        third-party backend is correct without knowing about batching.
+        """
+        return None
+
+    def evaluate_batch_edges(self, edge, batch):
+        """Evaluate one encoded batch (see :mod:`repro.serve.bulk`).
+
+        With a :meth:`batch_stream` this is the levelized cohort sweep —
+        ``O(nodes + queries)``; without one it degrades to the looped
+        ``O(nodes × queries)`` walk per query.
+        """
+        stream = self.batch_stream(edge)
+        if stream is not None:
+            from repro.serve.bulk import cohort_sweep
+
+            root_key, items = stream
+            sat_even, _sat_odd = cohort_sweep(
+                root_key, edge[1], items, batch.var_bits, batch.full
+            )
+            return batch.unpack(sat_even)
+        evaluate = self.evaluate_edge
+        return [
+            evaluate(edge, values)
+            for values in batch.iter_value_dicts(self.num_vars)
+        ]
+
+    def satisfiable_batch_edges(self, edge, batch):
+        """Batched cube satisfiability (see :func:`repro.serve.bulk.satisfiable_batch`).
+
+        With a :meth:`batch_stream`, unconstrained queries flow into
+        both branches of one sweep; the fallback restricts the edge by
+        each cube and checks the cofactor against the 0-sink.
+        """
+        stream = self.batch_stream(edge)
+        if stream is not None:
+            from repro.serve.bulk import cube_sweep
+
+            root_key, items = stream
+            sat_even, _sat_odd = cube_sweep(
+                root_key,
+                edge[1],
+                items,
+                batch.var_bits,
+                batch.known_bits or {},
+                batch.full,
+            )
+            return batch.unpack(sat_even)
+        results = []
+        with self.defer_gc():
+            for values in batch.iter_known_dicts():
+                cofactor = edge
+                for var, value in values.items():
+                    cofactor = self.restrict_edge(cofactor, var, value)
+                results.append(not (cofactor[0].is_sink and cofactor[1]))
+        return results
 
 
 def rebuild_function(manager, root, var_fn, target, memo=None):
@@ -288,6 +387,7 @@ class FunctionBase:
 
     @property
     def edge(self):
+        """The bare ``(node, attr)`` edge this handle references."""
         return (self.node, self.attr)
 
     def __eq__(self, other) -> bool:
@@ -358,9 +458,11 @@ class FunctionBase:
         return self.apply(other, OP_XNOR)
 
     def implies(self, other) -> "FunctionBase":
+        """Material implication ``self -> other``."""
         return self.apply(other, OP_LE)
 
     def and_not(self, other) -> "FunctionBase":
+        """Difference ``self & ~other``."""
         return self.apply(other, OP_GT)
 
     def ite(self, g, h) -> "FunctionBase":
@@ -373,22 +475,41 @@ class FunctionBase:
 
     @property
     def is_true(self) -> bool:
+        """True iff this is the constant TRUE (the regular sink edge)."""
         return self.node.is_sink and not self.attr
 
     @property
     def is_false(self) -> bool:
+        """True iff this is the constant FALSE (the complemented sink)."""
         return self.node.is_sink and self.attr
 
     @property
     def is_constant(self) -> bool:
+        """True iff this is TRUE or FALSE."""
         return self.node.is_sink
 
     # -- semantics ----------------------------------------------------------
 
     def _values_from(self, assignment: Mapping) -> Dict[int, bool]:
+        """Normalize an assignment to ``{index: bool}``, strictly.
+
+        Unknown variables raise :class:`VariableError`; a variable
+        assigned twice (say, by name *and* by index) raises
+        :class:`VariableError`; values other than ``bool``/``0``/``1``
+        raise ``TypeError``.  This is the validation contract shared by
+        :meth:`evaluate`, :meth:`evaluate_batch` and
+        :meth:`satisfiable_batch` — constants included: an empty-support
+        function still rejects a malformed mapping instead of silently
+        ignoring it.
+        """
+        manager = self.manager
         values: Dict[int, bool] = {}
         for key, bit in assignment.items():
-            values[self.manager.var_index(key)] = bool(bit)
+            index = manager.var_index(key)
+            if index in values:
+                raise duplicate_assignment_error(manager, index, "assignment")
+            check_assignment_bit(bit, manager.var_name(index), "assignment")
+            values[index] = bool(bit)
         return values
 
     def evaluate(self, assignment: Mapping) -> bool:
@@ -396,9 +517,12 @@ class FunctionBase:
 
         The assignment must cover the function's support variables;
         missing support variables raise
-        :class:`~repro.core.exceptions.VariableError`.  Variables outside
-        the support may be omitted (they default to False, which cannot
-        change the result).
+        :class:`~repro.core.exceptions.VariableError` *naming the
+        missing variables*.  Variables outside the support may be
+        omitted (they default to False, which cannot change the
+        result).  Unknown variables, duplicate assignments and
+        non-Boolean values are rejected even on constants (see
+        :meth:`_values_from`).
         """
         values = self._values_from(assignment)
         if len(values) < self.manager.num_vars:
@@ -418,6 +542,35 @@ class FunctionBase:
             for var in range(self.manager.num_vars):
                 values.setdefault(var, False)
         return self.manager.evaluate_edge(self.edge, values)
+
+    def evaluate_batch(self, assignments) -> list:
+        """Evaluate at many assignments with one levelized sweep.
+
+        ``assignments`` is an iterable of mappings — each under the
+        exact :meth:`evaluate` contract, with error messages naming the
+        offending batch position and the missing variables — or a
+        pre-packed :class:`repro.serve.bulk.ColumnBatch`.  Returns one
+        ``bool`` per assignment, in order.  The whole batch flows
+        through the diagram top-down as bitset cohorts
+        (:mod:`repro.serve.bulk`), so the cost is
+        ``O(nodes + queries)`` instead of one root-to-sink walk per
+        query.
+        """
+        from repro.serve.bulk import evaluate_batch
+
+        return evaluate_batch(self, assignments)
+
+    def satisfiable_batch(self, assignments) -> list:
+        """For each partial assignment (cube): is ``f ∧ cube`` satisfiable?
+
+        Same input forms and error contract as :meth:`evaluate_batch`,
+        except assignments may be partial — unconstrained variables are
+        existentially quantified by the sweep itself (a query flows
+        into both branches where its cube does not decide the test).
+        """
+        from repro.serve.bulk import satisfiable_batch
+
+        return satisfiable_batch(self, assignments)
 
     def __call__(self, **kwargs) -> bool:
         return self.evaluate(kwargs)
@@ -477,9 +630,11 @@ class FunctionBase:
         )
 
     def exists(self, variables) -> "FunctionBase":
+        """Existential quantification over ``variables`` (names/indices)."""
         return self._wrap(self.manager.quantify_edge(self.edge, variables, False))
 
     def forall(self, variables) -> "FunctionBase":
+        """Universal quantification over ``variables`` (names/indices)."""
         return self._wrap(self.manager.quantify_edge(self.edge, variables, True))
 
     def equivalent(self, other) -> bool:

@@ -108,14 +108,17 @@ class _Parser:
     # -- token helpers --------------------------------------------------
 
     def peek(self) -> Tuple[str, str]:
+        """The current token without consuming it."""
         return self.tokens[self.pos]
 
     def next(self) -> Tuple[str, str]:
+        """Consume and return the current token."""
         token = self.tokens[self.pos]
         self.pos += 1
         return token
 
     def expect(self, value: str) -> None:
+        """Consume one token, requiring it to be ``value``."""
         kind, got = self.next()
         if kind == "end" or got != value:
             shown = "end of input" if kind == "end" else repr(got)
@@ -126,6 +129,7 @@ class _Parser:
     # -- grammar --------------------------------------------------------
 
     def parse(self) -> tuple:
+        """Parse a full expression; trailing tokens are an error."""
         ast = self.expr()
         kind, value = self.peek()
         if kind != "end":
@@ -135,6 +139,7 @@ class _Parser:
         return ast
 
     def expr(self) -> tuple:
+        """``expr := quantifier | iff`` (quantifiers scope rightward)."""
         kind, value = self.peek()
         if kind == "op" and value in ("\\E", "\\A"):
             self.next()
@@ -148,6 +153,7 @@ class _Parser:
         return self.iff()
 
     def name(self, what: str) -> str:
+        """Consume one identifier token (``what`` labels the error)."""
         kind, value = self.next()
         if kind != "name":
             shown = "end of input" if kind == "end" else repr(value)
@@ -155,6 +161,7 @@ class _Parser:
         return value
 
     def iff(self) -> tuple:
+        """``iff := imp (<-> imp)*`` (left-associative)."""
         ast = self.imp()
         while self.peek() == ("op", "<->"):
             self.next()
@@ -162,6 +169,7 @@ class _Parser:
         return ast
 
     def imp(self) -> tuple:
+        """``imp := or (-> imp)?`` (right-associative)."""
         ast = self.or_()
         if self.peek() == ("op", "->"):
             self.next()
@@ -169,6 +177,7 @@ class _Parser:
         return ast
 
     def or_(self) -> tuple:
+        """``or := xor (| xor)*``."""
         ast = self.xor()
         while self.peek() == ("op", "|"):
             self.next()
@@ -176,6 +185,7 @@ class _Parser:
         return ast
 
     def xor(self) -> tuple:
+        """``xor := and (^ and)*``."""
         ast = self.and_()
         while self.peek() == ("op", "^"):
             self.next()
@@ -183,6 +193,7 @@ class _Parser:
         return ast
 
     def and_(self) -> tuple:
+        """``and := unary (& unary)*``."""
         ast = self.unary()
         while self.peek() == ("op", "&"):
             self.next()
@@ -190,12 +201,14 @@ class _Parser:
         return ast
 
     def unary(self) -> tuple:
+        """``unary := ~ unary | atom``."""
         if self.peek() == ("op", "~"):
             self.next()
             return ("not", self.unary())
         return self.atom()
 
     def atom(self) -> tuple:
+        """``atom := ( expr ) | ite(f, g, h) | TRUE | FALSE | name``."""
         kind, value = self.next()
         if kind == "op" and value == "(":
             ast = self.expr()

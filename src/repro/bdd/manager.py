@@ -313,6 +313,14 @@ class BDDManager(DDManager):
     def evaluate_edge(self, edge: BDDEdge, values: Dict[int, bool]) -> bool:
         return self.evaluate(edge, values)
 
+    def batch_stream(self, edge: BDDEdge):
+        """Top-down level stream for the batch cohort sweeps (repro.serve)."""
+        from repro.bdd import ops as _ops
+
+        if edge[0].is_sink:
+            return None
+        return (edge[0], _ops.iter_cohort_items(self, edge))
+
     def sat_count_edge(self, edge: BDDEdge) -> int:
         return self.sat_count(edge)
 

@@ -929,6 +929,14 @@ class BBDDManager(DDManager):
 
         return _trav.evaluate(edge, values)
 
+    def batch_stream(self, edge: Edge):
+        """Top-down level stream for the batch cohort sweeps (repro.serve)."""
+        from repro.core import traversal as _trav
+
+        if edge[0].is_sink:
+            return None
+        return (edge[0], _trav.iter_cohort_items(self, edge))
+
     def sat_count_edge(self, edge: Edge) -> int:
         from repro.core import traversal as _trav
 

@@ -238,6 +238,50 @@ def levelize(manager, edges: Iterable[Edge]) -> List[Tuple[int, List[BBDDNode]]]
     ]
 
 
+def iter_cohort_items(manager, edge: Edge) -> Iterator[tuple]:
+    """Yield ``edge``'s nodes top-down as cohort-sweep items.
+
+    The item shape is documented in :mod:`repro.serve.bulk`:
+    ``(key, pv, sv, t_key, t_flip, t_pv, f_key, f_flip, f_pv)`` with
+    the *t*-branch taken where the node's test holds (``pv != sv`` on
+    chain nodes, ``pv`` on literal nodes, whose ``sv`` slot is
+    ``None``).  Built on :func:`levelize` reversed — children live at
+    strictly deeper CVO positions, so parents are always emitted first,
+    which is the only ordering the sweep needs.
+    """
+    for _pos, nodes in reversed(levelize(manager, [edge])):
+        for node in nodes:
+            if node.sv == SV_ONE:
+                # Literal (R4) node: test is the variable itself; the
+                # ``=``-edge (pv == 1) is the regular sink, the
+                # ``!=``-edge the complemented one.
+                eq, neq = node.eq, node.neq
+                yield (
+                    node,
+                    node.pv,
+                    None,
+                    None if eq.is_sink else eq,
+                    False,
+                    None if eq.is_sink else eq.pv,
+                    None if neq.is_sink else neq,
+                    node.neq_attr,
+                    None if neq.is_sink else neq.pv,
+                )
+            else:
+                neq, eq = node.neq, node.eq
+                yield (
+                    node,
+                    node.pv,
+                    node.sv,
+                    None if neq.is_sink else neq,
+                    node.neq_attr,
+                    None if neq.is_sink else neq.pv,
+                    None if eq.is_sink else eq,
+                    False,
+                    None if eq.is_sink else eq.pv,
+                )
+
+
 def structural_profile(manager, edges: Iterable[Edge]) -> Dict[str, int]:
     """Summary statistics of a forest (used by reports and examples)."""
     nodes = reachable_nodes(edges)

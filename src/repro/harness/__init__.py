@@ -5,11 +5,14 @@
 * :mod:`repro.harness.table2` — Table II: datapath synthesis case study.
 * :mod:`repro.harness.figures` — Fig. 1 (biconditional expansion
   semantics) and Fig. 2 (CVO swap) validation/micro-benchmarks.
+* :mod:`repro.harness.bulkeval` — looped vs batched (levelized-sweep)
+  query throughput on a Table I circuit, any backend.
 * :mod:`repro.harness.report` — plain-text table rendering with
   paper-vs-measured columns.
 """
 
+from repro.harness.bulkeval import run_bulkeval
 from repro.harness.table1 import run_table1
 from repro.harness.table2 import run_table2
 
-__all__ = ["run_table1", "run_table2"]
+__all__ = ["run_table1", "run_table2", "run_bulkeval"]

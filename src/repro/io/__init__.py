@@ -5,7 +5,10 @@ The subsystem makes BBDDs durable and portable:
 * :mod:`repro.io.format` — the levelized binary format (varint node
   records, header with names/order/per-level counts);
 * :mod:`repro.io.binary` — ``dump``/``load`` (+ ``dumps``/``loads``) of
-  shared forests with on-the-fly re-reduction on import;
+  shared forests with on-the-fly re-reduction on import, and
+  :func:`~repro.io.binary.open_forest`, which sniffs a container's
+  header flags and loads it with the right decoder (the serving
+  warm-start path);
 * :mod:`repro.io.stream` — one-level-at-a-time writer/reader and the
   header-only :func:`~repro.io.stream.scan`;
 * :mod:`repro.io.bdd_binary` — the same container for baseline-BDD
@@ -29,7 +32,7 @@ from repro.io.bdd_binary import dump as dump_bdd
 from repro.io.bdd_binary import dumps as dumps_bdd
 from repro.io.bdd_binary import load as load_bdd
 from repro.io.bdd_binary import loads as loads_bdd
-from repro.io.binary import dump, dumps, load, loads
+from repro.io.binary import dump, dumps, load, loads, open_forest
 from repro.io.checkpoint import CheckpointStore
 from repro.io.format import FormatError
 from repro.io.jsondump import dump_json, from_dict, load_json, to_dict
@@ -41,6 +44,7 @@ __all__ = [
     "dumps",
     "load",
     "loads",
+    "open_forest",
     "dump_bdd",
     "dumps_bdd",
     "load_bdd",

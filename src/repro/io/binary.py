@@ -209,6 +209,27 @@ def loads(data: bytes, manager=None, rename: Rename = None):
     return load(_io.BytesIO(data), manager=manager, rename=rename)
 
 
+def open_forest(path) -> Tuple[object, Dict[str, object]]:
+    """Load any dump container by sniffing its header flags.
+
+    The serving warm-start path (:class:`repro.serve.pool.ForestPool`
+    workers): a ``.bbdd`` container holds either BBDD records (flags 0
+    — the in-core loader) or baseline-BDD Shannon records
+    (``FLAG_BDD`` — the :mod:`repro.io.bdd_binary` loader); callers who
+    just want "the forest in this file, served from core" need not know
+    which.  Returns ``(manager, {name: function})`` with a fresh
+    manager of the matching in-core backend.
+    """
+    from repro.io.stream import scan
+
+    info = scan(path)
+    if info.header.flags & FLAG_BDD:
+        from repro.io import bdd_binary
+
+        return bdd_binary.load(path)
+    return load(path)
+
+
 def _load_file(fileobj, manager, rename: Rename):
     reader = LevelStreamReader(fileobj)
     if reader.header.flags & FLAG_BDD:

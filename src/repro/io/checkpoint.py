@@ -45,17 +45,21 @@ class CheckpointStore:
         os.makedirs(self.directory, exist_ok=True)
 
     def result_path(self, key: str) -> str:
+        """Path of the result-row JSON stored under ``key``."""
         return os.path.join(self.directory, _slug(key) + ".json")
 
     def forest_path(self, key: str) -> str:
+        """Path of the forest dump stored under ``key``."""
         return os.path.join(self.directory, _slug(key) + ".bbdd")
 
     # -- result rows ------------------------------------------------------
 
     def has_result(self, key: str) -> bool:
+        """Whether a result row is stored under ``key``."""
         return os.path.exists(self.result_path(key))
 
     def save_result(self, key: str, record: Dict) -> None:
+        """Atomically persist one JSON-serializable result row."""
         path = self.result_path(key)
         tmp = path + ".tmp"
         with open(tmp, "w", encoding="utf-8") as fileobj:
@@ -63,6 +67,7 @@ class CheckpointStore:
         os.replace(tmp, path)
 
     def load_result(self, key: str) -> Optional[Dict]:
+        """The stored result row, or None when ``key`` has none."""
         path = self.result_path(key)
         if not os.path.exists(path):
             return None
@@ -72,9 +77,11 @@ class CheckpointStore:
     # -- forests ----------------------------------------------------------
 
     def has_forest(self, key: str) -> bool:
+        """Whether a forest dump is stored under ``key``."""
         return os.path.exists(self.forest_path(key))
 
     def save_forest(self, key: str, manager, functions) -> None:
+        """Atomically persist a forest through the manager's dump codec."""
         path = self.forest_path(key)
         tmp = path + ".tmp"
         with open(tmp, "wb") as fileobj:
@@ -113,6 +120,7 @@ class CheckpointStore:
         )
 
     def clear(self) -> None:
+        """Delete every stored result row and forest dump."""
         for name in os.listdir(self.directory):
             if name.endswith((".json", ".bbdd")):
                 os.remove(os.path.join(self.directory, name))

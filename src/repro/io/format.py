@@ -148,6 +148,7 @@ class Header:
 
     @property
     def node_count(self) -> int:
+        """Total node records declared by the per-level counts."""
         return sum(count for _pos, count in self.levels)
 
     def ordered_names(self) -> List[str]:
@@ -155,6 +156,7 @@ class Header:
         return [self.names[v] for v in self.order]
 
     def encode(self) -> bytes:
+        """Serialize the header (magic, version, flags, names, order)."""
         out = bytearray(MAGIC)
         encode_varint(self.version, out)
         encode_varint(self.flags, out)

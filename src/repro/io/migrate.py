@@ -186,6 +186,7 @@ class Migrator:
         self._memo: Dict[BBDDNode, Edge] = {}
 
     def edge(self, edge: Edge) -> Edge:
+        """Copy a bare edge into the target manager (memoized)."""
         node, attr = edge
         # The memo and the copies are bare edges in ``dst``; keep its
         # automatic GC out of the way while the copy is in flight.
@@ -194,6 +195,7 @@ class Migrator:
         return (copied, base_attr ^ attr)
 
     def function(self, f: Function) -> Function:
+        """Copy a source function; repeated calls keep the sharing."""
         if f.manager is not self.src:
             raise BBDDError("function does not belong to the source manager")
         with self.dst.defer_gc():
@@ -270,6 +272,7 @@ class ProtocolMigrator:
         return f
 
     def function(self, f: FunctionBase) -> FunctionBase:
+        """Rebuild a source function in the target through the protocol."""
         if f.manager is not self.src:
             raise BBDDError("function does not belong to the source manager")
         copied = rebuild_function(
@@ -347,6 +350,7 @@ class _CallableModule(_sys.modules[__name__].__class__):
     working (deprecated) now that the name is bound to the module again."""
 
     def __call__(self, functions, dst, rename: Rename = None):
+        """Deprecated alias of :func:`migrate_forest`."""
         import warnings
 
         warnings.warn(

@@ -72,6 +72,7 @@ class LevelStreamWriter:
         self._roots_written = True
 
     def allocate_id(self) -> int:
+        """Reserve the next dense node id (children before parents)."""
         node_id = self._next_id
         self._next_id += 1
         return node_id
@@ -106,6 +107,7 @@ class _LevelBuffer:
         return self._writer.allocate_id()
 
     def close(self) -> None:
+        """Flush the block (header + payload); counts must match."""
         if self._written != self._expected:
             raise FormatError(
                 f"level {self.position} wrote {self._written} of "
@@ -198,18 +200,22 @@ class FileInfo:
 
     @property
     def node_count(self) -> int:
+        """Total stored node records (from the header)."""
         return self.header.node_count
 
     @property
     def payload_bytes(self) -> int:
+        """Bytes of node-record payload across all level blocks."""
         return sum(self.level_bytes)
 
     @property
     def bytes_per_node(self) -> float:
+        """File bytes divided by node records (compactness metric)."""
         count = self.node_count
         return self.file_bytes / count if count else float(self.file_bytes)
 
     def summary(self) -> dict:
+        """The headline numbers as a plain dict (for reports/CLIs)."""
         return {
             "variables": len(self.header.names),
             "roots": self.header.num_roots,

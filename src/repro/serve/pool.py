@@ -1,0 +1,436 @@
+"""Multi-process forest serving: workers, sharding, result caching.
+
+A :class:`ForestPool` answers batch queries against forests stored as
+``.bbdd`` dump containers (the :mod:`repro.io` format doubles as the
+pool's wire/warm-start format):
+
+* each **worker** is a separate process hosting an LRU cache of loaded
+  forests (:class:`ForestHost`), so the Python-level evaluation
+  parallelism is real — one GIL per worker;
+* oversized batches are **sharded** across the workers and reassembled
+  in order;
+* a **cross-request result cache** in the dispatcher answers repeated
+  single queries (the common shape of coalesced interactive traffic)
+  without touching a worker at all.
+
+``workers=0`` runs the same code path inline (no subprocesses) — the
+right choice for tests, small deployments, and platforms where
+spawning is expensive; it still provides the forest cache, sharding
+and result cache.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Mapping, Optional, Set
+
+from repro.api.base import check_assignment_bit
+from repro.serve.bulk import ServeError
+
+#: Default shard size: batches above this split across workers.
+DEFAULT_SHARD = 4096
+
+
+class ForestHost:
+    """An LRU cache of forests loaded from dump containers.
+
+    One instance lives in every worker process (and one inline in a
+    ``workers=0`` pool).  Forests load through
+    :func:`repro.io.open_forest`, so both BBDD and baseline-BDD
+    containers serve transparently.
+    """
+
+    def __init__(self, max_forests: int = 8) -> None:
+        if max_forests < 1:
+            raise ServeError("max_forests must be positive")
+        self.max_forests = max_forests
+        self._forests: "OrderedDict[str, tuple]" = OrderedDict()
+        # An inline (workers=0) pool shares this host across the
+        # batching server's executor threads; serialize access so the
+        # LRU bookkeeping and the underlying manager stay consistent.
+        self._lock = threading.Lock()
+        self.loads = 0
+        self.hits = 0
+
+    def get(self, path: str) -> tuple:
+        """The ``(manager, {name: function})`` pair for ``path``."""
+        with self._lock:
+            return self._get_locked(path)
+
+    def _get_locked(self, path: str) -> tuple:
+        entry = self._forests.get(path)
+        if entry is None:
+            from repro.io import open_forest
+
+            entry = open_forest(path)
+            self._forests[path] = entry
+            self.loads += 1
+            while len(self._forests) > self.max_forests:
+                self._forests.popitem(last=False)
+        else:
+            self._forests.move_to_end(path)
+            self.hits += 1
+        return entry
+
+    def names(self, path: str) -> List[str]:
+        """The function names stored in ``path`` (loads it if needed)."""
+        return sorted(self.get(path)[1])
+
+    def evaluate(self, path: str, name: str, assignments) -> List[bool]:
+        """Batch-evaluate one named function of the forest at ``path``."""
+        with self._lock:
+            _manager, functions = self._get_locked(path)
+            f = functions.get(name)
+            if f is None:
+                raise ServeError(
+                    f"no function {name!r} in {path!r}; "
+                    f"stored: {', '.join(sorted(functions))}"
+                )
+            # The sweep runs under the lock too: concurrent inline
+            # callers share one manager, whose memo tables are not
+            # thread-safe (worker processes are the parallelism axis).
+            return f.evaluate_batch(assignments)
+
+
+def _worker_main(in_queue, out_queue, max_forests: int) -> None:
+    """Worker-process loop: serve ``(task_id, op, payload)`` requests."""
+    host = ForestHost(max_forests)
+    while True:
+        message = in_queue.get()
+        if message is None:
+            return
+        task_id, op, payload = message
+        try:
+            if op == "eval":
+                path, name, assignments = payload
+                result = host.evaluate(path, name, assignments)
+            elif op == "warm":
+                result = host.names(payload)
+            elif op == "stats":
+                result = {"loads": host.loads, "forest_hits": host.hits}
+            else:  # pragma: no cover - protocol misuse
+                raise ServeError(f"unknown worker op {op!r}")
+            out_queue.put((task_id, True, result))
+        except BaseException as exc:  # noqa: BLE001 - reported to the caller
+            out_queue.put((task_id, False, f"{type(exc).__name__}: {exc}"))
+
+
+def _normalize_assignment(assignment: Mapping, where: str) -> tuple:
+    """A hashable, order-insensitive key for one assignment mapping.
+
+    Values are validated *before* normalization (the shared strictness
+    contract), so a malformed assignment raises identically whether the
+    result would have come from the cache or from a worker.
+    """
+    items = []
+    for key, bit in assignment.items():
+        check_assignment_bit(bit, key, where)
+        items.append(((isinstance(key, str), str(key)), bool(bit)))
+    return tuple(sorted(items))
+
+
+class ForestPool:
+    """A pool of forest-serving workers with sharding and result caching.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; ``0`` serves inline in this process
+        (default: ``min(4, cpu_count)``).
+    max_forests:
+        Per-worker LRU capacity of loaded forests.
+    cache_size:
+        Dispatcher-level result-cache entries (``0`` disables); keys
+        are ``(forest, function, assignment)``, so repeated queries are
+        answered without dispatching.
+    shard_size:
+        Batches larger than this split into shards spread round-robin
+        across the workers.
+    timeout:
+        Seconds to wait for a worker reply before declaring it dead.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        max_forests: int = 8,
+        cache_size: int = 4096,
+        shard_size: int = DEFAULT_SHARD,
+        timeout: float = 120.0,
+    ) -> None:
+        if workers is None:
+            workers = min(4, os.cpu_count() or 1)
+        if workers < 0:
+            raise ServeError("workers must be >= 0")
+        if shard_size < 1:
+            raise ServeError("shard_size must be positive")
+        self.shard_size = shard_size
+        self.timeout = timeout
+        self._cache: "OrderedDict[tuple, bool]" = OrderedDict()
+        self._cache_size = cache_size
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.batches_dispatched = 0
+        self.shards_dispatched = 0
+        self._task_seq = 0
+        self._results: Dict[int, tuple] = {}
+        self._abandoned: Set[int] = set()
+        # One lock/condition guards task ids, worker rotation and the
+        # result demux: several threads may wait concurrently (the
+        # batching server's flush gathers groups in executor threads),
+        # and only one of them may block on the shared result queue at
+        # a time — it parks other threads' replies in ``_results`` and
+        # wakes them through the condition.
+        self._cond = threading.Condition()
+        self._draining = False
+        self._host: Optional[ForestHost] = None
+        self._processes: List = []
+        self._queues: List = []
+        self._out_queue = None
+        self._next_worker = 0
+        if workers == 0:
+            self._host = ForestHost(max_forests)
+        else:
+            import multiprocessing as mp
+
+            context = mp.get_context()
+            self._out_queue = context.Queue()
+            for _ in range(workers):
+                in_queue = context.Queue()
+                process = context.Process(
+                    target=_worker_main,
+                    args=(in_queue, self._out_queue, max_forests),
+                    daemon=True,
+                )
+                process.start()
+                self._queues.append(in_queue)
+                self._processes.append(process)
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        """Worker process count (0 when serving inline)."""
+        return len(self._processes)
+
+    def close(self) -> None:
+        """Stop the workers (idempotent)."""
+        for queue in self._queues:
+            try:
+                queue.put(None)
+            except (OSError, ValueError):  # pragma: no cover - teardown
+                pass
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+        self._processes = []
+        self._queues = []
+
+    def __enter__(self) -> "ForestPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- dispatch -------------------------------------------------------
+
+    def _submit_to(self, index: int, op: str, payload) -> int:
+        with self._cond:
+            self._task_seq += 1
+            task_id = self._task_seq
+        self._queues[index].put((task_id, op, payload))
+        return task_id
+
+    def _submit(self, op: str, payload) -> int:
+        with self._cond:
+            self._task_seq += 1
+            task_id = self._task_seq
+            index = self._next_worker
+            self._next_worker = (index + 1) % len(self._queues)
+        self._queues[index].put((task_id, op, payload))
+        return task_id
+
+    def _collect(self, task_id: int):
+        """Wait for one task's worker reply (thread-safe demux).
+
+        Exactly one thread at a time drains the shared result queue;
+        replies for other waiters are parked in ``_results`` and their
+        threads woken through the condition, so concurrent callers
+        never steal each other's wakeups.  A timed-out task id is
+        remembered so its late reply is discarded instead of leaking.
+        """
+        import queue as queue_mod
+
+        deadline = time.monotonic() + self.timeout
+        with self._cond:
+            while task_id not in self._results:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._abandoned.add(task_id)
+                    raise ServeError(
+                        f"pool worker did not answer within {self.timeout}s"
+                    )
+                if self._draining:
+                    # Someone else is on the queue; they will park our
+                    # reply and notify.  Wake periodically to re-check
+                    # the deadline.
+                    self._cond.wait(timeout=min(remaining, 1.0))
+                    continue
+                self._draining = True
+                self._cond.release()
+                item = None
+                try:
+                    try:
+                        item = self._out_queue.get(timeout=min(remaining, 1.0))
+                    except queue_mod.Empty:
+                        item = None
+                finally:
+                    self._cond.acquire()
+                    self._draining = False
+                    if item is not None:
+                        done_id, ok, payload = item
+                        if done_id in self._abandoned:
+                            self._abandoned.discard(done_id)
+                        else:
+                            self._results[done_id] = (ok, payload)
+                    self._cond.notify_all()
+                if item is None and not any(
+                    p.is_alive() for p in self._processes
+                ):
+                    raise ServeError("all pool workers died")
+            ok, payload = self._results.pop(task_id)
+        if not ok:
+            raise ServeError(f"pool worker failed: {payload}")
+        return payload
+
+    def _collect_all(self, task_ids: List[int]) -> List:
+        """Collect several task replies; on failure, abandon the rest.
+
+        Without the cleanup, a timed-out multi-shard batch would leave
+        its sibling shards' late replies accumulating in ``_results``
+        forever.
+        """
+        payloads = []
+        for position, task_id in enumerate(task_ids):
+            try:
+                payloads.append(self._collect(task_id))
+            except ServeError:
+                with self._cond:
+                    for stale_id in task_ids[position + 1 :]:
+                        if self._results.pop(stale_id, None) is None:
+                            self._abandoned.add(stale_id)
+                raise
+        return payloads
+
+    def warm(self, path) -> List[str]:
+        """Pre-load ``path`` into every worker; returns the root names.
+
+        Warm-starting moves the dump decode off the first request's
+        latency path (every worker pays it once, concurrently).
+        """
+        path = os.fspath(path)
+        if self._host is not None:
+            return self._host.names(path)
+        task_ids = [
+            self._submit_to(index, "warm", path)
+            for index in range(len(self._queues))
+        ]
+        return self._collect_all(task_ids)[-1]
+
+    def evaluate_batch(self, path, name: str, assignments: Iterable[Mapping]) -> List[bool]:
+        """Evaluate many assignments of one stored function.
+
+        Cached results are answered locally; the remaining (deduplicated)
+        misses are sharded across the workers and evaluated there with
+        the levelized sweep.  Results come back in input order.
+        """
+        path = os.fspath(path)
+        batch = assignments if isinstance(assignments, list) else list(assignments)
+        if not batch:
+            return []
+        results: List[Optional[bool]] = [None] * len(batch)
+        pending: "OrderedDict[tuple, List[int]]" = OrderedDict()
+        misses: List[Mapping] = []
+        use_cache = self._cache_size > 0
+        # Cache lookups and eviction run under the pool lock: the
+        # batching server calls evaluate_batch from several executor
+        # threads at once, and an unsynchronized get/move_to_end pair
+        # races against another thread's eviction.
+        with self._cond:
+            for index, assignment in enumerate(batch):
+                key = (
+                    path,
+                    name,
+                    _normalize_assignment(assignment, f"assignment {index}"),
+                )
+                if use_cache:
+                    cached = self._cache.get(key)
+                    if cached is not None:
+                        self._cache.move_to_end(key)
+                        self.cache_hits += 1
+                        results[index] = cached
+                        continue
+                    self.cache_misses += 1
+                positions = pending.get(key)
+                if positions is None:
+                    pending[key] = [index]
+                    misses.append(assignment)
+                else:
+                    positions.append(index)
+        if misses:
+            # Dispatch outside the lock (it blocks on the workers).
+            values = self._evaluate_misses(path, name, misses)
+            with self._cond:
+                self.batches_dispatched += 1
+                for (key, positions), value in zip(pending.items(), values):
+                    value = bool(value)
+                    for index in positions:
+                        results[index] = value
+                    if use_cache:
+                        self._cache[key] = value
+                        while len(self._cache) > self._cache_size:
+                            self._cache.popitem(last=False)
+        return results  # type: ignore[return-value]
+
+    def _evaluate_misses(self, path: str, name: str, misses: List[Mapping]) -> List[bool]:
+        if self._host is not None:
+            with self._cond:
+                self.shards_dispatched += 1
+            return self._host.evaluate(path, name, misses)
+        shard = self.shard_size
+        task_ids = []
+        for start in range(0, len(misses), shard):
+            task_ids.append(
+                self._submit("eval", (path, name, misses[start : start + shard]))
+            )
+        with self._cond:
+            self.shards_dispatched += len(task_ids)
+        values: List[bool] = []
+        for shard_values in self._collect_all(task_ids):
+            values.extend(shard_values)
+        return values
+
+    def evaluate(self, path, name: str, assignment: Mapping) -> bool:
+        """Evaluate one assignment (a batch of one, through the cache)."""
+        return self.evaluate_batch(path, name, [assignment])[0]
+
+    def stats(self) -> dict:
+        """Dispatcher counters (cache effectiveness, dispatch volume)."""
+        return {
+            "workers": self.workers,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_entries": len(self._cache),
+            "batches_dispatched": self.batches_dispatched,
+            "shards_dispatched": self.shards_dispatched,
+        }

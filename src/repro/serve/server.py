@@ -1,0 +1,257 @@
+"""Asyncio query front end: single queries coalesce into sweeps.
+
+A :class:`BatchingServer` accepts *individual* queries (``await
+server.query(name, assignment)``) and transparently merges everything
+that arrives within a small latency budget into one batch per named
+function, evaluated on a :class:`~repro.serve.pool.ForestPool` off the
+event loop.  Interactive traffic therefore gets the amortized
+``O(nodes + queries)`` cost of the levelized sweep while each caller
+still sees a plain per-query future:
+
+* the first query of a burst arms a flush timer (``batch_window``
+  seconds);
+* reaching ``max_batch`` pending queries flushes immediately;
+* per-query wall-clock latencies are recorded, so deployments can
+  watch the p50/p99 cost of the coalescing trade-off.
+
+:func:`serve_tcp` exposes the same surface over a newline-delimited
+JSON TCP protocol (one request object per line, one response object per
+line) — the transport behind ``python -m repro.serve``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import List, Mapping, Optional, Tuple
+
+from repro.serve.bulk import ServeError
+from repro.serve.pool import ForestPool
+
+#: Cap on remembered per-query latencies (a sliding window).
+LATENCY_WINDOW = 4096
+
+
+class BatchingServer:
+    """Coalesce single queries against one forest into pool batches.
+
+    Parameters
+    ----------
+    pool:
+        The :class:`~repro.serve.pool.ForestPool` doing the evaluation.
+    path:
+        The ``.bbdd`` forest container served.
+    batch_window:
+        Seconds a query may wait for companions before its batch
+        flushes (the latency budget of coalescing).
+    max_batch:
+        Pending-query count that triggers an immediate flush.
+    """
+
+    def __init__(
+        self,
+        pool: ForestPool,
+        path,
+        batch_window: float = 0.002,
+        max_batch: int = 1024,
+    ) -> None:
+        if batch_window < 0:
+            raise ServeError("batch_window must be >= 0")
+        if max_batch < 1:
+            raise ServeError("max_batch must be positive")
+        self.pool = pool
+        self.path = path
+        self.batch_window = batch_window
+        self.max_batch = max_batch
+        self._pending: List[Tuple[str, Mapping, float, asyncio.Future]] = []
+        self._timer: Optional[asyncio.TimerHandle] = None
+        # Strong references to in-flight flush tasks: the event loop
+        # keeps only weak ones, and a collected flush task would leave
+        # every pending future unresolved.
+        self._flush_tasks: set = set()
+        self.queries = 0
+        self.batches_flushed = 0
+        self.latencies: List[float] = []
+
+    def warm(self) -> List[str]:
+        """Pre-load the forest into every pool worker; root names."""
+        return self.pool.warm(self.path)
+
+    async def query(self, name: str, assignment: Mapping) -> bool:
+        """Evaluate one assignment of the stored function ``name``.
+
+        The call resolves when the query's batch does — at most
+        ``batch_window`` seconds plus one pool round trip later.
+        """
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((name, assignment, loop.time(), future))
+        self.queries += 1
+        if len(self._pending) >= self.max_batch:
+            if self._timer is not None:
+                self._timer.cancel()
+                self._timer = None
+            self._spawn_flush(loop)
+        elif self._timer is None:
+            self._timer = loop.call_later(self.batch_window, self._flush_soon)
+        return await future
+
+    def _spawn_flush(self, loop) -> None:
+        task = loop.create_task(self._flush())
+        self._flush_tasks.add(task)
+        task.add_done_callback(self._flush_tasks.discard)
+
+    def _flush_soon(self) -> None:
+        self._timer = None
+        self._spawn_flush(asyncio.get_running_loop())
+
+    async def _flush(self) -> None:
+        pending = self._pending
+        if not pending:
+            return
+        self._pending = []
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self.batches_flushed += 1
+        loop = asyncio.get_running_loop()
+        by_name: dict = {}
+        for name, assignment, start, future in pending:
+            by_name.setdefault(name, []).append((assignment, start, future))
+
+        async def run_group(name: str, group: list) -> None:
+            assignments = [assignment for assignment, _start, _future in group]
+            try:
+                values = await loop.run_in_executor(
+                    None, self.pool.evaluate_batch, self.path, name, assignments
+                )
+            except Exception as exc:  # noqa: BLE001 - delivered per future
+                for _assignment, _start, future in group:
+                    if not future.done():
+                        future.set_exception(
+                            exc if isinstance(exc, ServeError) else ServeError(str(exc))
+                        )
+                return
+            now = loop.time()
+            latencies = self.latencies
+            for (_assignment, start, future), value in zip(group, values):
+                latencies.append(now - start)
+                if not future.done():
+                    future.set_result(value)
+            if len(latencies) > LATENCY_WINDOW:
+                del latencies[: len(latencies) - LATENCY_WINDOW]
+
+        await asyncio.gather(
+            *(run_group(name, group) for name, group in by_name.items())
+        )
+
+    def latency_percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100) of recent query latencies."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        rank = min(len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def stats(self) -> dict:
+        """Coalescing counters plus the pool's dispatcher stats."""
+        stats = {
+            "queries": self.queries,
+            "batches_flushed": self.batches_flushed,
+            "mean_batch": (
+                self.queries / self.batches_flushed if self.batches_flushed else 0.0
+            ),
+            "p50_latency_s": self.latency_percentile(50),
+            "p99_latency_s": self.latency_percentile(99),
+        }
+        stats.update(self.pool.stats())
+        return stats
+
+
+async def handle_client(server: BatchingServer, reader, writer, on_request=None) -> None:
+    """Serve one TCP client speaking newline-delimited JSON.
+
+    Requests: ``{"f": name, "assignment": {...}, "id": any?}`` or
+    ``{"op": "stats"}``; responses echo ``id`` and carry ``result`` or
+    ``error``.  Each request line is handled as its own task, so a
+    client that pipelines many queries on one connection still gets
+    them coalesced into sweeps; responses may therefore interleave out
+    of request order — correlate by ``id``.
+    """
+    write_lock = asyncio.Lock()
+    tasks = set()
+
+    async def answer(line: bytes) -> None:
+        request_id = None
+        try:
+            request = json.loads(line)
+            request_id = request.get("id")
+            if request.get("op") == "stats":
+                response = {"id": request_id, "result": server.stats()}
+            else:
+                value = await server.query(
+                    request["f"], request.get("assignment", {})
+                )
+                response = {"id": request_id, "result": value}
+        except Exception as exc:  # noqa: BLE001 - reported to the client
+            response = {"id": request_id, "error": f"{type(exc).__name__}: {exc}"}
+        try:
+            async with write_lock:
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+        except (ConnectionError, RuntimeError):  # client went away
+            return
+        if on_request is not None:
+            on_request()
+
+    try:
+        while True:
+            try:
+                line = await reader.readline()
+            except (asyncio.CancelledError, ConnectionError):
+                # Server shutdown (or client reset) while waiting for
+                # the next request: end this connection quietly.
+                break
+            except ValueError:
+                # Request line exceeded the stream limit (see
+                # :func:`serve_tcp`); the line-based protocol cannot
+                # resynchronize, so report and drop the connection.
+                async with write_lock:
+                    writer.write(
+                        json.dumps(
+                            {"id": None, "error": "ServeError: request line too long"}
+                        ).encode()
+                        + b"\n"
+                    )
+                    await writer.drain()
+                break
+            if not line:
+                break
+            task = asyncio.get_running_loop().create_task(answer(line))
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+    finally:
+        writer.close()
+
+
+#: Per-line stream limit of the TCP front end: large enough for
+#: queries over thousands of variables, finite so a garbage client
+#: cannot buffer unboundedly.
+TCP_LINE_LIMIT = 1 << 22
+
+
+async def serve_tcp(
+    server: BatchingServer,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    on_request=None,
+    limit: int = TCP_LINE_LIMIT,
+):
+    """Start the TCP front end; returns the listening ``asyncio.Server``."""
+
+    async def _handler(reader, writer):
+        await handle_client(server, reader, writer, on_request=on_request)
+
+    return await asyncio.start_server(_handler, host, port, limit=limit)

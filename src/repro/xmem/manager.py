@@ -368,6 +368,57 @@ class XmemManager(DDManager):
             nid = ref >> 1
         return not attr
 
+    def batch_stream(self, edge):
+        """Top-down level stream for the batch cohort sweeps (repro.serve).
+
+        Level blocks are pulled in shallowest-first (node ids strictly
+        decrease along edges, so parents are always emitted before
+        children) and *dropped behind the sweep* whenever residency
+        exceeds the budget — a block already processed is never needed
+        again within one sweep, so an arbitrarily large query batch
+        never faults the residency budget on node records.
+        """
+        node, _attr = edge
+        if node.rep is None:
+            return None
+        return (node.nid, self._iter_cohort_items(node.rep))
+
+    def _iter_cohort_items(self, rep: Levelized):
+        var_at = self._order.order
+        budget = self.node_budget
+        store = self._store
+        for index in range(len(rep.levels) - 1, -1, -1):
+            block = rep.levels[index]
+            if block.count == 0:
+                continue
+            records = rep._ensure(index)
+            base = rep.starts[index]
+            pos = block.position
+            pv = var_at[pos]
+            for offset in range(block.count):
+                sv_delta, neq_ref, eq_ref = records[offset]
+                nid = base + offset
+                if sv_delta == 0:
+                    # Literal record: the ``=``-edge is the regular
+                    # sink, the ``!=``-edge the complemented one.
+                    yield (nid, pv, None, None, False, None, None, True, None)
+                else:
+                    neq_child = neq_ref >> 1
+                    eq_child = eq_ref >> 1
+                    yield (
+                        nid,
+                        pv,
+                        var_at[pos + sv_delta],
+                        neq_child if neq_child else None,
+                        bool(neq_ref & 1),
+                        var_at[rep.pos_of(neq_child)] if neq_child else None,
+                        eq_child if eq_child else None,
+                        bool(eq_ref & 1),
+                        var_at[rep.pos_of(eq_child)] if eq_child else None,
+                    )
+            if store.resident > budget:
+                rep.spill_block(index)
+
     def sat_count_edge(self, edge) -> int:
         node, attr = edge
         n = self.num_vars

@@ -190,30 +190,36 @@ class Levelized:
 
     # -- spilling --------------------------------------------------------
 
-    def spill(self) -> int:
-        """Drop every resident level block to disk; returns freed records.
+    def spill_block(self, index: int) -> int:
+        """Drop one resident level block to disk; returns freed records.
 
         A block's spill file is written once (representations are
-        immutable) and reused on later spills of the same block.
+        immutable) and reused on later spills of the same block.  The
+        streaming readers (:meth:`repro.xmem.manager.XmemManager.
+        batch_stream`) use this to drop levels behind themselves, so a
+        sweep over a beyond-budget representation stays within the
+        residency budget.
         """
-        freed = 0
+        block = self.levels[index]
+        if block.records is None or block.count == 0:
+            return 0
         store = self.store
-        for block in self.levels:
-            if block.records is None or block.count == 0:
-                continue
-            if block.spill_path is None:
-                path = store.new_path("rep")
-                with open(path, "wb") as fileobj:
-                    fileobj.write(block.encode())
-                block.spill_path = path
-                self._state["paths"].append(path)
-                store.spill_writes += 1
-                store.spilled_nodes += block.count
-            block.records = None
-            freed += block.count
-        store.note(-freed)
-        self._state["resident"] -= freed
-        return freed
+        if block.spill_path is None:
+            path = store.new_path("rep")
+            with open(path, "wb") as fileobj:
+                fileobj.write(block.encode())
+            block.spill_path = path
+            self._state["paths"].append(path)
+            store.spill_writes += 1
+            store.spilled_nodes += block.count
+        block.records = None
+        store.note(-block.count)
+        self._state["resident"] -= block.count
+        return block.count
+
+    def spill(self) -> int:
+        """Drop every resident level block to disk; returns freed records."""
+        return sum(self.spill_block(index) for index in range(len(self.levels)))
 
     @property
     def resident_count(self) -> int:

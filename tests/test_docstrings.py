@@ -1,0 +1,73 @@
+"""Docstring coverage gate for the documented packages.
+
+The docs site generates its API reference from docstrings, so the
+packages it renders — ``repro.api``, ``repro.io``, ``repro.serve`` —
+carry a hard coverage gate: >= 90% of public definitions (modules,
+classes, functions, methods) must have a docstring, mirroring
+``interrogate --fail-under 90`` / ruff's D1 rules without needing
+either tool at runtime.  Private names (leading underscore), magic
+methods and ``__init__`` are exempt, like the ruff configuration in
+``pyproject.toml``.
+"""
+
+import ast
+import os
+
+import pytest
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+GATED_PACKAGES = ("api", "io", "serve")
+FAIL_UNDER = 90.0
+
+
+def iter_definitions(path):
+    """Yield ``(qualname, has_docstring)`` for the gated definitions."""
+    with open(path, "r", encoding="utf-8") as fileobj:
+        tree = ast.parse(fileobj.read(), filename=path)
+    yield ("<module>", ast.get_docstring(tree) is not None)
+
+    def walk(node, prefix):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                name = child.name
+                if name.startswith("_"):
+                    # Private definitions are exempt, and (like
+                    # pydocstyle) privacy propagates to their members.
+                    continue
+                qualname = f"{prefix}{name}"
+                yield (qualname, ast.get_docstring(child) is not None)
+                if isinstance(child, ast.ClassDef):
+                    yield from walk(child, qualname + ".")
+                # Functions' nested closures are implementation detail.
+
+    yield from walk(tree, "")
+
+
+def package_files(package):
+    root = os.path.join(SRC, "repro", package)
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+@pytest.mark.parametrize("package", GATED_PACKAGES)
+def test_docstring_coverage_gate(package):
+    total = 0
+    documented = 0
+    missing = []
+    for path in package_files(package):
+        rel = os.path.relpath(path, SRC)
+        for qualname, has_doc in iter_definitions(path):
+            total += 1
+            if has_doc:
+                documented += 1
+            else:
+                missing.append(f"{rel}:{qualname}")
+    assert total > 0, f"no definitions found under repro/{package}"
+    coverage = 100.0 * documented / total
+    assert coverage >= FAIL_UNDER, (
+        f"repro.{package} docstring coverage {coverage:.1f}% "
+        f"< {FAIL_UNDER}% ({documented}/{total}); missing: "
+        + ", ".join(missing)
+    )

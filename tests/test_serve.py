@@ -1,0 +1,538 @@
+"""The repro.serve query service: bulk sweeps, pool, coalescing server.
+
+Covers the levelized batch-evaluation sweep against the per-query
+oracle on every backend (hypothesis property, duplicates, empty batch,
+beyond-``request_chunk`` batches on xmem), the batched cube
+satisfiability, the strict assignment error contract (missing support
+variables are *named*, batch errors carry the position, constants
+reject malformed mappings), the multi-process pool with sharding and
+result caching, the asyncio batching server, and the
+``python -m repro.serve`` CLI.
+"""
+
+import asyncio
+import json
+import os
+import random
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.core.exceptions import VariableError
+from repro.serve import (
+    BatchingServer,
+    ColumnBatch,
+    ForestPool,
+    ServeError,
+    serve_tcp,
+)
+from repro.serve.bulk import EncodedBatch, encode_mappings
+
+BACKENDS = ["bbdd", "bdd"]
+ALL_BACKENDS = BACKENDS + ["xmem"]
+
+NAMES = ["a", "b", "c", "d", "e"]
+
+
+def open_backend(backend, names=NAMES, **kwargs):
+    if backend == "xmem":
+        kwargs.setdefault("node_budget", 64)
+        kwargs.setdefault("request_chunk", 16)
+    return repro.open(backend, vars=names, **kwargs)
+
+
+def random_function(manager, rng, terms=4):
+    f = manager.false()
+    for _ in range(terms):
+        cube = manager.true()
+        for name in rng.sample(NAMES, rng.randrange(1, 4)):
+            literal = manager.var(name)
+            cube &= literal if rng.getrandbits(1) else ~literal
+        f = (f | cube) if rng.getrandbits(1) else (f ^ cube)
+    return f
+
+
+# ----------------------------------------------------------------------
+# bulk evaluation: the hypothesis property across all backends
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+@settings(deadline=None)
+@given(data=st.data())
+def test_evaluate_batch_matches_looped_evaluate(backend, data):
+    """evaluate_batch(assignments) == [evaluate(a) for a in assignments]."""
+    rng = random.Random(data.draw(st.integers(0, 2**32 - 1)))
+    manager = open_backend(backend)
+    f = random_function(manager, rng)
+    assignments = [
+        {name: rng.getrandbits(1) for name in NAMES}
+        for _ in range(data.draw(st.integers(0, 40)))
+    ]
+    # Duplicates must round-trip identically (and hit dedup paths).
+    if assignments:
+        assignments.extend(rng.choices(assignments, k=5))
+    assert f.evaluate_batch(assignments) == [f.evaluate(a) for a in assignments]
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_evaluate_batch_column_input(backend):
+    manager = open_backend(backend)
+    f = manager.add_expr("(a ^ b) | (c & d) | (a <-> e)")
+    rng = random.Random(11)
+    batch = [{name: rng.getrandbits(1) for name in NAMES} for _ in range(257)]
+    columns = {name: 0 for name in NAMES}
+    for i, assignment in enumerate(batch):
+        for name in NAMES:
+            if assignment[name]:
+                columns[name] |= 1 << i
+    want = [f.evaluate(a) for a in batch]
+    assert f.evaluate_batch(ColumnBatch(columns, len(batch))) == want
+    assert f.evaluate_batch(batch) == want
+    assert manager.evaluate_batch(f, batch) == want
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_evaluate_batch_edge_cases(backend):
+    manager = open_backend(backend)
+    f = manager.add_expr("a & b")
+    assert f.evaluate_batch([]) == []
+    assert manager.true().evaluate_batch([{}, {"a": 1}]) == [True, True]
+    assert manager.false().evaluate_batch([{}]) == [False]
+    # Heterogeneous key orders within one batch (run splitting).
+    batch = [{"a": 1, "b": 1}, {"b": 1, "a": 1}, {"a": 1, "b": 0, "c": 0}]
+    assert f.evaluate_batch(batch) == [True, True, False]
+    # Support variables may come by index, extras may be omitted.
+    assert f.evaluate_batch([{0: 1, 1: 1}]) == [True]
+
+
+def test_evaluate_batch_xmem_streams_beyond_request_chunk():
+    """Batches far above request_chunk sweep within the node budget."""
+    manager = open_backend("xmem", node_budget=48, request_chunk=8)
+    f = manager.add_expr("(a ^ b) | (c & d) | (b <-> e)")
+    rng = random.Random(5)
+    batch = [{name: rng.getrandbits(1) for name in NAMES} for _ in range(512)]
+    want = [f.evaluate(a) for a in batch]
+    assert f.evaluate_batch(batch) == want
+    assert manager.stats()["resident_nodes"] <= 48
+
+
+# ----------------------------------------------------------------------
+# batched cube satisfiability
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+@settings(deadline=None)
+@given(data=st.data())
+def test_satisfiable_batch_matches_restrict_oracle(backend, data):
+    rng = random.Random(data.draw(st.integers(0, 2**32 - 1)))
+    manager = open_backend(backend)
+    f = random_function(manager, rng)
+    cubes = [
+        {
+            name: rng.getrandbits(1)
+            for name in rng.sample(NAMES, rng.randrange(0, len(NAMES) + 1))
+        }
+        for _ in range(data.draw(st.integers(0, 25)))
+    ]
+    got = f.satisfiable_batch(cubes)
+    for cube, sat in zip(cubes, got):
+        cofactor = f
+        for name, value in cube.items():
+            cofactor = cofactor.restrict(name, bool(value))
+        assert (not cofactor.is_false) == sat
+
+
+def test_satisfiable_batch_relational_consistency():
+    """Free variables shared by consecutive couples stay consistent.
+
+    ``a <-> c`` with ``a`` fixed and ``c`` fixed opposite is
+    unsatisfiable even though the middle couples leave ``b`` free — the
+    naive both-ways sweep would follow an inconsistent path.
+    """
+    manager = open_backend("bbdd")
+    f = manager.add_expr("a <-> c")
+    assert f.satisfiable_batch(
+        [{"a": 1, "c": 0}, {"a": 1, "c": 1}, {"a": 1}, {}]
+    ) == [False, True, True, True]
+    g = manager.add_expr("(a ^ b) | (c & d) | (a <-> e)")
+    assert g.satisfiable_batch([{"a": 1, "b": 1, "e": 0, "d": 0}]) == [False]
+
+
+# ----------------------------------------------------------------------
+# the error-message contract (bugfix: missing variables are *named*)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_evaluate_names_missing_support_variables(backend):
+    manager = open_backend(backend)
+    f = manager.add_expr("(a & d) | e")
+    with pytest.raises(VariableError, match=r"misses support variable\(s\): a, d"):
+        f.evaluate({"e": 0})
+    with pytest.raises(VariableError, match="unknown variable"):
+        f.evaluate({"zz": 1})
+    with pytest.raises(TypeError, match="variable 'a'"):
+        f.evaluate({"a": "yes", "d": 1, "e": 0, "b": 0, "c": 0})
+    with pytest.raises(VariableError, match="more than once"):
+        f.evaluate({"a": 1, 0: 1, "d": 0, "e": 0})
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_empty_support_constant_rejects_malformed_mappings(backend):
+    """Constants validate assignments too instead of accepting anything."""
+    manager = open_backend(backend)
+    true = manager.true()
+    assert true.evaluate({"a": 1}) is True
+    with pytest.raises(VariableError, match="unknown variable"):
+        true.evaluate({"not-a-var": 1})
+    with pytest.raises(TypeError, match="must be a Boolean"):
+        true.evaluate({"a": 2})
+    with pytest.raises(TypeError, match="must be a Boolean"):
+        true.evaluate({"a": None})
+    with pytest.raises(VariableError, match="more than once"):
+        true.evaluate({"a": 1, 0: 0})
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_evaluate_batch_errors_name_position_and_variables(backend):
+    manager = open_backend(backend)
+    f = manager.add_expr("(a & d) | e")
+    complete = {"a": 1, "b": 0, "c": 0, "d": 1, "e": 0}
+    with pytest.raises(
+        VariableError, match=r"assignment 1 misses support variable\(s\): a, d"
+    ):
+        f.evaluate_batch([complete, {"e": 1}])
+    with pytest.raises(TypeError, match="assignment 2"):
+        f.evaluate_batch([complete, complete, {**complete, "d": "x"}])
+    with pytest.raises(TypeError, match="assignment 1"):
+        f.evaluate_batch([complete, {**complete, "d": 7}])
+    with pytest.raises(VariableError, match="unknown variable"):
+        f.evaluate_batch([{**complete, "zz": 1}])
+    with pytest.raises(VariableError, match="more than once"):
+        f.evaluate_batch([{**complete, 0: 1}])
+    with pytest.raises(TypeError, match="assignment 0 must be a mapping"):
+        f.evaluate_batch([("a", 1)])
+    # A non-mapping whose key tuple matches a mapping's signature joins
+    # its run; the error must still name the offending element.
+    with pytest.raises(TypeError, match="assignment 1 must be a mapping, got str"):
+        f.evaluate_batch([{"a": 1}, "a"])
+    with pytest.raises(VariableError, match=r"batch misses support variable\(s\)"):
+        f.evaluate_batch(ColumnBatch({"e": 0}, 1))
+
+
+def test_column_batch_validation():
+    with pytest.raises(TypeError, match="int bitmask"):
+        ColumnBatch({"a": "0b1"}, 4)
+    with pytest.raises(Exception, match="beyond"):
+        ColumnBatch({"a": 1 << 5}, 4)
+    batch = ColumnBatch.from_assignments([{"a": 1}, {"a": 0, "b": 1}])
+    assert batch.count == 2
+    assert batch.columns == {"a": 1, "b": 2}
+
+
+def test_encoded_batch_fallback_loop_matches_sweep():
+    """The protocol default (no batch_stream) agrees with the sweep."""
+    manager = open_backend("bbdd")
+    f = manager.add_expr("(a ^ b) | (c & d)")
+    rng = random.Random(2)
+    batch = [{name: rng.getrandbits(1) for name in NAMES} for _ in range(64)]
+    encoded = encode_mappings(manager, batch)
+    assert isinstance(encoded, EncodedBatch)
+    looped = [
+        manager.evaluate_edge(f.edge, values)
+        for values in encoded.iter_value_dicts(manager.num_vars)
+    ]
+    assert f.evaluate_batch(batch) == looped
+
+
+# ----------------------------------------------------------------------
+# the worker pool
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def forest_path(tmp_path):
+    manager = repro.open("bbdd", vars=NAMES)
+    f = manager.add_expr("(a ^ b) | (c & d)")
+    g = manager.add_expr("a & ~e")
+    path = tmp_path / "forest.bbdd"
+    manager.dump({"f": f, "g": g}, str(path))
+    return str(path)
+
+
+def reference_batch(count=200, seed=9):
+    rng = random.Random(seed)
+    return [{name: rng.getrandbits(1) for name in NAMES} for _ in range(count)]
+
+
+def reference_results(forest, name, batch):
+    from repro import io as rio
+
+    _manager, functions = rio.load(forest)
+    return [functions[name].evaluate(a) for a in batch]
+
+
+def test_inline_pool_shards_and_caches(forest_path):
+    batch = reference_batch()
+    want = reference_results(forest_path, "f", batch)
+    with ForestPool(workers=0, cache_size=128, shard_size=64) as pool:
+        assert pool.warm(forest_path) == ["f", "g"]
+        assert pool.evaluate_batch(forest_path, "f", batch) == want
+        stats = pool.stats()
+        assert stats["workers"] == 0
+        # 5 variables => at most 32 distinct assignments: the second
+        # call must be answered from the result cache entirely.
+        assert pool.evaluate_batch(forest_path, "f", batch) == want
+        assert pool.stats()["cache_hits"] >= len(batch)
+        assert pool.evaluate(forest_path, "g", {"a": 1, "e": 0}) is True
+        # A malformed value must raise identically on a warm cache (the
+        # cache key normalization must not coerce it to a hit first).
+        with pytest.raises(TypeError, match="must be a Boolean"):
+            pool.evaluate(forest_path, "g", {"a": 7, "e": 0})
+    with pytest.raises(ServeError, match="no function 'nope'"):
+        ForestPool(workers=0).evaluate(forest_path, "nope", {})
+
+
+def test_multiprocess_pool_round_trip(forest_path):
+    batch = reference_batch(150)
+    want = reference_results(forest_path, "f", batch)
+    with ForestPool(workers=2, cache_size=0, shard_size=8) as pool:
+        assert pool.warm(forest_path) == ["f", "g"]
+        assert pool.evaluate_batch(forest_path, "f", batch) == want
+        stats = pool.stats()
+        assert stats["workers"] == 2
+        # 5 variables give at most 32 distinct assignments; after the
+        # dispatcher dedups them, shard_size=8 still needs 4 shards.
+        assert stats["shards_dispatched"] >= 4
+        with pytest.raises(ServeError, match="worker failed"):
+            pool.evaluate_batch(forest_path, "nope", batch[:2])
+        # The pool survives a failed request.
+        assert pool.evaluate_batch(forest_path, "g", batch[:8]) == (
+            reference_results(forest_path, "g", batch[:8])
+        )
+
+
+def test_multiprocess_pool_concurrent_collect(forest_path):
+    """Concurrent dispatcher threads must not steal each other's replies.
+
+    This is exactly the call pattern ``BatchingServer._flush`` produces
+    (one executor thread per function group): both threads block on the
+    shared result queue, and the demux must park the other thread's
+    reply instead of losing its wakeup until the timeout.
+    """
+    import concurrent.futures
+
+    batch = reference_batch(80, seed=13)
+    want_f = reference_results(forest_path, "f", batch)
+    want_g = reference_results(forest_path, "g", batch)
+    with ForestPool(workers=2, cache_size=0, timeout=20) as pool:
+        pool.warm(forest_path)
+        with concurrent.futures.ThreadPoolExecutor(4) as executor:
+            futures = []
+            for _ in range(3):
+                futures.append(
+                    executor.submit(pool.evaluate_batch, forest_path, "f", batch)
+                )
+                futures.append(
+                    executor.submit(pool.evaluate_batch, forest_path, "g", batch)
+                )
+            outcomes = [future.result(timeout=30) for future in futures]
+    for index, outcome in enumerate(outcomes):
+        assert outcome == (want_f if index % 2 == 0 else want_g)
+
+
+def test_inline_pool_concurrent_cache_access(forest_path):
+    """The result cache must survive concurrent executor threads.
+
+    With a small cache, one thread's lookup racing another thread's
+    eviction used to raise KeyError from ``move_to_end``; everything
+    cache-touching now runs under the pool lock.
+    """
+    import concurrent.futures
+
+    batch = reference_batch(120, seed=17)
+    want_f = reference_results(forest_path, "f", batch)
+    want_g = reference_results(forest_path, "g", batch)
+    with ForestPool(workers=0, cache_size=20) as pool:
+        pool.warm(forest_path)
+        with concurrent.futures.ThreadPoolExecutor(8) as executor:
+            futures = [
+                executor.submit(
+                    pool.evaluate_batch,
+                    forest_path,
+                    "f" if i % 2 == 0 else "g",
+                    batch,
+                )
+                for i in range(16)
+            ]
+            outcomes = [future.result(timeout=30) for future in futures]
+    for index, outcome in enumerate(outcomes):
+        assert outcome == (want_f if index % 2 == 0 else want_g)
+
+
+def test_forest_host_lru(tmp_path):
+    paths = []
+    for i in range(3):
+        manager = repro.open("bbdd", vars=["x"])
+        path = tmp_path / f"forest{i}.bbdd"
+        manager.dump({"f": manager.var("x")}, str(path))
+        paths.append(str(path))
+    from repro.serve import ForestHost
+
+    host = ForestHost(max_forests=2)
+    for path in paths:
+        assert host.evaluate(path, "f", [{"x": 1}]) == [True]
+    assert host.loads == 3
+    host.evaluate(paths[0], "f", [{"x": 0}])  # evicted: reloads
+    assert host.loads == 4
+    host.evaluate(paths[0], "f", [{"x": 1}])  # now cached
+    assert host.hits == 1
+
+
+# ----------------------------------------------------------------------
+# the asyncio batching server
+# ----------------------------------------------------------------------
+
+
+def test_batching_server_coalesces(forest_path):
+    batch = reference_batch(120, seed=4)
+    want = reference_results(forest_path, "f", batch)
+
+    async def scenario():
+        pool = ForestPool(workers=0)
+        server = BatchingServer(pool, forest_path, batch_window=0.01, max_batch=500)
+        assert server.warm() == ["f", "g"]
+        results = await asyncio.gather(
+            *(server.query("f", assignment) for assignment in batch)
+        )
+        stats = server.stats()
+        pool.close()
+        return list(results), stats
+
+    results, stats = asyncio.run(scenario())
+    assert results == want
+    assert stats["queries"] == len(batch)
+    # Queries issued in one burst coalesce into very few sweeps.
+    assert stats["batches_flushed"] <= 3
+    assert stats["p50_latency_s"] > 0
+
+
+def test_batching_server_tcp_protocol(forest_path):
+    async def scenario():
+        pool = ForestPool(workers=0)
+        server = BatchingServer(pool, forest_path, batch_window=0.001)
+        tcp = await serve_tcp(server, "127.0.0.1", 0)
+        port = tcp.sockets[0].getsockname()[1]
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        requests = [
+            {"f": "g", "assignment": {"a": 1, "e": 0}, "id": 1},
+            {"f": "g", "assignment": {"a": 0, "e": 0}, "id": 2},
+            {"f": "missing", "assignment": {}, "id": 3},
+            {"op": "stats", "id": 4},
+        ]
+        for request in requests:
+            writer.write(json.dumps(request).encode() + b"\n")
+        await writer.drain()
+        responses = [json.loads(await reader.readline()) for _ in requests]
+        writer.close()
+        tcp.close()
+        await tcp.wait_closed()
+        pool.close()
+        return responses
+
+    responses = asyncio.run(scenario())
+    by_id = {response["id"]: response for response in responses}
+    assert by_id[1]["result"] is True
+    assert by_id[2]["result"] is False
+    assert "no function 'missing'" in by_id[3]["error"]
+    assert by_id[4]["result"]["queries"] >= 2
+
+
+def test_tcp_pipelined_queries_coalesce(forest_path):
+    """Queries pipelined on ONE connection still merge into few sweeps."""
+    batch = reference_batch(60, seed=21)
+    want = reference_results(forest_path, "f", batch)
+
+    async def scenario():
+        pool = ForestPool(workers=0)
+        server = BatchingServer(pool, forest_path, batch_window=0.05)
+        server.warm()
+        tcp = await serve_tcp(server, "127.0.0.1", 0)
+        port = tcp.sockets[0].getsockname()[1]
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        for i, assignment in enumerate(batch):
+            writer.write(
+                json.dumps({"f": "f", "assignment": assignment, "id": i}).encode()
+                + b"\n"
+            )
+        await writer.drain()
+        responses = [json.loads(await reader.readline()) for _ in batch]
+        flushes = server.stats()["batches_flushed"]
+        writer.close()
+        tcp.close()
+        await tcp.wait_closed()
+        pool.close()
+        return responses, flushes
+
+    responses, flushes = asyncio.run(scenario())
+    by_id = {response["id"]: response["result"] for response in responses}
+    assert [by_id[i] for i in range(len(batch))] == want
+    # The whole pipelined burst lands within the batch window.
+    assert flushes <= 3
+
+
+def test_serve_cli_answers_and_exits(forest_path):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.serve",
+            forest_path,
+            "--port",
+            "0",
+            "--max-requests",
+            "2",
+            "--batch-window",
+            "0.001",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        banner = process.stdout.readline()
+        assert "serving" in banner and "functions: f, g" in banner
+        port = int(banner.split(" on ", 1)[1].split()[0].rsplit(":", 1)[1])
+
+        async def client():
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            for i, assignment in enumerate([{"a": 1, "e": 0}, {"a": 0, "e": 1}]):
+                writer.write(
+                    json.dumps({"f": "g", "assignment": assignment, "id": i}).encode()
+                    + b"\n"
+                )
+            await writer.drain()
+            answers = [json.loads(await reader.readline()) for _ in range(2)]
+            writer.close()
+            return answers
+
+        answers = asyncio.run(client())
+        assert [a["result"] for a in sorted(answers, key=lambda a: a["id"])] == [
+            True,
+            False,
+        ]
+        assert process.wait(timeout=10) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+        process.stdout.close()
