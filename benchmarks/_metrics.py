@@ -10,13 +10,19 @@ with ``BENCH_OUT_DIR``) as::
       "metrics": [
         {"name": "roundtrip_nodes_per_s", "value": 140000, "unit": "nodes/s"},
         ...
-      ]
+      ],
+      "obs": {"repro_manager_apply_total": [...], ...}
     }
 
 CI uploads the directory as an artifact per run, so the performance
 trajectory is tracked from the commit that introduced this module on.
 Re-recording a metric name within one run overwrites the previous
 value (benches parameterize names instead).
+
+The ``obs`` section is a compact :func:`repro.obs.snapshot` of the
+benchmarking process at recording time — non-zero samples only — so
+every ``BENCH_*.json`` doubles as a workload profile (cache hit rates,
+GC volume, spill traffic) next to its headline numbers.
 """
 
 from __future__ import annotations
@@ -54,6 +60,43 @@ def _out_dir() -> str:
     return directory
 
 
+def _obs_section() -> dict:
+    """A compact metrics snapshot: non-zero samples per family name.
+
+    Best-effort — an environment without the package importable (or a
+    snapshot failure) produces an empty section rather than breaking
+    the benchmark run.
+    """
+    try:
+        from repro import obs
+
+        snapshot = obs.snapshot()
+    except Exception:
+        return {}
+    section: dict = {}
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        samples = []
+        for sample in entry.get("samples", ()):
+            if entry.get("type") == "histogram":
+                if not sample["count"]:
+                    continue
+                samples.append(
+                    {
+                        "labels": sample["labels"],
+                        "count": sample["count"],
+                        "sum": round(float(sample["sum"]), 6),
+                    }
+                )
+            elif sample["value"]:
+                samples.append(
+                    {"labels": sample["labels"], "value": sample["value"]}
+                )
+        if samples:
+            section[name] = samples
+    return section
+
+
 def record_metric(bench: str, name: str, value, unit: str) -> str:
     """Record one metric of benchmark ``bench``; returns the json path."""
     path = os.path.join(_out_dir(), f"BENCH_{bench}.json")
@@ -71,6 +114,7 @@ def record_metric(bench: str, name: str, value, unit: str) -> str:
         value = round(value, 6)
     metrics.append({"name": name, "value": value, "unit": unit})
     doc["metrics"] = sorted(metrics, key=lambda m: m["name"])
+    doc["obs"] = _obs_section()
     with open(path, "w", encoding="utf-8") as fileobj:
         json.dump(doc, fileobj, indent=2)
         fileobj.write("\n")

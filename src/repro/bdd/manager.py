@@ -69,7 +69,15 @@ class BDDManager(DDManager):
         self._cache = make_computed_table(computed_backend)
         self._by_var: Dict[int, set] = {i: set() for i in range(len(names))}
         self._node_count = 0
+        self.peak_nodes = 0
         self.gc_count = 0
+        self.apply_calls = 0
+        self.gc_reclaimed = 0
+
+        from repro import obs  # late: avoids import cycles at package init
+
+        self._trace_state = obs.trace.STATE
+        obs.track(self)
 
     # ------------------------------------------------------------------
     # identifiers, variables, order
@@ -152,6 +160,8 @@ class BDDManager(DDManager):
             en.ref += 1
             self._by_var[var].add(node)
             self._node_count += 1
+            if self._node_count > self.peak_nodes:
+                self.peak_nodes = self._node_count
         return (node, attr)
 
     # ------------------------------------------------------------------
@@ -165,6 +175,16 @@ class BDDManager(DDManager):
         gn, ga = g
         if ga:
             op = flip_b(op)
+        self.apply_calls += 1
+        if self._trace_state.enabled:
+            from time import perf_counter
+
+            from repro.obs import trace
+
+            start = perf_counter()
+            result = self._apply(fn, gn, op)
+            trace.record("apply", perf_counter() - start, backend="bdd")
+            return result
         return self._apply(fn, gn, op)
 
     def apply_named(self, f: BDDEdge, g: BDDEdge, name: str) -> BDDEdge:
@@ -470,6 +490,7 @@ class BDDManager(DDManager):
             if node.ref == 0:
                 reclaimed += self._sweep(node)
         self.gc_count += 1
+        self.gc_reclaimed += reclaimed
         return reclaimed
 
     def _sweep(self, node: BDDNode) -> int:
@@ -515,8 +536,52 @@ class BDDManager(DDManager):
             "unique": self._unique.stats(),
             "computed": self._cache.stats(),
             "nodes": self._node_count,
+            "peak_nodes": self.peak_nodes,
+            "apply_calls": self.apply_calls,
             "gc_runs": self.gc_count,
+            "gc_reclaimed": self.gc_reclaimed,
         }
+
+    def collect_metrics(self, registry) -> None:
+        """Sample this manager's counters into an obs registry.
+
+        Same catalogued families as the BBDD manager, labeled
+        ``backend="bdd"`` (see :mod:`repro.obs`).
+        """
+        from repro.obs.catalog import family
+
+        unique = self._unique.stats()
+        computed = self._cache.stats()
+        label = {"backend": "bdd"}
+        family(registry, "repro_manager_unique_lookups_total").labels(
+            **label
+        ).inc(unique.get("lookups", 0))
+        family(registry, "repro_manager_unique_hits_total").labels(
+            **label
+        ).inc(unique.get("hits", 0))
+        family(registry, "repro_manager_computed_lookups_total").labels(
+            **label
+        ).inc(computed.get("lookups", 0))
+        family(registry, "repro_manager_computed_hits_total").labels(
+            **label
+        ).inc(computed.get("hits", 0))
+        family(registry, "repro_manager_apply_total").labels(**label).inc(
+            self.apply_calls
+        )
+        family(registry, "repro_manager_gc_runs_total").labels(**label).inc(
+            self.gc_count
+        )
+        family(registry, "repro_manager_gc_reclaimed_total").labels(
+            **label
+        ).inc(self.gc_reclaimed)
+        family(registry, "repro_manager_nodes").labels(**label).inc(
+            self._node_count
+        )
+        family(registry, "repro_manager_peak_nodes").labels(**label).inc(
+            self.peak_nodes
+        )
+        dead = sum(1 for n in self._unique.values() if n.ref == 0)
+        family(registry, "repro_manager_dead_nodes").labels(**label).inc(dead)
 
     # ------------------------------------------------------------------
     # debugging

@@ -30,6 +30,7 @@ bare edges across several manager operations must either reference them
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.api.base import DDManager
@@ -164,6 +165,8 @@ class BBDDManager(DDManager):
         self.peak_nodes = 0
         self.gc_count = 0
         self.auto_gc_runs = 0
+        self.apply_calls = 0
+        self.gc_reclaimed = 0
 
         self.auto_gc = auto_gc
         self.gc_threshold = gc_threshold
@@ -174,6 +177,11 @@ class BBDDManager(DDManager):
         self._dead_set: set = set()
         #: Depth of in-flight operations; automatic GC only runs at zero.
         self._in_op = 0
+
+        from repro import obs  # late: repro.__init__ imports core first
+
+        self._trace_state = obs.trace.STATE
+        obs.track(self)
 
     # ------------------------------------------------------------------
     # identifiers and variables
@@ -463,11 +471,19 @@ class BBDDManager(DDManager):
         gn, ga = g
         if ga:
             op = flip_b(op)
+        self.apply_calls += 1
+        traced = self._trace_state.enabled
+        if traced:
+            start = perf_counter()
         self._in_op += 1
         try:
             result = self._apply(fn, gn, op)
         finally:
             self._in_op -= 1
+        if traced:
+            from repro.obs import trace
+
+            trace.record("apply", perf_counter() - start, backend="bbdd")
         self._maybe_gc_protect(result)
         return result
 
@@ -1164,6 +1180,7 @@ class BBDDManager(DDManager):
             del free[_FREE_POOL_CAP:]
         self._node_count -= reclaimed
         self.gc_count += 1
+        self.gc_reclaimed += reclaimed
         return reclaimed
 
     def _sweep(self, node: BBDDNode) -> int:
@@ -1210,12 +1227,57 @@ class BBDDManager(DDManager):
             "nodes": self._node_count,
             "peak_nodes": self.peak_nodes,
             "dead": len(self._dead_set),
+            "apply_calls": self.apply_calls,
             "gc_runs": self.gc_count,
+            "gc_reclaimed": self.gc_reclaimed,
             "auto_gc_runs": self.auto_gc_runs,
             "auto_gc": self.auto_gc,
             "gc_threshold": self.gc_threshold,
             "gc_min_nodes": self.gc_min_nodes,
         }
+
+    def collect_metrics(self, registry) -> None:
+        """Sample this manager's counters into an obs registry.
+
+        Pull-based observability hook (see :mod:`repro.obs`): the hot
+        paths keep their native counters and this maps them onto the
+        catalogued metric families, labeled ``backend="bbdd"``.
+        """
+        from repro.obs.catalog import family
+
+        unique = self._unique.stats()
+        computed = self._cache.stats()
+        label = {"backend": "bbdd"}
+        family(registry, "repro_manager_unique_lookups_total").labels(
+            **label
+        ).inc(unique.get("lookups", 0))
+        family(registry, "repro_manager_unique_hits_total").labels(
+            **label
+        ).inc(unique.get("hits", 0))
+        family(registry, "repro_manager_computed_lookups_total").labels(
+            **label
+        ).inc(computed.get("lookups", 0))
+        family(registry, "repro_manager_computed_hits_total").labels(
+            **label
+        ).inc(computed.get("hits", 0))
+        family(registry, "repro_manager_apply_total").labels(**label).inc(
+            self.apply_calls
+        )
+        family(registry, "repro_manager_gc_runs_total").labels(**label).inc(
+            self.gc_count
+        )
+        family(registry, "repro_manager_gc_reclaimed_total").labels(
+            **label
+        ).inc(self.gc_reclaimed)
+        family(registry, "repro_manager_nodes").labels(**label).inc(
+            self._node_count
+        )
+        family(registry, "repro_manager_peak_nodes").labels(**label).inc(
+            self.peak_nodes
+        )
+        family(registry, "repro_manager_dead_nodes").labels(**label).inc(
+            len(self._dead_set)
+        )
 
     # ------------------------------------------------------------------
     # persistence (repro.io convenience surface)

@@ -159,7 +159,14 @@ def main(argv: Optional[Sequence[str]] = None) -> None:  # pragma: no cover
     parser.add_argument(
         "--full", action="store_true", help="paper-scale circuit profile"
     )
+    from repro.harness.report import add_stats_argument, emit_stats
+
+    add_stats_argument(parser)
     args = parser.parse_args(argv)
+    if args.stats is not None:
+        from repro.obs import trace
+
+        trace.enable()
     summary = run_bulkeval(
         circuit=args.circuit,
         backend=args.backend,
@@ -168,6 +175,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:  # pragma: no cover
         full=args.full,
     )
     print(render_bulkeval(summary))
+    emit_stats(args.stats)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -44,3 +44,44 @@ def ratio_summary(name: str, ours: float, paper: float, unit: str = "") -> str:
     return (
         f"{name}: measured {ours:.2f}{unit} (paper reports {paper:.2f}{unit})"
     )
+
+
+def add_stats_argument(parser) -> None:
+    """Add the shared ``--stats [PATH]`` harness flag to ``parser``.
+
+    With the flag, span tracing (:mod:`repro.obs.trace`) is on for the
+    run and the final metrics snapshot is reported — pretty-printed to
+    stdout, or dumped as JSON when a ``PATH`` argument is given.
+    """
+    parser.add_argument(
+        "--stats",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="enable span tracing and report the repro.obs metrics "
+        "snapshot after the run (to stdout, or as JSON to PATH)",
+    )
+
+
+def emit_stats(destination) -> None:
+    """Report the metrics snapshot per a ``--stats`` value.
+
+    ``None`` does nothing; ``"-"`` pretty-prints to stdout; any other
+    string is a path that receives the snapshot as JSON.
+    """
+    if destination is None:
+        return
+    from repro import obs
+
+    snap = obs.snapshot()
+    if destination == "-":
+        print("\n-- repro.obs snapshot " + "-" * 38)
+        print(obs.report(snap))
+    else:
+        import json
+
+        with open(destination, "w", encoding="utf-8") as fileobj:
+            json.dump(snap, fileobj, indent=2, sort_keys=True)
+            fileobj.write("\n")
+        print(f"metrics snapshot written to {destination}")

@@ -258,7 +258,14 @@ def main(argv: Optional[Sequence[str]] = None) -> None:  # pragma: no cover
         help="paper-scale benchmark profile (default: fast; REPRO_FULL=1 also works)",
     )
     parser.add_argument("--no-sift", action="store_true", help="skip the sifting stage")
+    from repro.harness.report import add_stats_argument, emit_stats
+
+    add_stats_argument(parser)
     args = parser.parse_args(argv)
+    if args.stats is not None:
+        from repro.obs import trace
+
+        trace.enable()
     backends = DEFAULT_BACKENDS if args.backend == "both" else (args.backend,)
     summary = run_table1(
         full=True if args.full else None,
@@ -268,6 +275,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:  # pragma: no cover
         backends=backends,
     )
     print(render_table1(summary))
+    emit_stats(args.stats)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -196,7 +196,14 @@ def main(argv: Optional[Sequence[str]] = None) -> None:  # pragma: no cover
         action="store_true",
         help="paper-scale datapath widths (default: fast; REPRO_FULL=1 also works)",
     )
+    from repro.harness.report import add_stats_argument, emit_stats
+
+    add_stats_argument(parser)
     args = parser.parse_args(argv)
+    if args.stats is not None:
+        from repro.obs import trace
+
+        trace.enable()
     summary = run_table2(
         full=True if args.full else None,
         verbose=True,
@@ -204,6 +211,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:  # pragma: no cover
         backend=args.backend,
     )
     print(render_table2(summary))
+    emit_stats(args.stats)
 
 
 if __name__ == "__main__":  # pragma: no cover

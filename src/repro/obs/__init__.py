@@ -1,0 +1,199 @@
+"""repro.obs — unified metrics, tracing and Prometheus exposition.
+
+The observability layer every other ``repro`` package reports into:
+
+* :mod:`repro.obs.registry` — a process-global
+  :class:`MetricsRegistry` of labeled :class:`Counter` /
+  :class:`Gauge` / :class:`Histogram` families with
+  snapshot / reset / merge for multiprocess aggregation;
+* :mod:`repro.obs.trace` — :func:`span` wall-clock tracing, off by
+  default behind one flag (near-zero overhead when disabled);
+* :mod:`repro.obs.promtext` — Prometheus text-format (0.0.4)
+  rendering of a snapshot;
+* :mod:`repro.obs.export` — a stdlib ``GET /metrics`` HTTP endpoint;
+* :mod:`repro.obs.catalog` — the one table naming every metric the
+  managers, the external-memory backend and the serve layer emit.
+
+Instrumentation is *pull-based* where it matters: the manager cores
+keep their existing cheap native counters and :func:`snapshot` samples
+them through each tracked manager's ``collect_metrics`` hook, so the
+hot paths pay nothing for observability.  Event-driven layers (serve
+latencies, batch sizes) record directly into :data:`REGISTRY`.
+
+>>> import repro
+>>> from repro import obs
+>>> manager = repro.open("bbdd", vars=["a", "b", "c"])
+>>> f = manager.add_expr("a & b | c")
+>>> snap = obs.snapshot()
+>>> applies = {s["labels"]["backend"]: s["value"]
+...            for s in snap["repro_manager_apply_total"]["samples"]}
+>>> applies["bbdd"] > 0
+True
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import List, Mapping, Optional
+
+from repro.obs import catalog, trace
+from repro.obs.export import MetricsHTTPServer, start_metrics_server
+from repro.obs.promtext import render as render_prometheus
+from repro.obs.registry import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ObsError,
+    log_buckets,
+    merge_snapshots,
+    snapshot_quantile,
+)
+from repro.obs.trace import span
+
+#: Collectors sampled into every :func:`snapshot` — live managers,
+#: pools and hosts register here (weakly; nothing outlives its owner).
+_COLLECTORS: "weakref.WeakSet" = weakref.WeakSet()
+
+# The global registry carries the full catalogue from import on, so a
+# scrape of a quiet process still exposes every family (zero-valued).
+catalog.declare(REGISTRY)
+
+
+def track(collector) -> None:
+    """Register an object to be sampled at snapshot time.
+
+    ``collector`` must expose ``collect_metrics(registry)``; it is held
+    weakly, so tracking never extends a manager's lifetime.  Every
+    backend manager (and the serve pool machinery) self-registers at
+    construction.
+    """
+    _COLLECTORS.add(collector)
+
+
+def collect(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Sample every tracked collector into ``registry`` (fresh if None)."""
+    if registry is None:
+        registry = MetricsRegistry()
+    for collector in list(_COLLECTORS):
+        collector.collect_metrics(registry)
+    return registry
+
+
+def reset() -> None:
+    """Zero the global registry and forget every tracked collector.
+
+    For processes that inherit observability state they do not own —
+    a forked pool worker starts with the parent's counters and tracked
+    managers in memory, and without a reset its snapshot would
+    double-count them against the parent's own.  Tests use it for a
+    clean slate.
+    """
+    REGISTRY.reset()
+    _COLLECTORS.clear()
+
+
+def snapshot() -> dict:
+    """The process-wide metrics snapshot (JSON-able).
+
+    Merges the global registry (direct instrumentation: spans, serve
+    histograms) with a fresh sample of every tracked collector
+    (manager counters, residency gauges).  Pure sampling — calling it
+    twice does not double anything.
+    """
+    return merge_snapshots(REGISTRY.snapshot(), collect().snapshot())
+
+
+def enable_tracing() -> None:
+    """Turn span tracing on (see :mod:`repro.obs.trace`)."""
+    trace.enable()
+
+
+def disable_tracing() -> None:
+    """Turn span tracing off (the default)."""
+    trace.disable()
+
+
+def tracing_enabled() -> bool:
+    """Whether span tracing is currently on."""
+    return trace.enabled()
+
+
+def _format_sample_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def report(snap: Optional[Mapping] = None, include_zero: bool = False) -> str:
+    """Pretty-print a snapshot (default: a fresh :func:`snapshot`).
+
+    One line per time series — counters and gauges with their value,
+    histograms with count / sum / p50 / p99 estimated from the
+    buckets.  Zero-valued series are omitted unless ``include_zero``.
+    """
+    if snap is None:
+        snap = snapshot()
+    lines: List[str] = []
+    for name in sorted(snap):
+        entry = snap[name]
+        kind = entry.get("type", "untyped")
+        shown = []
+        for sample in entry.get("samples", ()):
+            labels = sample.get("labels", {})
+            label_text = (
+                "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                if labels
+                else ""
+            )
+            if kind == "histogram":
+                if not sample["count"] and not include_zero:
+                    continue
+                p50 = snapshot_quantile(entry, 0.5, **labels)
+                p99 = snapshot_quantile(entry, 0.99, **labels)
+                shown.append(
+                    f"  {name}{label_text}  count={sample['count']} "
+                    f"sum={_format_sample_value(sample['sum'])} "
+                    f"p50={p50:.6g} p99={p99:.6g}"
+                )
+            else:
+                if not sample["value"] and not include_zero:
+                    continue
+                shown.append(
+                    f"  {name}{label_text}  "
+                    f"{_format_sample_value(sample['value'])}"
+                )
+        if shown:
+            lines.append(f"[{kind}] {entry.get('help', '')}".rstrip())
+            lines.extend(shown)
+    if not lines:
+        return "(no non-zero metrics)"
+    return "\n".join(lines)
+
+
+__all__ = [
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsHTTPServer",
+    "ObsError",
+    "catalog",
+    "collect",
+    "disable_tracing",
+    "enable_tracing",
+    "log_buckets",
+    "merge_snapshots",
+    "render_prometheus",
+    "report",
+    "reset",
+    "snapshot",
+    "snapshot_quantile",
+    "span",
+    "start_metrics_server",
+    "trace",
+    "track",
+    "tracing_enabled",
+]

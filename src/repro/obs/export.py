@@ -1,0 +1,119 @@
+"""A tiny stdlib ``GET /metrics`` endpoint for Prometheus scrapers.
+
+:class:`MetricsHTTPServer` runs :class:`http.server.ThreadingHTTPServer`
+on a daemon thread and answers ``GET /metrics`` with the text
+exposition of a snapshot callable — by default the process-global
+:func:`repro.obs.snapshot`, so whatever the process has instrumented is
+scrapable with three lines::
+
+    from repro.obs import MetricsHTTPServer
+    exporter = MetricsHTTPServer(port=9464)
+    exporter.start()
+
+``python -m repro.serve --metrics-port N`` wires this to the batching
+server's merged (dispatcher + pool workers) snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+
+from repro.obs.promtext import CONTENT_TYPE, render
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """Answers ``/metrics`` from ``server.snapshot_fn``; 404 elsewhere."""
+
+    server_version = "repro-obs/1.0"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """Serve one GET request."""
+        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+            self.send_error(404, "only /metrics is served")
+            return
+        try:
+            body = render(self.server.snapshot_fn()).encode("utf-8")
+        except Exception as exc:  # noqa: BLE001 - reported to the scraper
+            self.send_error(500, f"snapshot failed: {type(exc).__name__}")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Silence per-request stderr logging (scrapes are periodic)."""
+
+
+class MetricsHTTPServer:
+    """Serve Prometheus text for a snapshot callable on a daemon thread.
+
+    Parameters
+    ----------
+    port:
+        TCP port to bind (0 picks a free one; read :attr:`port` after
+        :meth:`start`).
+    snapshot_fn:
+        Zero-argument callable returning a snapshot dict (default: the
+        process-global :func:`repro.obs.snapshot`).
+    host:
+        Bind address (default loopback).
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        snapshot_fn: Optional[Callable[[], dict]] = None,
+        host: str = "127.0.0.1",
+    ) -> None:
+        if snapshot_fn is None:
+            from repro import obs
+
+            snapshot_fn = obs.snapshot
+        self._httpd = ThreadingHTTPServer((host, port), _MetricsHandler)
+        self._httpd.snapshot_fn = snapshot_fn
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with ``port=0``)."""
+        return self._httpd.server_address[1]
+
+    def start(self) -> "MetricsHTTPServer":
+        """Start serving on a daemon thread; returns self (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-obs-metrics",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop the server and join its thread (idempotent)."""
+        thread = self._thread
+        if thread is not None:
+            self._thread = None
+            self._httpd.shutdown()
+            thread.join(timeout=5)
+        self._httpd.server_close()
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def start_metrics_server(
+    port: int = 0,
+    snapshot_fn: Optional[Callable[[], dict]] = None,
+    host: str = "127.0.0.1",
+) -> MetricsHTTPServer:
+    """Create and start a :class:`MetricsHTTPServer` in one call."""
+    return MetricsHTTPServer(port, snapshot_fn, host).start()

@@ -1,0 +1,100 @@
+"""Prometheus text exposition (format version 0.0.4) of a snapshot.
+
+:func:`render` turns a :meth:`~repro.obs.registry.MetricsRegistry.
+snapshot` dict into the plain-text format every Prometheus-compatible
+scraper understands: ``# HELP`` / ``# TYPE`` headers per family,
+``name{label="value"} value`` sample lines, and for histograms the
+cumulative ``_bucket{le=...}`` series (including ``+Inf``) plus
+``_sum`` and ``_count``.  The renderer is pure — pair it with
+:class:`repro.obs.export.MetricsHTTPServer` for a scrapable
+``GET /metrics`` endpoint.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Mapping
+
+#: Content type of the text exposition format, for HTTP responders.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _labels_text(labels: Mapping[str, str], extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def render(snapshot: Mapping) -> str:
+    """Render a metrics snapshot as Prometheus text format 0.0.4.
+
+    Families render in name order; histogram bucket lines are
+    cumulative with an ``le`` label per upper bound and a final
+    ``le="+Inf"`` equal to the total count.
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        kind = entry.get("type", "untyped")
+        help_text = entry.get("help", "")
+        if help_text:
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+        for sample in entry.get("samples", ()):
+            labels = sample.get("labels", {})
+            if kind == "histogram":
+                bounds = entry.get("buckets", ())
+                cumulative = 0
+                for index, count in enumerate(sample["counts"]):
+                    cumulative += count
+                    upper = (
+                        _format_value(bounds[index])
+                        if index < len(bounds)
+                        else "+Inf"
+                    )
+                    bucket_labels = _labels_text(labels, f'le="{upper}"')
+                    lines.append(f"{name}_bucket{bucket_labels} {cumulative}")
+                lines.append(
+                    f"{name}_sum{_labels_text(labels)} "
+                    f"{_format_value(sample['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_labels_text(labels)} {sample['count']}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_labels_text(labels)} "
+                    f"{_format_value(sample['value'])}"
+                )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,197 @@
+"""Lightweight span tracing: wall-clock timing of named regions.
+
+Tracing is **off by default** and gated by one module-level flag, so an
+uninstrumented process pays a single attribute check per potential
+span.  When enabled, ``with span("apply", backend="bbdd"):`` records
+the region's wall time into the global
+``repro_span_seconds{span=...}`` histogram and bumps
+``repro_span_total``; spans nest — a span opened inside another
+records under the dot-joined path (``"table1.build"``), and each
+completion also counts toward the parent's
+``repro_span_children_total`` so a snapshot shows how many child
+regions a phase ran.
+
+Hot paths that cannot afford a context manager use the same flag
+directly (:data:`STATE` ``.enabled``) plus :func:`record` — the
+pattern the manager apply engines follow::
+
+    if STATE.enabled:
+        start = perf_counter()
+    ...
+    if STATE.enabled:
+        record("apply", perf_counter() - start, backend="bbdd")
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional
+
+from repro.obs.registry import REGISTRY, log_buckets
+
+#: Bucket bounds of the span histogram (100 ns .. ~20 min).
+SPAN_BUCKETS = log_buckets(1e-7, 1e3)
+
+
+class _TraceState:
+    """The tracing switch; a single shared instance lives in ``STATE``."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = False
+
+
+#: Global tracing state; hot paths read ``STATE.enabled`` directly.
+STATE = _TraceState()
+
+_STACK = threading.local()
+
+
+def enable() -> None:
+    """Turn span tracing on (process-wide)."""
+    STATE.enabled = True
+
+
+def disable() -> None:
+    """Turn span tracing off (the default)."""
+    STATE.enabled = False
+
+
+def enabled() -> bool:
+    """Whether span tracing is currently on."""
+    return STATE.enabled
+
+
+class tracing:
+    """Context manager scoping ``enable()`` to a block (used by tests).
+
+    >>> from repro.obs import trace
+    >>> with trace.tracing():
+    ...     trace.enabled()
+    True
+    >>> trace.enabled()
+    False
+    """
+
+    def __init__(self, on: bool = True) -> None:
+        self._on = on
+        self._previous = False
+
+    def __enter__(self) -> "tracing":
+        self._previous = STATE.enabled
+        STATE.enabled = self._on
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        STATE.enabled = self._previous
+        return False
+
+
+def _stack() -> List[str]:
+    stack = getattr(_STACK, "names", None)
+    if stack is None:
+        stack = _STACK.names = []
+    return stack
+
+
+def _span_label(name: str, labels: dict) -> str:
+    if labels:
+        detail = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+        name = f"{name}[{detail}]"
+    stack = _stack()
+    if stack:
+        return f"{stack[-1]}.{name}"
+    return name
+
+
+def record(name: str, seconds: float, **labels: str) -> None:
+    """Record one completed region of ``seconds`` wall time.
+
+    The low-level half of :func:`span`, for call sites that time
+    themselves; respects the current nesting context.
+    """
+    qualified = _span_label(name, labels)
+    REGISTRY.histogram(
+        "repro_span_seconds",
+        "Wall time of traced spans.",
+        labelnames=("span",),
+        buckets=SPAN_BUCKETS,
+    ).labels(span=qualified).observe(seconds)
+    REGISTRY.counter(
+        "repro_span_total", "Completed traced spans.", labelnames=("span",)
+    ).labels(span=qualified).inc()
+    stack = _stack()
+    if stack:
+        REGISTRY.counter(
+            "repro_span_children_total",
+            "Child spans completed under each parent span.",
+            labelnames=("span",),
+        ).labels(span=stack[-1]).inc()
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    """An active traced region (created by :func:`span` when enabled)."""
+
+    __slots__ = ("name", "labels", "_qualified", "_start")
+
+    def __init__(self, name: str, labels: dict) -> None:
+        self.name = name
+        self.labels = labels
+
+    def __enter__(self) -> "_Span":
+        self._qualified = _span_label(self.name, self.labels)
+        _stack().append(self._qualified)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        elapsed = time.perf_counter() - self._start
+        stack = _stack()
+        if stack and stack[-1] == self._qualified:
+            stack.pop()
+        REGISTRY.histogram(
+            "repro_span_seconds",
+            "Wall time of traced spans.",
+            labelnames=("span",),
+            buckets=SPAN_BUCKETS,
+        ).labels(span=self._qualified).observe(elapsed)
+        REGISTRY.counter(
+            "repro_span_total", "Completed traced spans.", labelnames=("span",)
+        ).labels(span=self._qualified).inc()
+        if stack:
+            REGISTRY.counter(
+                "repro_span_children_total",
+                "Child spans completed under each parent span.",
+                labelnames=("span",),
+            ).labels(span=stack[-1]).inc()
+        return False
+
+
+def span(name: str, **labels: str):
+    """A context manager timing the enclosed region as ``name``.
+
+    Near-zero cost while tracing is disabled (a flag check and a shared
+    no-op object); with tracing enabled the region's wall time lands in
+    the ``repro_span_seconds`` histogram under the dot-qualified span
+    name (labels fold into the name: ``apply[backend=bbdd]``).
+    """
+    if not STATE.enabled:
+        return _NOOP
+    return _Span(name, labels)

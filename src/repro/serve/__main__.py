@@ -55,6 +55,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="exit after answering this many requests (smoke tests)",
     )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help=(
+            "also serve Prometheus text on GET /metrics at this port "
+            "(0 picks a free one; off by default)"
+        ),
+    )
     return parser
 
 
@@ -76,6 +85,15 @@ async def _serve(args: argparse.Namespace) -> None:
         if args.max_requests is not None and answered >= args.max_requests:
             done.set()
 
+    exporter = None
+    if args.metrics_port is not None:
+        from repro.obs import MetricsHTTPServer
+
+        exporter = MetricsHTTPServer(
+            port=args.metrics_port,
+            snapshot_fn=server.metrics_snapshot,
+            host=args.host,
+        ).start()
     tcp = await serve_tcp(server, args.host, args.port, on_request=on_request)
     address = tcp.sockets[0].getsockname()
     print(
@@ -83,6 +101,11 @@ async def _serve(args: argparse.Namespace) -> None:
         f"(functions: {', '.join(names)})",
         flush=True,
     )
+    if exporter is not None:
+        print(
+            f"metrics on http://{args.host}:{exporter.port}/metrics",
+            flush=True,
+        )
     try:
         if args.max_requests is None:
             await asyncio.Event().wait()
@@ -91,6 +114,8 @@ async def _serve(args: argparse.Namespace) -> None:
     finally:
         tcp.close()
         await tcp.wait_closed()
+        if exporter is not None:
+            exporter.close()
         pool.close()
         stats = server.stats()
         print(

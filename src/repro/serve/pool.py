@@ -55,6 +55,10 @@ class ForestHost:
         self.loads = 0
         self.hits = 0
 
+        from repro import obs
+
+        obs.track(self)
+
     def get(self, path: str) -> tuple:
         """The ``(manager, {name: function})`` pair for ``path``."""
         with self._lock:
@@ -94,9 +98,28 @@ class ForestHost:
             # thread-safe (worker processes are the parallelism axis).
             return f.evaluate_batch(assignments)
 
+    def collect_metrics(self, registry) -> None:
+        """Sample forest-cache counters into an obs registry.
+
+        Runs in whatever process hosts this cache: inline pools feed
+        the dispatcher's snapshot directly, worker processes feed the
+        snapshot they ship back for the ``"metrics"`` op — so both
+        modes land in the same ``repro_serve_forest_*`` families.
+        """
+        from repro.obs.catalog import family
+
+        family(registry, "repro_serve_forest_loads_total").inc(self.loads)
+        family(registry, "repro_serve_forest_hits_total").inc(self.hits)
+
 
 def _worker_main(in_queue, out_queue, max_forests: int) -> None:
     """Worker-process loop: serve ``(task_id, op, payload)`` requests."""
+    from repro import obs
+
+    # A forked worker inherits the parent's registry values and tracked
+    # managers; drop them so this worker's "metrics" snapshots cover
+    # only its own work (the dispatcher merges them with its own).
+    obs.reset()
     host = ForestHost(max_forests)
     while True:
         message = in_queue.get()
@@ -111,6 +134,10 @@ def _worker_main(in_queue, out_queue, max_forests: int) -> None:
                 result = host.names(payload)
             elif op == "stats":
                 result = {"loads": host.loads, "forest_hits": host.hits}
+            elif op == "metrics":
+                from repro import obs
+
+                result = obs.snapshot()
             else:  # pragma: no cover - protocol misuse
                 raise ServeError(f"unknown worker op {op!r}")
             out_queue.put((task_id, True, result))
@@ -191,6 +218,9 @@ class ForestPool:
         self._queues: List = []
         self._out_queue = None
         self._next_worker = 0
+        from repro import obs
+
+        obs.track(self)
         if workers == 0:
             self._host = ForestHost(max_forests)
         else:
@@ -424,8 +454,75 @@ class ForestPool:
         """Evaluate one assignment (a batch of one, through the cache)."""
         return self.evaluate_batch(path, name, [assignment])[0]
 
+    def _forest_counters(self) -> tuple:
+        """``(loads, hits)`` of the forest caches, both pool modes.
+
+        Inline pools read the host directly; worker pools ask every
+        worker (best effort — a dead pool reports zeros rather than
+        failing a stats call).
+        """
+        if self._host is not None:
+            return (self._host.loads, self._host.hits)
+        if not self._queues:
+            return (0, 0)
+        try:
+            task_ids = [
+                self._submit_to(index, "stats", None)
+                for index in range(len(self._queues))
+            ]
+            replies = self._collect_all(task_ids)
+        except ServeError:
+            return (0, 0)
+        loads = sum(reply["loads"] for reply in replies)
+        hits = sum(reply["forest_hits"] for reply in replies)
+        return (loads, hits)
+
+    def metric_snapshots(self) -> List[dict]:
+        """Metrics snapshots of every worker process (empty inline).
+
+        Worker snapshots travel over the ordinary result channel; the
+        inline host is tracked in this process, so it is already part
+        of the local :func:`repro.obs.snapshot` and returns nothing
+        here (no double counting).
+        """
+        if self._host is not None or not self._queues:
+            return []
+        try:
+            task_ids = [
+                self._submit_to(index, "metrics", None)
+                for index in range(len(self._queues))
+            ]
+            return self._collect_all(task_ids)
+        except ServeError:
+            return []
+
+    def collect_metrics(self, registry) -> None:
+        """Sample dispatcher counters into an obs registry.
+
+        Covers the result cache and dispatch volume of this process;
+        worker-side counters arrive via :meth:`metric_snapshots`.
+        """
+        from repro.obs.catalog import family
+
+        family(registry, "repro_serve_result_cache_hits_total").inc(
+            self.cache_hits
+        )
+        family(registry, "repro_serve_result_cache_misses_total").inc(
+            self.cache_misses
+        )
+        family(registry, "repro_serve_result_cache_entries").inc(
+            len(self._cache)
+        )
+        family(registry, "repro_serve_batches_dispatched_total").inc(
+            self.batches_dispatched
+        )
+        family(registry, "repro_serve_shards_dispatched_total").inc(
+            self.shards_dispatched
+        )
+
     def stats(self) -> dict:
         """Dispatcher counters (cache effectiveness, dispatch volume)."""
+        forest_loads, forest_hits = self._forest_counters()
         return {
             "workers": self.workers,
             "cache_hits": self.cache_hits,
@@ -433,4 +530,6 @@ class ForestPool:
             "cache_entries": len(self._cache),
             "batches_dispatched": self.batches_dispatched,
             "shards_dispatched": self.shards_dispatched,
+            "forest_loads": forest_loads,
+            "forest_hits": forest_hits,
         }

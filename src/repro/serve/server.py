@@ -11,8 +11,12 @@ still sees a plain per-query future:
 * the first query of a burst arms a flush timer (``batch_window``
   seconds);
 * reaching ``max_batch`` pending queries flushes immediately;
-* per-query wall-clock latencies are recorded, so deployments can
-  watch the p50/p99 cost of the coalescing trade-off.
+* per-query wall-clock latencies land in the
+  ``repro_serve_request_latency_seconds`` histogram (:mod:`repro.obs`),
+  so deployments can watch the p50/p99 cost of the coalescing
+  trade-off in bounded memory, and :meth:`BatchingServer.
+  metrics_snapshot` merges the dispatcher's metrics with every pool
+  worker's for one scrape-ready view.
 
 :func:`serve_tcp` exposes the same surface over a newline-delimited
 JSON TCP protocol (one request object per line, one response object per
@@ -25,11 +29,10 @@ import asyncio
 import json
 from typing import List, Mapping, Optional, Tuple
 
+from repro import obs
+from repro.obs.catalog import family as _metric
 from repro.serve.bulk import ServeError
 from repro.serve.pool import ForestPool
-
-#: Cap on remembered per-query latencies (a sliding window).
-LATENCY_WINDOW = 4096
 
 
 class BatchingServer:
@@ -71,7 +74,18 @@ class BatchingServer:
         self._flush_tasks: set = set()
         self.queries = 0
         self.batches_flushed = 0
-        self.latencies: List[float] = []
+        # Event-driven metrics record straight into the global registry
+        # (bounded memory — the old unbounded latency list is gone).
+        registry = obs.REGISTRY
+        self._latency_hist = _metric(
+            registry, "repro_serve_request_latency_seconds"
+        )
+        self._batch_size_hist = _metric(registry, "repro_serve_batch_size")
+        self._queue_depth = _metric(registry, "repro_serve_queue_depth")
+        self._queries_total = _metric(registry, "repro_serve_queries_total")
+        self._flushes_total = _metric(
+            registry, "repro_serve_batches_flushed_total"
+        )
 
     def warm(self) -> List[str]:
         """Pre-load the forest into every pool worker; root names."""
@@ -87,6 +101,8 @@ class BatchingServer:
         future: asyncio.Future = loop.create_future()
         self._pending.append((name, assignment, loop.time(), future))
         self.queries += 1
+        self._queries_total.inc()
+        self._queue_depth.set(len(self._pending))
         if len(self._pending) >= self.max_batch:
             if self._timer is not None:
                 self._timer.cancel()
@@ -110,10 +126,12 @@ class BatchingServer:
         if not pending:
             return
         self._pending = []
+        self._queue_depth.set(0)
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
         self.batches_flushed += 1
+        self._flushes_total.inc()
         loop = asyncio.get_running_loop()
         by_name: dict = {}
         for name, assignment, start, future in pending:
@@ -121,6 +139,7 @@ class BatchingServer:
 
         async def run_group(name: str, group: list) -> None:
             assignments = [assignment for assignment, _start, _future in group]
+            self._batch_size_hist.labels(function=name).observe(len(group))
             try:
                 values = await loop.run_in_executor(
                     None, self.pool.evaluate_batch, self.path, name, assignments
@@ -133,25 +152,26 @@ class BatchingServer:
                         )
                 return
             now = loop.time()
-            latencies = self.latencies
+            observe = self._latency_hist.observe
             for (_assignment, start, future), value in zip(group, values):
-                latencies.append(now - start)
+                observe(now - start)
                 if not future.done():
                     future.set_result(value)
-            if len(latencies) > LATENCY_WINDOW:
-                del latencies[: len(latencies) - LATENCY_WINDOW]
 
         await asyncio.gather(
             *(run_group(name, group) for name, group in by_name.items())
         )
 
     def latency_percentile(self, q: float) -> float:
-        """The ``q``-th percentile (0..100) of recent query latencies."""
-        if not self.latencies:
+        """The ``q``-th percentile (0..100) of query latencies.
+
+        Estimated from the ``repro_serve_request_latency_seconds``
+        histogram buckets (PromQL-style linear interpolation), so the
+        cost stays O(buckets) regardless of traffic volume.
+        """
+        if not self._latency_hist.count:
             return 0.0
-        ordered = sorted(self.latencies)
-        rank = min(len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1))))
-        return ordered[rank]
+        return self._latency_hist.quantile(q / 100.0)
 
     def stats(self) -> dict:
         """Coalescing counters plus the pool's dispatcher stats."""
@@ -167,13 +187,25 @@ class BatchingServer:
         stats.update(self.pool.stats())
         return stats
 
+    def metrics_snapshot(self) -> dict:
+        """The merged metrics snapshot: this process plus pool workers.
+
+        Local instrumentation (serve histograms, tracked managers and
+        the inline host) comes from :func:`repro.obs.snapshot`; worker
+        processes ship their own snapshots back over the pool's result
+        channel and merge in.  Rendered by ``{"op": "metrics"}`` and the
+        ``--metrics-port`` HTTP endpoint.
+        """
+        return obs.merge_snapshots(obs.snapshot(), *self.pool.metric_snapshots())
+
 
 async def handle_client(server: BatchingServer, reader, writer, on_request=None) -> None:
     """Serve one TCP client speaking newline-delimited JSON.
 
-    Requests: ``{"f": name, "assignment": {...}, "id": any?}`` or
-    ``{"op": "stats"}``; responses echo ``id`` and carry ``result`` or
-    ``error``.  Each request line is handled as its own task, so a
+    Requests: ``{"f": name, "assignment": {...}, "id": any?}``,
+    ``{"op": "stats"}`` or ``{"op": "metrics"}`` (the merged
+    dispatcher + workers metrics snapshot); responses echo ``id`` and
+    carry ``result`` or ``error``.  Each request line is handled as its own task, so a
     client that pipelines many queries on one connection still gets
     them coalesced into sweeps; responses may therefore interleave out
     of request order — correlate by ``id``.
@@ -188,6 +220,8 @@ async def handle_client(server: BatchingServer, reader, writer, on_request=None)
             request_id = request.get("id")
             if request.get("op") == "stats":
                 response = {"id": request_id, "result": server.stats()}
+            elif request.get("op") == "metrics":
+                response = {"id": request_id, "result": server.metrics_snapshot()}
             else:
                 value = await server.query(
                     request["f"], request.get("assignment", {})

@@ -261,6 +261,10 @@ def apply_refs(manager, builder, cont_a, ref_a, cont_b, ref_b, op: int) -> int:
         for key in spiller.iter_sorted_unique():
             expand(key, pos)
         spiller.cleanup()
+        # Compaction merge passes (and their bytes) happen while the
+        # merged stream is consumed, so settle them after cleanup.
+        store.merge_passes += spiller.merge_passes
+        store.spill_bytes += spiller.run_bytes
 
     # -- pass 2: bottom-up reduce -----------------------------------------
     for pos in sorted(pendings, reverse=True):

@@ -166,6 +166,11 @@ class XmemManager(DDManager):
         self._sig_uids: Dict[bytes, int] = {}
         self._next_uid = 0
 
+        from repro import obs  # late: avoids import cycles at package init
+
+        self._trace_state = obs.trace.STATE
+        obs.track(self)
+
     # ------------------------------------------------------------------
     # identifiers, variables, order
     # ------------------------------------------------------------------
@@ -265,6 +270,11 @@ class XmemManager(DDManager):
         return (self._handle(rep, root >> 1), bool(root & 1))
 
     def _run_op(self, fn):
+        traced = self._trace_state.enabled
+        if traced:
+            from time import perf_counter
+
+            start = perf_counter()
         builder = Builder(self)
         try:
             ref = fn(builder)
@@ -272,6 +282,10 @@ class XmemManager(DDManager):
         finally:
             builder.dispose()
         self._rebalance()
+        if traced:
+            from repro.obs import trace
+
+            trace.record("sweep", perf_counter() - start, backend="xmem")
         return edge
 
     def apply_edges(self, f, g, op: int):
@@ -570,6 +584,15 @@ class XmemManager(DDManager):
     def peak_resident(self) -> int:
         return self._store.peak_resident
 
+    def resident_blocks(self) -> int:
+        """Level blocks currently resident in RAM across representations."""
+        return sum(
+            1
+            for rep in self._reps
+            for block in rep.levels
+            if block.records is not None and block.count
+        )
+
     def stats(self) -> dict:
         store = self._store
         return {
@@ -578,16 +601,52 @@ class XmemManager(DDManager):
             "request_chunk": self._request_chunk,
             "live_nodes": self.size(),
             "resident_nodes": store.resident,
+            "resident_blocks": self.resident_blocks(),
             "peak_resident": store.peak_resident,
             "spilled_nodes": store.spilled_nodes,
             "spill_writes": store.spill_writes,
+            "spill_bytes": store.spill_bytes,
             "level_loads": store.level_loads,
             "request_runs_spilled": store.runs_spilled,
+            "merge_passes": store.merge_passes,
             "reps": len(self._reps),
         }
 
     def table_stats(self) -> dict:
         return self.stats()
+
+    def collect_metrics(self, registry) -> None:
+        """Sample the spill store's counters into an obs registry.
+
+        Pull-based observability hook (see :mod:`repro.obs`): spill
+        accounting stays on the store's native counters and is mapped
+        onto the catalogued ``repro_xmem_*`` families at snapshot time.
+        """
+        from repro.obs.catalog import family
+
+        store = self._store
+        family(registry, "repro_xmem_spill_bytes_total").inc(store.spill_bytes)
+        family(registry, "repro_xmem_level_spills_total").inc(
+            store.spill_writes
+        )
+        family(registry, "repro_xmem_spilled_nodes_total").inc(
+            store.spilled_nodes
+        )
+        family(registry, "repro_xmem_level_loads_total").inc(store.level_loads)
+        family(registry, "repro_xmem_request_runs_spilled_total").inc(
+            store.runs_spilled
+        )
+        family(registry, "repro_xmem_merge_passes_total").inc(
+            store.merge_passes
+        )
+        family(registry, "repro_xmem_resident_nodes").inc(store.resident)
+        family(registry, "repro_xmem_resident_blocks").inc(
+            self.resident_blocks()
+        )
+        family(registry, "repro_xmem_peak_resident_nodes").inc(
+            store.peak_resident
+        )
+        family(registry, "repro_xmem_live_nodes").inc(self.size())
 
     # ------------------------------------------------------------------
     # persistence (native: representations *are* the file format)

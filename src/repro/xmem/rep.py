@@ -53,8 +53,10 @@ class SpillStore:
         self.peak_resident = 0
         self.spilled_nodes = 0
         self.spill_writes = 0
+        self.spill_bytes = 0
         self.level_loads = 0
         self.runs_spilled = 0
+        self.merge_passes = 0
 
     @property
     def directory(self) -> str:
@@ -206,12 +208,14 @@ class Levelized:
         store = self.store
         if block.spill_path is None:
             path = store.new_path("rep")
+            payload = block.encode()
             with open(path, "wb") as fileobj:
-                fileobj.write(block.encode())
+                fileobj.write(payload)
             block.spill_path = path
             self._state["paths"].append(path)
             store.spill_writes += 1
             store.spilled_nodes += block.count
+            store.spill_bytes += len(payload)
         block.records = None
         store.note(-block.count)
         self._state["resident"] -= block.count

@@ -98,6 +98,8 @@ class SortedRunSpiller:
         self._resident: List[tuple] = []
         self._runs: List[Tuple[str, int]] = []  # (path, tuple count)
         self.total = 0
+        self.run_bytes = 0
+        self.merge_passes = 0
 
     def add(self, tup: tuple) -> None:
         self._resident.append(tup)
@@ -111,6 +113,10 @@ class SortedRunSpiller:
         write_run(path, self._resident)
         self._runs.append((path, len(self._resident)))
         self._resident = []
+        try:
+            self.run_bytes += os.path.getsize(path)
+        except OSError:  # pragma: no cover - stat raced with cleanup
+            pass
 
     @property
     def runs_spilled(self) -> int:
@@ -119,11 +125,16 @@ class SortedRunSpiller:
     def _compact(self) -> None:
         """Merge runs group-by-group until the final fan-in is bounded."""
         while len(self._runs) > _MAX_FANIN:
+            self.merge_passes += 1
             group = self._runs[:_MAX_FANIN]
             del self._runs[:_MAX_FANIN]
             streams = [iter_run(path, self.arity, count) for path, count in group]
             path = self._new_path()
             count = write_run(path, heapq.merge(*streams))
+            try:
+                self.run_bytes += os.path.getsize(path)
+            except OSError:  # pragma: no cover - stat raced with cleanup
+                pass
             for old_path, _count in group:
                 try:
                     os.unlink(old_path)

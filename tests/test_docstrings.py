@@ -16,7 +16,7 @@ import os
 import pytest
 
 SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
-GATED_PACKAGES = ("api", "io", "serve")
+GATED_PACKAGES = ("api", "io", "obs", "serve")
 FAIL_UNDER = 90.0
 
 

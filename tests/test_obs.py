@@ -1,0 +1,357 @@
+"""Tests of :mod:`repro.obs` — metrics, tracing, exposition, wiring."""
+
+import json
+import urllib.request
+
+import pytest
+
+import repro
+from repro import obs
+from repro.obs import promtext, trace
+from repro.obs.registry import (
+    MetricsRegistry,
+    ObsError,
+    log_buckets,
+    merge_snapshots,
+    snapshot_quantile,
+)
+
+
+# ----------------------------------------------------------------------
+# registry semantics
+# ----------------------------------------------------------------------
+
+
+def test_counter_semantics():
+    reg = MetricsRegistry()
+    c = reg.counter("requests_total", "Requests.")
+    assert c.value == 0
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ObsError):
+        c.inc(-1)
+
+
+def test_gauge_semantics():
+    reg = MetricsRegistry()
+    g = reg.gauge("depth", "Depth.")
+    g.set(10)
+    g.inc(5)
+    g.dec(2)
+    assert g.value == 13
+    g.set(-4)
+    assert g.value == -4
+
+
+def test_histogram_semantics():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", "Latency.", buckets=(1.0, 10.0, 100.0))
+    for value in (0.5, 5.0, 50.0, 500.0):
+        h.observe(value)
+    sample = reg.snapshot()["lat"]["samples"][0]
+    assert sample["counts"] == [1, 1, 1, 1]  # one per bucket + overflow
+    assert sample["count"] == 4
+    assert sample["sum"] == pytest.approx(555.5)
+
+
+def test_histogram_rejects_bad_buckets():
+    reg = MetricsRegistry()
+    with pytest.raises(ObsError):
+        reg.histogram("bad", "x", buckets=(5.0, 1.0))
+
+
+def test_labels_create_distinct_children():
+    reg = MetricsRegistry()
+    c = reg.counter("ops_total", "Ops.", labelnames=("backend",))
+    c.labels(backend="bbdd").inc(3)
+    c.labels(backend="bdd").inc(1)
+    values = {
+        s["labels"]["backend"]: s["value"]
+        for s in reg.snapshot()["ops_total"]["samples"]
+    }
+    assert values == {"bbdd": 3, "bdd": 1}
+    with pytest.raises(ObsError):
+        c.labels(wrong="x")
+
+
+def test_get_or_create_rejects_kind_and_label_mismatch():
+    reg = MetricsRegistry()
+    reg.counter("thing_total", "x", labelnames=("a",))
+    assert reg.counter("thing_total", "x", labelnames=("a",)) is not None
+    with pytest.raises(ObsError):
+        reg.gauge("thing_total", "x")
+    with pytest.raises(ObsError):
+        reg.counter("thing_total", "x", labelnames=("b",))
+
+
+def test_log_buckets_are_increasing():
+    buckets = log_buckets(1e-3, 1e3)
+    assert all(a < b for a, b in zip(buckets, buckets[1:]))
+    assert buckets[0] == pytest.approx(1e-3)
+    assert buckets[-1] == pytest.approx(1e3)
+
+
+# ----------------------------------------------------------------------
+# snapshot merging
+# ----------------------------------------------------------------------
+
+
+def _sample_registry(counter, hist_values):
+    reg = MetricsRegistry()
+    reg.counter("c_total", "C.", labelnames=("k",)).labels(k="x").inc(counter)
+    h = reg.histogram("h", "H.", buckets=(1.0, 10.0))
+    for value in hist_values:
+        h.observe(value)
+    return reg.snapshot()
+
+
+def test_merge_sums_counters_and_buckets():
+    merged = merge_snapshots(
+        _sample_registry(2, [0.5]), _sample_registry(3, [5.0, 50.0])
+    )
+    assert merged["c_total"]["samples"][0]["value"] == 5
+    hist = merged["h"]["samples"][0]
+    assert hist["counts"] == [1, 1, 1]
+    assert hist["count"] == 3
+
+
+def test_merge_is_associative():
+    parts = [
+        _sample_registry(1, [0.5]),
+        _sample_registry(2, [5.0]),
+        _sample_registry(4, [50.0, 0.1]),
+    ]
+    left = merge_snapshots(merge_snapshots(parts[0], parts[1]), parts[2])
+    right = merge_snapshots(parts[0], merge_snapshots(parts[1], parts[2]))
+    assert left == right == merge_snapshots(*parts)
+
+
+def test_merge_rejects_bucket_layout_mismatch():
+    reg_a = MetricsRegistry()
+    reg_a.histogram("h", "H.", buckets=(1.0, 10.0)).observe(2.0)
+    reg_b = MetricsRegistry()
+    reg_b.histogram("h", "H.", buckets=(2.0, 20.0)).observe(2.0)
+    with pytest.raises(ObsError):
+        merge_snapshots(reg_a.snapshot(), reg_b.snapshot())
+
+
+def test_snapshot_quantile_interpolates():
+    reg = MetricsRegistry()
+    h = reg.histogram("h", "H.", buckets=(1.0, 2.0, 4.0))
+    for value in (0.5, 1.5, 3.0, 3.5):
+        h.observe(value)
+    entry = reg.snapshot()["h"]
+    assert 0.0 < snapshot_quantile(entry, 0.25) <= 1.0
+    assert 2.0 < snapshot_quantile(entry, 0.9) <= 4.0
+
+
+# ----------------------------------------------------------------------
+# tracing
+# ----------------------------------------------------------------------
+
+
+def test_span_noop_when_disabled():
+    trace.disable()
+    assert obs.span("anything") is obs.span("else_")  # the shared no-op
+
+
+def test_span_records_nested_names():
+    reg_before = {
+        s["labels"]["span"]
+        for s in obs.REGISTRY.snapshot()
+        .get("repro_span_total", {})
+        .get("samples", ())
+    }
+    with trace.tracing():
+        with obs.span("outer", backend="bbdd"):
+            with obs.span("inner"):
+                pass
+    spans = {
+        s["labels"]["span"]: s["value"]
+        for s in obs.REGISTRY.snapshot()["repro_span_total"]["samples"]
+    }
+    assert spans["outer[backend=bbdd]"] >= 1
+    assert spans["outer[backend=bbdd].inner"] >= 1
+    assert reg_before is not None  # silence lint on the guard variable
+
+
+def test_tracing_context_restores_flag():
+    trace.disable()
+    with trace.tracing():
+        assert trace.enabled()
+        with trace.tracing(False):
+            assert not trace.enabled()
+        assert trace.enabled()
+    assert not trace.enabled()
+
+
+# ----------------------------------------------------------------------
+# Prometheus text rendering
+# ----------------------------------------------------------------------
+
+GOLDEN = """\
+# HELP demo_latency_seconds Latency.
+# TYPE demo_latency_seconds histogram
+demo_latency_seconds_bucket{op="load",le="1"} 1
+demo_latency_seconds_bucket{op="load",le="10"} 2
+demo_latency_seconds_bucket{op="load",le="+Inf"} 3
+demo_latency_seconds_sum{op="load"} 105.5
+demo_latency_seconds_count{op="load"} 3
+# HELP demo_queue_depth Depth "now".
+# TYPE demo_queue_depth gauge
+demo_queue_depth 7
+# HELP demo_requests_total Requests.
+# TYPE demo_requests_total counter
+demo_requests_total{backend="bbdd"} 5
+"""
+
+
+def test_prometheus_text_golden():
+    reg = MetricsRegistry()
+    reg.counter(
+        "demo_requests_total", "Requests.", labelnames=("backend",)
+    ).labels(backend="bbdd").inc(5)
+    reg.gauge("demo_queue_depth", 'Depth "now".').set(7)
+    h = reg.histogram(
+        "demo_latency_seconds", "Latency.", labelnames=("op",),
+        buckets=(1.0, 10.0),
+    )
+    for value in (0.5, 5.0, 100.0):
+        h.labels(op="load").observe(value)
+    assert promtext.render(reg.snapshot()) == GOLDEN
+
+
+def test_prometheus_escaping():
+    reg = MetricsRegistry()
+    reg.counter("esc_total", 'has \\ and\nnewline', labelnames=("p",)).labels(
+        p='va"l\\ue\n'
+    ).inc()
+    text = promtext.render(reg.snapshot())
+    assert '# HELP esc_total has \\\\ and\\nnewline' in text
+    assert 'esc_total{p="va\\"l\\\\ue\\n"} 1' in text
+
+
+# ----------------------------------------------------------------------
+# manager collectors match the legacy stats surfaces
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ["bbdd", "bdd"])
+def test_manager_counters_match_table_stats(backend):
+    manager = repro.open(backend, vars=["a", "b", "c", "d"])
+    f = manager.add_expr("a & b | c")
+    g = manager.add_expr("c ^ d")
+    _ = (f | g).is_true
+    del f, g
+    manager.gc()
+
+    stats = manager.table_stats()
+    reg = MetricsRegistry()
+    manager.collect_metrics(reg)
+    snap = reg.snapshot()
+
+    def metric(name):
+        samples = snap[name]["samples"]
+        assert len(samples) == 1
+        assert samples[0]["labels"] == {"backend": backend}
+        return samples[0]["value"]
+
+    assert metric("repro_manager_unique_lookups_total") == stats["unique"]["lookups"]
+    assert metric("repro_manager_unique_hits_total") == stats["unique"]["hits"]
+    assert metric("repro_manager_computed_lookups_total") == stats["computed"]["lookups"]
+    assert metric("repro_manager_computed_hits_total") == stats["computed"]["hits"]
+    assert metric("repro_manager_apply_total") == stats["apply_calls"] > 0
+    assert metric("repro_manager_gc_runs_total") == stats["gc_runs"] >= 1
+    assert metric("repro_manager_gc_reclaimed_total") == stats["gc_reclaimed"]
+    assert metric("repro_manager_nodes") == stats["nodes"]
+    assert metric("repro_manager_peak_nodes") == stats["peak_nodes"]
+
+
+def test_xmem_collector_matches_stats(tmp_path):
+    manager = repro.open(
+        "xmem", vars=[f"x{i}" for i in range(10)], node_budget=8,
+        spill_dir=str(tmp_path),
+    )
+    f = manager.add_expr("x0 & x1 | x2 & x3 | x4 & x5")
+    g = manager.add_expr("x6 ^ x7 ^ x8 ^ x9")
+    _ = f | g
+
+    stats = manager.stats()
+    reg = MetricsRegistry()
+    manager.collect_metrics(reg)
+    snap = reg.snapshot()
+
+    def metric(name):
+        return snap[name]["samples"][0]["value"]
+
+    assert metric("repro_xmem_spill_bytes_total") == stats["spill_bytes"]
+    assert metric("repro_xmem_level_spills_total") == stats["spill_writes"]
+    assert metric("repro_xmem_spilled_nodes_total") == stats["spilled_nodes"]
+    assert metric("repro_xmem_level_loads_total") == stats["level_loads"]
+    assert metric("repro_xmem_resident_nodes") == stats["resident_nodes"]
+    assert metric("repro_xmem_resident_blocks") == stats["resident_blocks"]
+    assert metric("repro_xmem_live_nodes") == stats["live_nodes"]
+    # An 8-node budget forces the sweeps to spill real bytes.
+    assert stats["spill_bytes"] > 0
+    assert stats["spill_writes"] > 0
+
+
+def test_global_snapshot_is_pure_sampling():
+    manager = repro.open("bbdd", vars=["a", "b"])
+    manager.add_expr("a & b")
+    first = obs.snapshot()
+    second = obs.snapshot()
+    for name in ("repro_manager_apply_total", "repro_manager_nodes"):
+        assert first[name]["samples"] == second[name]["samples"]
+    assert manager is not None  # keep the manager tracked through both
+
+
+def test_catalog_families_always_render():
+    # A fresh process-level snapshot exposes every catalogued family,
+    # even ones with no traffic (dashboards can rely on the names).
+    text = promtext.render(obs.snapshot())
+    for name in (
+        "repro_xmem_spill_bytes_total",
+        "repro_serve_request_latency_seconds",
+        "repro_manager_unique_lookups_total",
+    ):
+        assert f"# TYPE {name}" in text
+
+
+# ----------------------------------------------------------------------
+# /metrics HTTP endpoint
+# ----------------------------------------------------------------------
+
+
+def test_metrics_http_endpoint():
+    reg = MetricsRegistry()
+    reg.counter("endpoint_total", "Hits.").inc(9)
+    with obs.MetricsHTTPServer(port=0, snapshot_fn=reg.snapshot) as server:
+        url = f"http://127.0.0.1:{server.port}/metrics"
+        with urllib.request.urlopen(url) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith("text/plain")
+            body = response.read().decode("utf-8")
+        assert "endpoint_total 9" in body
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{server.port}/nope"
+            )
+
+
+def test_report_renders_nonzero_lines():
+    reg = MetricsRegistry()
+    reg.counter("seen_total", "Seen.").inc(3)
+    reg.counter("quiet_total", "Quiet.")
+    text = obs.report(reg.snapshot())
+    assert "seen_total  3" in text
+    assert "quiet_total" not in text
+
+
+def test_snapshot_is_json_serializable():
+    manager = repro.open("bbdd", vars=["a", "b"])
+    manager.add_expr("a | b")
+    encoded = json.dumps(obs.snapshot())
+    assert "repro_manager_apply_total" in encoded
+    assert manager is not None
