@@ -14,17 +14,18 @@ from repro.core.reorder import from_truth_table
 from repro.core.traversal import evaluate, reachable_nodes
 
 
-def _expansion_holds(manager, node) -> bool:
+def _expansion_holds(manager, index) -> bool:
     """Check Eq. 1 pointwise over the node's support variables."""
     n = manager.num_vars
-    rng = random.Random(node.uid)
+    node = manager.node_view(index)
+    rng = random.Random(index)
     for _ in range(16):
         values = {v: bool(rng.getrandbits(1)) for v in range(n)}
-        lhs = evaluate((node, False), values)
+        lhs = evaluate(manager, index, values)
         if values[node.pv] != values[node.sv]:
-            rhs = evaluate((node.neq, node.neq_attr), values)
+            rhs = evaluate(manager, node.neq_edge, values)
         else:
-            rhs = evaluate((node.eq, False), values)
+            rhs = evaluate(manager, node.eq_edge, values)
         if lhs != rhs:
             return False
     return True
@@ -45,9 +46,9 @@ def test_fig1_expansion_validation(benchmark):
     def validate():
         checked = 0
         for m, fs in managers:
-            for node in reachable_nodes([f.edge for f in fs]):
-                if node.sv != SV_ONE:
-                    assert _expansion_holds(m, node)
+            for index in reachable_nodes(m, [f.edge for f in fs]):
+                if m._sv[index] != SV_ONE:
+                    assert _expansion_holds(m, index)
                     checked += 1
         return checked
 
@@ -71,7 +72,7 @@ def test_fig1_evaluation_throughput(benchmark):
     edge = f.edge
 
     def run():
-        return sum(evaluate(edge, vec) for vec in vectors)
+        return sum(evaluate(m, edge, vec) for vec in vectors)
 
     benchmark(run)
     record_metric(

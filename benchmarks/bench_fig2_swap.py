@@ -39,7 +39,9 @@ def test_fig2_swap_validation(benchmark):
             m2.order.set_order(m.order.order)
             edges2 = [from_truth_table(m2, mask) for mask in masks]
             m.gc()
-            assert count_nodes([f.edge for f in funcs]) == count_nodes(edges2)
+            assert count_nodes(m, [f.edge for f in funcs]) == count_nodes(
+                m2, edges2
+            )
         return total_swaps
 
     swaps = benchmark.pedantic(validate, rounds=1, iterations=1)

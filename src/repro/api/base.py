@@ -5,8 +5,11 @@ end (in the style of tulip-control/``dd``):
 
 * :class:`DDManager` — the **edge protocol** every decision-diagram
   backend implements.  A backend subclasses it and provides the
-  primitives listed in its docstring (all operating on bare
-  ``(node, attr)`` edge tuples); everything user-facing —
+  primitives listed in its docstring, all operating on bare edges.
+  An edge is an opaque per-backend value: the flat-store BBDD backend
+  uses signed ints, the object backends ``(node, attr)`` tuples — the
+  ``edge_*`` accessor hooks (with tuple-edge defaults) are the only
+  way shared code inspects one.  Everything user-facing —
   :meth:`DDManager.add_expr`, :meth:`DDManager.let`, the whole
   :class:`FunctionBase` surface — is written once against that protocol
   and works identically on BBDDs (:class:`repro.core.BBDDManager`) and
@@ -100,6 +103,49 @@ class DDManager:
     #: Registry name of the backend ("bbdd", "bdd", ...).
     backend = "abstract"
 
+    # -- edge accessors ------------------------------------------------------
+    #
+    # Shared code never destructures an edge itself; it goes through
+    # these hooks.  The defaults implement the ``(node, attr)`` tuple
+    # coding used by the object backends; the flat-store BBDD backend
+    # overrides all of them with signed-int arithmetic.
+
+    def edge_node(self, edge):
+        """The root node (handle/view object) of an edge."""
+        return edge[0]
+
+    def edge_attr(self, edge) -> bool:
+        """The complement attribute of an edge."""
+        return edge[1]
+
+    def node_edge(self, node):
+        """The regular (attribute-free) edge onto a node handle/view."""
+        return (node, False)
+
+    def negate_edge(self, edge):
+        """The complement of an edge (no new nodes)."""
+        return (edge[0], not edge[1])
+
+    def edge_is_sink(self, edge) -> bool:
+        """True iff the edge denotes a constant."""
+        return edge[0].is_sink
+
+    def edge_is_false(self, edge) -> bool:
+        """True iff the edge denotes the constant FALSE."""
+        return edge[0].is_sink and edge[1]
+
+    def edge_uid(self, edge):
+        """A hashable identity of the edge (memo keys, hashes)."""
+        return (edge[0].uid, edge[1])
+
+    def acquire_edge(self, edge) -> None:
+        """Acquire one reference on an edge's root (handle creation)."""
+        self.acquire_ref(edge[0])
+
+    def release_edge(self, edge) -> None:
+        """Release one reference on an edge's root (handle drop)."""
+        self.release_ref(edge[0])
+
     # -- shared front-end surface (written once, works on any backend) --
 
     def add_expr(self, text: str):
@@ -158,7 +204,7 @@ class DDManager:
 
             root_key, items = stream
             sat_even, _sat_odd = cohort_sweep(
-                root_key, edge[1], items, batch.var_bits, batch.full
+                root_key, self.edge_attr(edge), items, batch.var_bits, batch.full
             )
             return batch.unpack(sat_even)
         evaluate = self.evaluate_edge
@@ -181,7 +227,7 @@ class DDManager:
             root_key, items = stream
             sat_even, _sat_odd = cube_sweep(
                 root_key,
-                edge[1],
+                self.edge_attr(edge),
                 items,
                 batch.var_bits,
                 batch.known_bits or {},
@@ -194,7 +240,7 @@ class DDManager:
                 cofactor = edge
                 for var, value in values.items():
                     cofactor = self.restrict_edge(cofactor, var, value)
-                results.append(not (cofactor[0].is_sink and cofactor[1]))
+                results.append(not self.edge_is_false(cofactor))
         return results
 
 
@@ -277,18 +323,19 @@ def _rebuild_via_protocol(manager, root, var_fn, target, memo):
     """
     true = target.true()
     false = ~true
+    edge_uid = manager.edge_uid
     pending: Dict[tuple, tuple] = {}
     with manager.defer_gc():
-        stack = [(root, False)]
+        root_edge = manager.node_edge(root)
+        stack = [root_edge]
         while stack:
             edge = stack[-1]
-            node, attr = edge
-            key = (node.uid, attr)
+            key = edge_uid(edge)
             if key in memo:
                 stack.pop()
                 continue
-            if node.is_sink:
-                memo[key] = false if attr else true
+            if manager.edge_is_sink(edge):
+                memo[key] = false if manager.edge_attr(edge) else true
                 stack.pop()
                 continue
             entry = pending.get(key)
@@ -301,11 +348,11 @@ def _rebuild_via_protocol(manager, root, var_fn, target, memo):
                 stack.append(high)
                 continue
             var, high, low = entry
-            t = memo[(high[0].uid, high[1])]
-            e = memo[(low[0].uid, low[1])]
+            t = memo[edge_uid(high)]
+            e = memo[edge_uid(low)]
             memo[key] = var_fn(var).ite(t, e)
             stack.pop()
-    return memo[(root.uid, False)]
+    return memo[edge_uid(root_edge)]
 
 
 def install_function_helpers(manager_cls, function_cls) -> None:
@@ -360,26 +407,24 @@ class FunctionBase:
     comparison on ``(node, attr)``.
     """
 
-    __slots__ = ("manager", "node", "attr", "__weakref__")
+    __slots__ = ("manager", "_edge", "__weakref__")
 
     def __init__(self, manager, edge) -> None:
         self.manager = manager
-        self.node = edge[0]
-        self.attr = edge[1]
-        manager.acquire_ref(self.node)
+        self._edge = edge
+        manager.acquire_edge(edge)
 
     def __del__(self) -> None:
         # Interpreter shutdown may have torn down attributes already.
-        node = getattr(self, "node", None)
-        if node is None:
+        edge = getattr(self, "_edge", None)
+        if edge is None:
             return
         manager = getattr(self, "manager", None)
         if manager is None:
-            node.ref -= 1
             return
         try:
             # Dropping a handle feeds the automatic garbage collector.
-            manager.release_ref(node)
+            manager.release_edge(edge)
         except Exception:  # pragma: no cover - interpreter teardown
             pass
 
@@ -387,20 +432,26 @@ class FunctionBase:
 
     @property
     def edge(self):
-        """The bare ``(node, attr)`` edge this handle references."""
-        return (self.node, self.attr)
+        """The bare backend edge this handle references."""
+        return self._edge
+
+    @property
+    def node(self):
+        """The root node of this handle's edge (a backend node/view)."""
+        return self.manager.edge_node(self._edge)
+
+    @property
+    def attr(self) -> bool:
+        """The complement attribute of this handle's edge."""
+        return self.manager.edge_attr(self._edge)
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, FunctionBase):
             return NotImplemented
-        return (
-            self.manager is other.manager
-            and self.node is other.node
-            and self.attr == other.attr
-        )
+        return self.manager is other.manager and self._edge == other._edge
 
     def __hash__(self) -> int:
-        return hash((id(self.manager), self.node.uid, self.attr))
+        return hash((id(self.manager), self.manager.edge_uid(self._edge)))
 
     def _wrap(self, edge) -> "FunctionBase":
         return type(self)(self.manager, edge)
@@ -451,7 +502,7 @@ class FunctionBase:
     __rxor__ = __xor__
 
     def __invert__(self) -> "FunctionBase":
-        return self._wrap((self.node, not self.attr))
+        return self._wrap(self.manager.negate_edge(self._edge))
 
     def xnor(self, other) -> "FunctionBase":
         """Biconditional (equality) of two functions."""
@@ -476,17 +527,20 @@ class FunctionBase:
     @property
     def is_true(self) -> bool:
         """True iff this is the constant TRUE (the regular sink edge)."""
-        return self.node.is_sink and not self.attr
+        manager = self.manager
+        return manager.edge_is_sink(self._edge) and not manager.edge_is_false(
+            self._edge
+        )
 
     @property
     def is_false(self) -> bool:
         """True iff this is the constant FALSE (the complemented sink)."""
-        return self.node.is_sink and self.attr
+        return self.manager.edge_is_false(self._edge)
 
     @property
     def is_constant(self) -> bool:
         """True iff this is TRUE or FALSE."""
-        return self.node.is_sink
+        return self.manager.edge_is_sink(self._edge)
 
     # -- semantics ----------------------------------------------------------
 
@@ -639,8 +693,7 @@ class FunctionBase:
 
     def equivalent(self, other) -> bool:
         """Canonicity-based equivalence check (pointer comparison)."""
-        other_edge = self._coerce(other)
-        return self.node is other_edge[0] and self.attr == other_edge[1]
+        return self._edge == self._coerce(other)
 
     def let(self, substitutions: Mapping) -> "FunctionBase":
         """Simultaneous substitution (the ``dd``-style ``let``).
@@ -745,17 +798,17 @@ class FunctionBase:
         # Iterative post-order: bare child edges are parked in ``pending``
         # until both sub-expressions are rendered, so GC stays deferred
         # for the whole walk.
+        edge_uid = manager.edge_uid
         with manager.defer_gc():
             stack = [root]
             while stack:
                 edge = stack[-1]
-                node, attr = edge
-                key = (node.uid, attr)
+                key = edge_uid(edge)
                 if key in memo:
                     stack.pop()
                     continue
-                if node.is_sink:
-                    memo[key] = "FALSE" if attr else "TRUE"
+                if manager.edge_is_sink(edge):
+                    memo[key] = "FALSE" if manager.edge_attr(edge) else "TRUE"
                     stack.pop()
                     continue
                 entry = pending.get(key)
@@ -768,8 +821,8 @@ class FunctionBase:
                     stack.append(high)
                     continue
                 var, high, low = entry
-                s1 = memo[(high[0].uid, high[1])]
-                s0 = memo[(low[0].uid, low[1])]
+                s1 = memo[edge_uid(high)]
+                s0 = memo[edge_uid(low)]
                 name = exportable_name(manager.var_name(var))
                 if s1 == "TRUE" and s0 == "FALSE":
                     memo[key] = name
@@ -778,7 +831,7 @@ class FunctionBase:
                 else:
                     memo[key] = f"ite({name}, {s1}, {s0})"
                 stack.pop()
-        return memo[(root[0].uid, root[1])]
+        return memo[edge_uid(root)]
 
     # -- persistence --------------------------------------------------------
 

@@ -23,12 +23,15 @@ restrict-chain formulations that expanded ``ite`` into three applies and
   of primary variables of reachable nodes is *not* the support, because a
   secondary variable can cancel along both branches).
 
-All procedures use explicit stacks (no recursion on diagram depth) and
-run inside the manager's operation guard, so automatic GC never reclaims
-their intermediates; tagged keys share the computed table with apply and
-are invalidated with it on GC/reordering.  With the ``disabled`` computed
-backend they fall back to a per-call memo (the ablation switch targets
-apply, and an unmemoized restrict would be exponential).
+Everything here works on the flat store's signed-int edges: ``abs(edge)``
+is the node index, the sign the complement attribute, so attribute
+algebra is plain integer arithmetic.  All procedures use explicit stacks
+(no recursion on diagram depth) and run inside the manager's operation
+guard, so automatic GC never reclaims their intermediates; tagged keys
+share the computed table with apply and are invalidated with it on
+GC/reordering.  With the ``disabled`` computed backend they fall back to
+a per-call memo (the ablation switch targets apply, and an unmemoized
+restrict would be exponential).
 """
 
 from __future__ import annotations
@@ -37,13 +40,13 @@ from typing import Iterable, List
 
 from repro.core.computed_table import DisabledComputedTable
 from repro.core.exceptions import BBDDError
-from repro.core.node import SV_ONE, BBDDNode, Edge
+from repro.core.node import SINK, SV_ONE, Edge
 from repro.core.operations import OP_AND, OP_OR, OP_XNOR
 
 #: Computed-table tags for the derived operations.  Two-operand apply
-#: keys are ``(f.uid, g.uid, op)`` with ``op`` in 0..15; tagged keys use
-#: distinct leading ints >= 16 (and different tuple shapes), so the two
-#: families can never collide — and stay all-int for the Cantor backend.
+#: keys are 3-tuples ``(f, g, op)`` with ``op`` in 0..15; tagged keys use
+#: distinct leading ints >= 16 (and different tuple lengths), so the key
+#: families can never collide.
 TAG_ITE = 16
 TAG_RESTRICT = 17
 TAG_QUANT = 18
@@ -71,7 +74,7 @@ def ite(manager, f: Edge, g: Edge, h: Edge) -> Edge:
     """If-then-else ``f ? g : h`` as a native three-operand expansion.
 
     Iterative over an explicit pending-frame stack with memoization
-    keyed ``(TAG_ITE, f.uid, g.uid, ga, h.uid, ha)`` (the complement on
+    keyed ``(TAG_ITE, f, g, h)`` on signed edges (the complement on
     ``f`` is normalized away by swapping the branches).  Constant and
     degenerate operands collapse to a single two-operand apply.
     """
@@ -90,6 +93,8 @@ def _ite_iter(manager, f: Edge, g: Edge, h: Edge) -> Edge:
     cofactors = manager._cofactors
     make = manager._make
     apply_edges = manager.apply_edges
+    pvl = manager._pv
+    svl = manager._sv
     results: List[Edge] = []
     rpush = results.append
     rpop = results.pop
@@ -106,38 +111,35 @@ def _ite_iter(manager, f: Edge, g: Edge, h: Edge) -> Edge:
             rpush(result)
             continue
         f, g, h = a, b, c
-        fn, fa = f
-        if fa:
+        if f < 0:
             # ite(~f', g, h) == ite(f', h, g).
+            f = -f
             g, h = h, g
-            fa = False
-        gn, ga = g
-        hn, ha = h
         # -- terminal / degenerate cases ----------------------------------
-        if fn.is_sink:  # f == TRUE (complement already folded)
+        if f == SINK:  # f == TRUE (complement already folded)
             rpush(g)
             continue
-        if gn is hn:
-            if ga == ha:
-                rpush(g)
-            else:
-                # ite(f, g, ~g) == f XNOR g.
-                rpush(apply_edges((fn, False), g, OP_XNOR))
+        if g == h:
+            rpush(g)
             continue
-        if gn.is_sink:
-            if ga:  # g == FALSE: ~f AND h
-                rpush(apply_edges((fn, True), h, OP_AND))
-            else:  # g == TRUE: f OR h
-                rpush(apply_edges((fn, False), h, OP_OR))
+        if g == -h:
+            # ite(f, g, ~g) == f XNOR g.
+            rpush(apply_edges(f, g, OP_XNOR))
             continue
-        if hn.is_sink:
-            if ha:  # h == FALSE: f AND g
-                rpush(apply_edges((fn, False), g, OP_AND))
-            else:  # h == TRUE: ~f OR g
-                rpush(apply_edges((fn, True), g, OP_OR))
+        if g == -1:  # g == FALSE: ~f AND h
+            rpush(apply_edges(-f, h, OP_AND))
+            continue
+        if g == 1:  # g == TRUE: f OR h
+            rpush(apply_edges(f, h, OP_OR))
+            continue
+        if h == -1:  # h == FALSE: f AND g
+            rpush(apply_edges(f, g, OP_AND))
+            continue
+        if h == 1:  # h == TRUE: ~f OR g
+            rpush(apply_edges(-f, g, OP_OR))
             continue
 
-        key = (TAG_ITE, fn.uid, gn.uid, ga, hn.uid, ha)
+        key = (TAG_ITE, f, g, h)
         cached = lookup(key)
         if cached is not None:
             rpush(cached)
@@ -146,16 +148,18 @@ def _ite_iter(manager, f: Edge, g: Edge, h: Edge) -> Edge:
         # -- three-operand biconditional expansion ------------------------
         # The couple's branches partition the space, so the expansion
         # distributes over all three operands simultaneously.
-        v = fn.pv
+        gn = -g if g < 0 else g
+        hn = -h if h < 0 else h
+        v = pvl[f]
         v_pos = position(v)
         for node in (gn, hn):
-            p = position(node.pv)
+            p = position(pvl[node])
             if p < v_pos:
-                v, v_pos = node.pv, p
+                v, v_pos = pvl[node], p
         w = None
         w_pos = manager.num_vars + 1
-        for node in (fn, gn, hn):
-            cand = node.sv if node.pv == v else node.pv
+        for node in (f, gn, hn):
+            cand = svl[node] if pvl[node] == v else pvl[node]
             if cand == SV_ONE:
                 continue
             cand_pos = position(cand)
@@ -163,26 +167,18 @@ def _ite_iter(manager, f: Edge, g: Edge, h: Edge) -> Edge:
                 w, w_pos = cand, cand_pos
         if w is None:  # pragma: no cover - ruled out by the terminal cases
             raise BBDDError("no expansion SV: all ITE operands literal at v")
-        f_nq, f_eq = cofactors(fn, v, w)
+        f_nq, f_eq = cofactors(f, v, w)
         g_nq, g_eq = cofactors(gn, v, w)
         h_nq, h_eq = cofactors(hn, v, w)
+        if g < 0:
+            g_nq = -g_nq
+            g_eq = -g_eq
+        if h < 0:
+            h_nq = -h_nq
+            h_eq = -h_eq
         tpush((_COMBINE, (v, w), key, None))
-        tpush(
-            (
-                _CALL,
-                f_nq,
-                (g_nq[0], g_nq[1] ^ ga),
-                (h_nq[0], h_nq[1] ^ ha),
-            )
-        )
-        tpush(
-            (
-                _CALL,
-                f_eq,
-                (g_eq[0], g_eq[1] ^ ga),
-                (h_eq[0], h_eq[1] ^ ha),
-            )
-        )
+        tpush((_CALL, f_nq, g_nq, h_nq))
+        tpush((_CALL, f_eq, g_eq, h_eq))
     return results[-1]
 
 
@@ -199,29 +195,34 @@ def restrict(manager, edge: Edge, var, value: bool) -> Edge:
     * otherwise — restrict the children and rebuild the node in place.
 
     Restriction commutes with complement, so memo entries are keyed on
-    the bare node (``(TAG_RESTRICT, uid, var, value)``) and the incoming
-    attribute is re-applied at the end.  Subgraphs whose support mask
+    the bare node (``(TAG_RESTRICT, index, var, value)``) and the
+    incoming sign is re-applied at the end.  Subgraphs whose support mask
     does not contain ``var`` are returned untouched.
     """
     var = manager.var_index(var)
-    root, root_attr = edge
+    root = -edge if edge < 0 else edge
     manager._in_op += 1
     try:
-        node, attr = _restrict_iter(manager, root, var, bool(value))
+        result = _restrict_iter(manager, root, var, bool(value))
     finally:
         manager._in_op -= 1
-    result = (node, attr ^ root_attr)
+    if edge < 0:
+        result = -result
     manager._maybe_gc_protect(result)
     return result
 
 
-def _restrict_iter(manager, root: BBDDNode, var: int, value: bool) -> Edge:
+def _restrict_iter(manager, root: int, var: int, value: bool) -> Edge:
     bit = 1 << var
-    if not root.supp & bit:
-        return (root, False)
+    suppl = manager._supp
+    if not suppl[root] & bit:
+        return root
     lookup, insert = _memo_fns(manager)
     make = manager._make
-    sink = manager.sink
+    pvl = manager._pv
+    svl = manager._sv
+    neql = manager._neq
+    eql = manager._eq
     results: List[Edge] = []
     rpush = results.append
     rpop = results.pop
@@ -231,26 +232,27 @@ def _restrict_iter(manager, root: BBDDNode, var: int, value: bool) -> Edge:
     while tasks:
         tag, node, key = tpop()
         if tag == _CALL:
-            if not node.supp & bit:
-                rpush((node, False))
+            if not suppl[node] & bit:
+                rpush(node)
                 continue
-            key = (TAG_RESTRICT, node.uid, var, value)
+            key = (TAG_RESTRICT, node, var, value)
             cached = lookup(key)
             if cached is not None:
                 rpush(cached)
                 continue
-            pv = node.pv
-            if node.sv == SV_ONE:
+            pv = pvl[node]
+            sv = svl[node]
+            if sv == SV_ONE:
                 # supp == {pv} and var in supp, so this is lit(var).
-                result = (sink, not value)
+                result = SINK if value else -SINK
                 insert(key, result)
                 rpush(result)
                 continue
             if pv == var:
                 # Children never mention pv: collapse the condition on sv.
-                d: Edge = (node.neq, node.neq_attr)
-                e: Edge = (node.eq, False)
-                w_lit = manager.literal_edge(node.sv)
+                d = neql[node]
+                e = eql[node]
+                w_lit = manager.literal_edge(sv)
                 result = (
                     ite(manager, w_lit, e, d)
                     if value
@@ -259,23 +261,25 @@ def _restrict_iter(manager, root: BBDDNode, var: int, value: bool) -> Edge:
                 insert(key, result)
                 rpush(result)
                 continue
-            combine = _COMBINE_ITE if node.sv == var else _COMBINE
+            combine = _COMBINE_ITE if sv == var else _COMBINE
             tpush((combine, node, key))
-            tpush((_CALL, node.neq, None))
-            tpush((_CALL, node.eq, None))
+            d = neql[node]
+            tpush((_CALL, -d if d < 0 else d, None))
+            tpush((_CALL, eql[node], None))
             continue
-        d0, d1 = rpop()
+        d2 = rpop()
         e2 = rpop()
-        d2 = (d0, d1 ^ node.neq_attr)
+        if neql[node] < 0:
+            d2 = -d2
         if tag == _COMBINE_ITE:
-            v_lit = manager.literal_edge(node.pv)
+            v_lit = manager.literal_edge(pvl[node])
             result = (
                 ite(manager, v_lit, e2, d2)
                 if value
                 else ite(manager, v_lit, d2, e2)
             )
         else:
-            result = make(node.pv, node.sv, d2, e2)
+            result = make(pvl[node], svl[node], d2, e2)
         insert(key, result)
         rpush(result)
     return results[-1]
@@ -324,36 +328,41 @@ def _quantify_iter(manager, edge: Edge, var: int, op: int) -> Edge:
     through the expansion; when ``var`` is either couple member both
     cofactors select the same pair of children and the node reduces to
     ``d <op> e`` directly.  Quantification does *not* commute with
-    complement, so memo keys carry the edge attribute:
-    ``(TAG_QUANT, uid, attr, var, op)``.
+    complement, so memo keys carry the edge sign:
+    ``(TAG_QUANT, index, attr, var, op)``.
     """
     bit = 1 << var
-    root, root_attr = edge
-    if not root.supp & bit:
+    suppl = manager._supp
+    root = -edge if edge < 0 else edge
+    if not suppl[root] & bit:
         return edge
     lookup, insert = _memo_fns(manager)
     make = manager._make
     apply_edges = manager.apply_edges
+    pvl = manager._pv
+    svl = manager._sv
+    neql = manager._neq
+    eql = manager._eq
     results: List[Edge] = []
     rpush = results.append
     rpop = results.pop
-    tasks: List[tuple] = [(_CALL, root, root_attr, None)]
+    tasks: List[tuple] = [(_CALL, root, edge < 0, None)]
     tpush = tasks.append
     tpop = tasks.pop
     while tasks:
         tag, node, attr, key = tpop()
         if tag == _CALL:
-            if not node.supp & bit:
-                rpush((node, attr))
+            if not suppl[node] & bit:
+                rpush(-node if attr else node)
                 continue
-            key = (TAG_QUANT, node.uid, attr, var, op)
+            key = (TAG_QUANT, node, attr, var, op)
             cached = lookup(key)
             if cached is not None:
                 rpush(cached)
                 continue
-            d: Edge = (node.neq, attr ^ node.neq_attr)
-            e: Edge = (node.eq, attr)
-            if node.pv == var:
+            d = -neql[node] if attr else neql[node]
+            e = -eql[node] if attr else eql[node]
+            if pvl[node] == var:
                 # Children never mention the primary variable, and the
                 # same surviving condition selects both cofactors:
                 # Q f = (sv ? d : e) <op> (sv ? e : d) = d <op> e
@@ -362,23 +371,24 @@ def _quantify_iter(manager, edge: Edge, var: int, op: int) -> Edge:
                 insert(key, result)
                 rpush(result)
                 continue
-            if node.sv == var:
+            if svl[node] == var:
                 # The children still depend on the secondary variable, so
                 # the cofactors do not collapse — combine two (cached)
                 # native restricts.
-                f0 = restrict(manager, (node, attr), var, False)
-                f1 = restrict(manager, (node, attr), var, True)
+                signed = -node if attr else node
+                f0 = restrict(manager, signed, var, False)
+                f1 = restrict(manager, signed, var, True)
                 result = apply_edges(f0, f1, op)
                 insert(key, result)
                 rpush(result)
                 continue
             tpush((_COMBINE, node, attr, key))
-            tpush((_CALL, d[0], d[1], None))
-            tpush((_CALL, e[0], e[1], None))
+            tpush((_CALL, -d if d < 0 else d, d < 0, None))
+            tpush((_CALL, -e if e < 0 else e, e < 0, None))
             continue
         d2 = rpop()
         e2 = rpop()
-        result = make(node.pv, node.sv, d2, e2)
+        result = make(pvl[node], svl[node], d2, e2)
         insert(key, result)
         rpush(result)
     return results[-1]
@@ -391,9 +401,8 @@ def support(manager, edge: Edge) -> frozenset:
     support mask (couples pair consecutive support variables, so no
     cancellation survives reduction); the mask is read off the root.
     """
-    node, _attr = edge
     result = set()
-    mask = node.supp
+    mask = manager._supp[-edge if edge < 0 else edge]
     var = 0
     while mask:
         if mask & 1:

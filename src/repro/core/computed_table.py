@@ -1,20 +1,19 @@
 """Computed table: the operation cache of Algorithm 1 (Sec. IV-A2/3).
 
-Previously performed Boolean operations ``{f, g, op} -> result`` are stored
-for later reuse.  Per the paper, the computed table is cache-like: on a
-hash collision the old entry is simply overwritten (no chaining), trading
-completeness for constant-time access.
+Previously performed Boolean operations ``{f, g, op} -> result`` are
+stored for later reuse.  Keys and values are packed ints of the flat
+store: an apply entry is ``(f_index, g_index, op) -> signed_result``,
+and the derived-op families (ITE/restrict/quantify) prefix a tag int
+so the key spaces can never collide.
 
-Backends mirror the unique table: a dict-backed cache (bounded, random
-eviction via overwrite of an arbitrary slot is not needed — dicts grow) and
-the faithful direct-mapped Cantor-hashed array.
+Two backends remain: the dict-backed cache (the default — packed int
+keys hash natively) and :class:`DisabledComputedTable` for ablation
+runs.  The historical direct-mapped ``"cantor"`` array went away with
+the Cantor hash machinery; the factory accepts the name only as a
+compatibility alias for ``"dict"``.
 """
 
 from __future__ import annotations
-
-from typing import Optional
-
-from repro.core.hashing import AdaptiveHashController
 
 
 class DictComputedTable:
@@ -52,62 +51,6 @@ class DictComputedTable:
         }
 
 
-class CantorComputedTable:
-    """Direct-mapped cache addressed by nested Cantor pairings.
-
-    A collision overwrites the resident entry (the paper's cache-like
-    approach); the slot stores ``(key, value)`` so false hits are
-    impossible.
-    """
-
-    __slots__ = ("_slots", "_size", "_controller", "lookups", "hits", "overwrites", "_count")
-
-    def __init__(self, size: int = 1 << 16, controller: Optional[AdaptiveHashController] = None) -> None:
-        self._size = size
-        self._slots: list = [None] * size
-        self._controller = controller or AdaptiveHashController()
-        self.lookups = 0
-        self.hits = 0
-        self.overwrites = 0
-        self._count = 0
-
-    def _index(self, key: tuple) -> int:
-        return self._controller.hash_tuple(key, self._size)
-
-    def lookup(self, key: tuple):
-        self.lookups += 1
-        slot = self._slots[self._index(key)]
-        if slot is not None and slot[0] == key:
-            self.hits += 1
-            return slot[1]
-        return None
-
-    def insert(self, key: tuple, value) -> None:
-        idx = self._index(key)
-        if self._slots[idx] is None:
-            self._count += 1
-        elif self._slots[idx][0] != key:
-            self.overwrites += 1
-        self._slots[idx] = (key, value)
-
-    def clear(self) -> None:
-        self._slots = [None] * self._size
-        self._count = 0
-
-    def __len__(self) -> int:
-        return self._count
-
-    def stats(self) -> dict:
-        return {
-            "backend": "cantor",
-            "entries": self._count,
-            "table_size": self._size,
-            "lookups": self.lookups,
-            "hits": self.hits,
-            "overwrites": self.overwrites,
-        }
-
-
 class DisabledComputedTable:
     """Null cache used by the ablation benches (computed table off)."""
 
@@ -135,11 +78,9 @@ class DisabledComputedTable:
 
 
 def make_computed_table(backend: str = "dict", **kwargs):
-    """Factory (``backend in {"dict", "cantor", "disabled"}``)."""
-    if backend == "dict":
+    """Factory; ``"cantor"`` is a deprecated alias for ``"dict"``."""
+    if backend in ("dict", "cantor"):
         return DictComputedTable()
-    if backend == "cantor":
-        return CantorComputedTable(**kwargs)
     if backend == "disabled":
         return DisabledComputedTable()
     raise ValueError(f"unknown computed-table backend: {backend!r}")

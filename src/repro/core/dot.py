@@ -5,7 +5,6 @@ from __future__ import annotations
 from typing import Iterable, List
 
 from repro.core.exceptions import BBDDError
-from repro.core.node import SV_ONE
 from repro.core.traversal import reachable_nodes
 
 
@@ -15,6 +14,10 @@ def to_dot(manager, functions, names: Iterable[str] = ()) -> str:
     ``!=``-edges are dashed (dot-terminated when complemented); ``=``-edges
     solid.  Literal (R4) nodes are drawn as boxes.  ``names``, when
     given, must match ``functions`` one-to-one.
+
+    Works on :meth:`~repro.core.manager.BBDDManager.node_view` views over
+    the flat store; node ids in the output are the store indices, emitted
+    in ascending order for determinism.
     """
     edges = [f.edge if hasattr(f, "edge") else f for f in functions]
     labels = list(names)
@@ -24,11 +27,11 @@ def to_dot(manager, functions, names: Iterable[str] = ()) -> str:
         )
     if not labels:
         labels = [f"f{i}" for i in range(len(edges))]
-    nodes = reachable_nodes(edges)
+    nodes = [manager.node_view(i) for i in sorted(reachable_nodes(manager, edges))]
     lines: List[str] = ["digraph BBDD {", "  rankdir=TB;"]
     lines.append('  sink [shape=box, label="1"];')
     for node in nodes:
-        if node.sv == SV_ONE:
+        if node.is_literal:
             lines.append(
                 f"  n{node.uid} [shape=box, label=\"{manager.var_name(node.pv)}\"];"
             )
@@ -38,7 +41,7 @@ def to_dot(manager, functions, names: Iterable[str] = ()) -> str:
                 f"label=\"{manager.var_name(node.pv)},{manager.var_name(node.sv)}\"];"
             )
     for node in nodes:
-        if node.sv == SV_ONE:
+        if node.is_literal:
             continue
         neq_target = "sink" if node.neq.is_sink else f"n{node.neq.uid}"
         eq_target = "sink" if node.eq.is_sink else f"n{node.eq.uid}"
@@ -49,13 +52,14 @@ def to_dot(manager, functions, names: Iterable[str] = ()) -> str:
         lines.append(f"  n{node.uid} -> {eq_target} [label=\"=\"];")
         # Literal nodes point at the sink implicitly; draw for completeness.
     for node in nodes:
-        if node.sv == SV_ONE:
+        if node.is_literal:
             lines.append(f"  n{node.uid} -> sink [style=dashed, arrowhead=odot];")
             lines.append(f"  n{node.uid} -> sink;")
-    for label, (root, attr) in zip(labels, edges):
+    for label, edge in zip(labels, edges):
         lines.append(f'  {label} [shape=plaintext];')
+        root = manager.edge_node(edge)
         target = "sink" if root.is_sink else f"n{root.uid}"
-        arrow = "odot" if attr else "normal"
+        arrow = "odot" if manager.edge_attr(edge) else "normal"
         lines.append(f"  {label} -> {target} [arrowhead={arrow}];")
     lines.append("}")
     return "\n".join(lines)

@@ -1,29 +1,40 @@
 """The BBDD manager: node construction, Boolean operations, memory management.
 
-This module implements the manipulation core of Sec. IV of the paper:
+This module implements the manipulation core of Sec. IV of the paper on a
+**flat integer-coded node store** (the tulip-control/dd idiom): nodes are
+dense positive ints indexing parallel arrays (``_pv``/``_sv``/``_neq``/
+``_eq``/``_ref``/``_supp``/``_float``), and an edge is one signed int
+whose sign is the complement attribute — ``NOT`` is unary minus, and the
+operator updates of Algorithm 1 (``updateop``) are integer arithmetic.
+The sink is index 1 (edge ``+1`` = True, ``-1`` = False); index 0 is
+never allocated.
 
 * ``_make`` — get-or-create a node in strong canonical form, enforcing
   reduction rules R1 (unique table), R2 (identical children), R4 (literal
-  degeneration) and the complement-attribute normalization (``=``-edges are
-  always regular);
+  degeneration) and the complement-attribute normalization (``=``-edges
+  are always regular, i.e. stored positive);
 * ``apply_edges`` — Algorithm 1: any two-operand Boolean operation over
   biconditional expansions, with terminal-case short circuits, a computed
-  table, operator update for complement attributes (``updateop``) and
-  on-the-fly chain transformation of single-variable operands.  The
-  expansion is driven by an **explicit pending-frame stack**, not Python
-  recursion, so operand depth is limited by memory alone (Adiar-style
-  level-by-level manipulation scales where recursion cannot);
-* reference-counting memory management with **cascading** counts: a node
-  whose count drops to zero immediately releases its children (and a
-  revived node re-acquires them), so the number of dead nodes is known
-  exactly at all times and :meth:`BBDDManager.dead_count` is O(1).
-  Garbage collection triggers automatically (dd/CUDD style) when the
-  dead/total ratio crosses a configurable threshold, but only at safe
-  points — never while an operation holds intermediate edges.
+  table keyed on packed int tuples, operator update for complement
+  attributes and on-the-fly chain transformation of single-variable
+  operands.  The expansion is driven by an **explicit pending-frame
+  stack**, not Python recursion, so operand depth is limited by memory
+  alone;
+* reference-counting memory management with **cascading** counts held in
+  a flat array: a node whose count drops to zero immediately releases its
+  children (and a revived node re-acquires them), so the number of dead
+  nodes is known exactly at all times and :meth:`BBDDManager.dead_count`
+  is O(1).  Garbage collection triggers automatically (dd/CUDD style)
+  when the dead/total ratio crosses a configurable threshold, but only at
+  safe points — never while an operation holds intermediate edges.
+  Swept slots go on a free list and are recycled by ``_make``.
 
-All hot-path functions work on bare ``(node, attr)`` edge tuples; the
-user-facing wrapper lives in :mod:`repro.core.function`.  Code that holds
-bare edges across several manager operations must either reference them
+All hot-path functions work on bare signed-int edges; the user-facing
+wrapper lives in :mod:`repro.core.function`, and
+:meth:`BBDDManager.node_view` materializes read-only
+:class:`~repro.core.node.BBDDNode` views (interned per index) for
+rendering and debugging.  Code that holds bare edges across several
+manager operations must either reference them
 (:meth:`BBDDManager.inc_ref`) or suspend collection with
 :meth:`BBDDManager.defer_gc` for the duration.
 """
@@ -31,12 +42,12 @@ bare edges across several manager operations must either reference them
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.api.base import DDManager
 from repro.core.computed_table import make_computed_table
 from repro.core.exceptions import BBDDError, VariableError
-from repro.core.node import SV_ONE, BBDDNode, Edge, make_sink
+from repro.core.node import SINK, SINK_VAR, SV_ONE, BBDDNode, Edge
 from repro.core.operations import (
     OP_AND,
     OP_OR,
@@ -59,9 +70,6 @@ from repro.core.unique_table import make_unique_table
 _CALL = 0
 _COMBINE = 1
 _UNWIND = 2
-
-#: Maximum number of swept node shells kept for reuse by ``_make``.
-_FREE_POOL_CAP = 1 << 15
 
 # Terminal-case outcome tables, precomputed per 4-bit operator so the hot
 # loop replaces the ``restrict_a``/``diagonal`` + ``_UNARY`` dict chain
@@ -111,9 +119,10 @@ class BBDDManager(DDManager):
     variables:
         Either the number of variables or a sequence of distinct names.
     unique_backend / computed_backend:
-        ``"dict"`` (default, native hashing) or ``"cantor"`` (the paper's
-        Cantor-pairing tables); the computed table additionally accepts
-        ``"disabled"`` for ablation runs.
+        ``"dict"`` (default; ``"cantor"`` is a deprecated alias — the
+        packed-int-key dict table absorbed the historical Cantor
+        backend); the computed table additionally accepts ``"disabled"``
+        for ablation runs.
     auto_gc:
         Enable automatic garbage collection (default).  When enabled, a
         collection runs at the next safe point after the dead/total node
@@ -148,17 +157,27 @@ class BBDDManager(DDManager):
         self._index: Dict[str, int] = {n: i for i, n in enumerate(names)}
         self._order = ChainVariableOrder(range(len(names)))
 
-        self._uid = 0
-        self.sink = make_sink(self._next_uid())
+        # The flat store: slot 0 is a never-allocated dummy (so edges
+        # always have an observable sign), slot 1 the immortal sink.
+        self._pv: List[int] = [0, SINK_VAR]
+        self._sv: List[int] = [0, SV_ONE]
+        self._neq: List[int] = [0, 0]
+        self._eq: List[int] = [0, 0]
+        self._ref: List[int] = [0, 1]
+        self._supp: List[int] = [0, 0]
+        self._float = bytearray((0, 0))
+        #: Swept slot indices available for recycling by ``_make``.
+        self._free_nodes: List[int] = []
+        #: Interned read-only views (index -> BBDDNode), popped on sweep.
+        self._views: Dict[int, BBDDNode] = {}
+
         self._unique = make_unique_table(unique_backend)
         # Hot-path accelerators: per-variable support bits (avoids big-int
-        # shifts per node), the dict backend's raw table, and a free list
-        # of swept node shells for allocation-free rebuilds.
+        # shifts per node) and the unique table's raw dict.
         self._var_bits: List[int] = [1 << i for i in range(len(names))]
-        self._uniq_raw = getattr(self._unique, "_table", None)
-        self._free_nodes: List[BBDDNode] = []
+        self._uniq_raw: dict = self._unique._table
         self._cache = make_computed_table(computed_backend)
-        self._literals: Dict[int, BBDDNode] = {}
+        self._literals: Dict[int, int] = {}
         self._by_pv: Dict[int, set] = {i: set() for i in range(len(names))}
         self._by_sv: Dict[int, set] = {i: set() for i in range(len(names))}
         self._node_count = 0
@@ -177,6 +196,7 @@ class BBDDManager(DDManager):
         self._dead_set: set = set()
         #: Depth of in-flight operations; automatic GC only runs at zero.
         self._in_op = 0
+        self._bind_hot()
 
         from repro import obs  # late: repro.__init__ imports core first
 
@@ -186,10 +206,6 @@ class BBDDManager(DDManager):
     # ------------------------------------------------------------------
     # identifiers and variables
     # ------------------------------------------------------------------
-
-    def _next_uid(self) -> int:
-        self._uid += 1
-        return self._uid
 
     @property
     def num_vars(self) -> int:
@@ -247,11 +263,85 @@ class BBDDManager(DDManager):
             out.append((self._names[pv], "1" if sv == SV_ONE else self._names[sv]))
         return out
 
-    def _root_position(self, node: BBDDNode) -> int:
+    def _root_position(self, node: int) -> int:
         """Position of a node's root couple; the sink sorts below everything."""
-        if node.is_sink:
+        if node == SINK:
             return len(self._names)
-        return self._order.position(node.pv)
+        return self._order.position(self._pv[node])
+
+    # ------------------------------------------------------------------
+    # node views and field access
+    # ------------------------------------------------------------------
+
+    @property
+    def sink(self) -> BBDDNode:
+        """Read-only view of the sink node (debug/render surface)."""
+        return self.node_view(SINK)
+
+    def node_view(self, index: int) -> BBDDNode:
+        """The interned read-only view of node ``index``.
+
+        Repeated calls return the same object, so identity checks on
+        ``Function.node`` handles keep working across operations (slots
+        are index-stable until swept; sweeping drops the view).
+        """
+        views = self._views
+        view = views.get(index)
+        if view is None:
+            view = views[index] = BBDDNode(self, index)
+        return view
+
+    def node_fields(self, index: int):
+        """``(pv, sv, neq_edge, eq_edge)`` of one slot (io/debug helper)."""
+        return (
+            self._pv[index],
+            self._sv[index],
+            self._neq[index],
+            self._eq[index],
+        )
+
+    def _node_key(self, index: int):
+        """The unique-table key of a stored slot (derived, not stored)."""
+        if self._sv[index] == SV_ONE:
+            return (self._pv[index], SV_ONE)
+        return (
+            self._pv[index],
+            self._sv[index],
+            self._neq[index],
+            self._eq[index],
+        )
+
+    # ------------------------------------------------------------------
+    # signed-int edge protocol (repro.api hooks)
+    # ------------------------------------------------------------------
+
+    def edge_node(self, edge: Edge) -> BBDDNode:
+        return self.node_view(-edge if edge < 0 else edge)
+
+    def edge_attr(self, edge: Edge) -> bool:
+        return edge < 0
+
+    def node_edge(self, node) -> Edge:
+        """Regular edge onto ``node`` (an index or a view)."""
+        return node if isinstance(node, int) else node.index
+
+    def negate_edge(self, edge: Edge) -> Edge:
+        return -edge
+
+    def edge_is_sink(self, edge: Edge) -> bool:
+        return edge == 1 or edge == -1
+
+    def edge_is_false(self, edge: Edge) -> bool:
+        return edge == -1
+
+    def edge_uid(self, edge: Edge) -> Edge:
+        return edge
+
+    def acquire_edge(self, edge: Edge) -> None:
+        self._ref_index(-edge if edge < 0 else edge)
+
+    def release_edge(self, edge: Edge) -> None:
+        self._deref_index(-edge if edge < 0 else edge)
 
     # ------------------------------------------------------------------
     # terminal edges and literals
@@ -259,26 +349,42 @@ class BBDDManager(DDManager):
 
     @property
     def true_edge(self) -> Edge:
-        return (self.sink, False)
+        return 1
 
     @property
     def false_edge(self) -> Edge:
-        return (self.sink, True)
+        return -1
 
-    def literal_node(self, var: int) -> BBDDNode:
-        """The R4 literal node for ``var`` (created on demand).
+    def literal_node(self, var: int) -> int:
+        """The R4 literal node index for ``var`` (created on demand).
 
         Like every node, a fresh literal is born dead (count zero, no
         child references); acquiring it references the sink twice.
         """
         node = self._literals.get(var)
         if node is None:
-            node = BBDDNode(var, SV_ONE, self.sink, True, self.sink, self._next_uid())
-            node.floating = True
-            self.sink.ref += 2  # birth holds both (sink) children
-            node.tkey = node.key()
+            free = self._free_nodes
+            if free:
+                node = free.pop()
+                self._pv[node] = var
+                self._sv[node] = SV_ONE
+                self._neq[node] = -SINK
+                self._eq[node] = SINK
+                self._ref[node] = 0
+                self._supp[node] = self._var_bits[var]
+            else:
+                node = len(self._pv)
+                self._pv.append(var)
+                self._sv.append(SV_ONE)
+                self._neq.append(-SINK)
+                self._eq.append(SINK)
+                self._ref.append(0)
+                self._supp.append(self._var_bits[var])
+                self._float.append(0)
+            self._float[node] = 1
+            self._ref[SINK] += 2  # birth holds both (sink) children
             self._literals[var] = node
-            self._unique.insert(node.tkey, node)
+            self._uniq_raw[(var, SV_ONE)] = node
             self._node_count += 1
             self._dead_set.add(node)
             if self._node_count > self.peak_nodes:
@@ -287,7 +393,8 @@ class BBDDManager(DDManager):
 
     def literal_edge(self, var: Union[int, str], positive: bool = True) -> Edge:
         index = self.var_index(var)
-        return (self.literal_node(index), not positive)
+        node = self.literal_node(index)
+        return node if positive else -node
 
     # ------------------------------------------------------------------
     # canonical node construction (rules R1, R2, R4 + normalization)
@@ -302,16 +409,46 @@ class BBDDManager(DDManager):
         ``t = 1`` / ``t = 0``.  Two equal views denote equal functions
         (children are canonical), which is what the reduction test needs.
         """
-        node, attr = edge
-        if node.sv == SV_ONE:
-            return ("const", bool(value) ^ attr)
-        neq_edge = (node.neq, node.neq_attr ^ attr)
-        eq_edge = (node.eq, attr)
+        node = -edge if edge < 0 else edge
+        if self._sv[node] == SV_ONE:
+            return ("const", bool(value) ^ (edge < 0))
+        neq = self._neq[node]
+        eq = self._eq[node]
+        if edge < 0:
+            neq = -neq
+            eq = -eq
         if value == 0:
-            return (node.sv, neq_edge, eq_edge)
-        return (node.sv, eq_edge, neq_edge)
+            return (self._sv[node], neq, eq)
+        return (self._sv[node], eq, neq)
 
-    def _make(self, pv: int, sv: int, d: Edge, e: Edge) -> Edge:
+    def _bind_hot(self) -> None:
+        """(Re)bind the allocation hot-path tuple.
+
+        ``_make`` runs hundreds of thousands of times per sift; one
+        attribute load plus a tuple unpack replaces ~15 separate
+        ``self._X`` loads per call.  The referenced containers are only
+        ever mutated in place — rebinding happens solely here (from
+        ``__init__`` and ``_restore``).
+        """
+        self._hot = (
+            self._pv,
+            self._sv,
+            self._neq,
+            self._eq,
+            self._ref,
+            self._float,
+            self._supp,
+            self._var_bits,
+            self._uniq_raw,
+            self._free_nodes,
+            self._dead_set,
+            self._by_pv,
+            self._by_sv,
+        )
+
+    def _make(
+        self, pv: int, sv: int, d: Edge, e: Edge, _probed: bool = False
+    ) -> Edge:
         """Get-or-create the node ``(pv, sv, !=-child d, =-child e)``.
 
         Applies the reduction rules of Sec. III-C under the support-chained
@@ -322,109 +459,148 @@ class BBDDManager(DDManager):
         * SV-elimination — if the candidate function does not actually
           depend on ``sv`` (both children rooted at ``sv`` and
           ``d|sv=0 == e|sv=1`` and ``e|sv=0 == d|sv=1``), the couple
-          re-chains past ``sv`` (iterated in place; rule R4 —
+        re-chains past ``sv`` (iterated in place; rule R4 —
           single-variable degeneration to a literal node — is the
           terminal case of this cascade);
         * ``=``-edge regularity normalization, then unique-table
           resolution (R1 / strong canonical form).
+
+        ``_probed`` marks a call whose normalized key was already probed
+        against the unique table (and missed) by the caller — the
+        reordering hot loops — so the first-iteration probe is skipped.
         """
+        (
+            pvl,
+            svl,
+            neql,
+            eql,
+            refl,
+            fl,
+            suppl,
+            bits,
+            raw,
+            free,
+            dead_set,
+            by_pv,
+            by_sv,
+        ) = self._hot
+        unique = self._unique
+        attr = False
         while True:
-            dn, da = d
-            en, ea = e
-            if dn is en and da == ea:
-                return e  # R2
+            if d == e:
+                return -e if attr else e  # R2
             if sv == SV_ONE:
                 # Boundary: no further support variable; children are
                 # constants and the node degenerates to the literal of pv.
-                if not (dn.is_sink and en.is_sink):
+                dn = -d if d < 0 else d
+                en = -e if e < 0 else e
+                if dn != SINK or en != SINK:
                     raise BBDDError("boundary-couple children must be constants")
-                return (self.literal_node(pv), ea)
-            if dn.pv == sv and en.pv == sv and not dn.is_sink and not en.is_sink:
+                lit = self.literal_node(pv)
+                return -lit if (e < 0) ^ attr else lit
+            if e < 0:
+                # Normalize: =-edges are stored regular; complement both
+                # children and track a complemented external edge.
+                attr = not attr
+                d = -d
+                e = -e
+            # Resolve against the unique table *before* the reduction
+            # cascade: a stored key is canonical, hence never reducible,
+            # so a hit short-circuits the (comparatively expensive)
+            # SV-elimination test — the common case under CVO swaps.
+            key = (pv, sv, d, e)
+            if _probed:
+                _probed = False  # only the caller's first key was probed
+            else:
+                unique._lookups += 1
+                node = raw.get(key)
+                if node is not None:
+                    unique._hits += 1
+                    return -node if attr else node
+            # Miss: the candidate may still reduce.
+            dn = -d if d < 0 else d
+            if dn != SINK and e != SINK and pvl[dn] == sv and pvl[e] == sv:
                 # Both children rooted at sv: the candidate may not depend
                 # on sv at all, in which case the chain skips it (R3/R4).
-                if self._shannon_view(d, sv, 0) == self._shannon_view(e, sv, 1) and (
-                    self._shannon_view(e, sv, 0) == self._shannon_view(d, sv, 1)
-                ):
-                    if dn.sv == SV_ONE:
-                        # d = lit(sv)^da, e = lit(sv)^~da: rule R4 proper.
-                        return (self.literal_node(pv), ea)
-                    # Re-chain: f = (pv = t) ? A : B with A/B = d's children.
-                    sv = dn.sv
-                    d, e = (dn.eq, da), (dn.neq, dn.neq_attr ^ da)
-                    continue
+                # This is `_shannon_view(d)|0 == _shannon_view(e)|1` (and
+                # the cross check) unfolded into field comparisons; with
+                # `e` regular only `d`'s fields need complement folding.
+                sd = svl[dn]
+                if sd == svl[e]:
+                    if sd == SV_ONE:
+                        # Children are +-lit(sv); d = e was caught above,
+                        # so d = -lit, e = +lit: rule R4 proper.
+                        lit = self.literal_node(pv)
+                        return -lit if attr else lit
+                    if d < 0:
+                        dneq = -neql[dn]
+                        deq = -eql[dn]
+                    else:
+                        dneq = neql[dn]
+                        deq = eql[dn]
+                    if dneq == eql[e] and deq == neql[e]:
+                        # Re-chain: f = (pv = t) ? A : B with A/B = d's
+                        # children.
+                        sv = sd
+                        d = deq
+                        e = dneq
+                        continue
             break
-        attr = False
-        if ea:
-            # Normalize: =-edges are stored regular; complement both
-            # children and return a complemented external edge.
-            attr = True
-            da = not da
-        key = (pv, sv, dn.uid, da, en.uid)
-        unique = self._unique
-        raw = self._uniq_raw
-        if raw is not None:
-            unique._lookups += 1
-            node = raw.get(key)
-            if node is not None:
-                unique._hits += 1
+        supp = bits[pv] | bits[sv] | suppl[dn] | suppl[e]
+        if free:
+            # Recycle a swept slot: no array growth, fresh identity.
+            node = free.pop()
+            pvl[node] = pv
+            svl[node] = sv
+            neql[node] = d
+            eql[node] = e
+            refl[node] = 0
+            suppl[node] = supp
         else:
-            node = unique.lookup(key)
-        if node is None:
-            uid = self._uid + 1
-            self._uid = uid
-            free = self._free_nodes
-            if free:
-                # Recycle a swept shell: no allocation, fresh identity.
-                node = free.pop()
-                node.pv = pv
-                node.sv = sv
-                node.neq = dn
-                node.neq_attr = da
-                node.eq = en
-                node.ref = 0
-                node.uid = uid
-            else:
-                node = BBDDNode(pv, sv, dn, da, en, uid)
-            node.floating = True
-            bits = self._var_bits
-            node.supp = bits[pv] | bits[sv] | dn.supp | en.supp
-            node.tkey = key
-            if raw is not None:
-                raw[key] = node
-            else:
-                unique.insert(key, node)
-            # Birth acquires both children (floating children resolve in
-            # O(1); a once-dead child needs a full revive).
-            if dn.ref:
-                dn.ref += 1
-            elif dn.floating:
-                dn.floating = False
-                dn.ref = 1
-                self._dead_set.discard(dn)
-            else:
-                self._ref_node(dn)
-            if en.ref:
-                en.ref += 1
-            elif en.floating:
-                en.floating = False
-                en.ref = 1
-                self._dead_set.discard(en)
-            else:
-                self._ref_node(en)
-            self._by_pv[pv].add(node)
-            self._by_sv[sv].add(node)
-            self._node_count += 1
-            self._dead_set.add(node)
-            if self._node_count > self.peak_nodes:
-                self.peak_nodes = self._node_count
-        return (node, attr)
+            node = len(pvl)
+            pvl.append(pv)
+            svl.append(sv)
+            neql.append(d)
+            eql.append(e)
+            refl.append(0)
+            suppl.append(supp)
+            fl.append(0)
+        fl[node] = 1
+        raw[key] = node
+        # Birth acquires both children (floating children resolve in
+        # O(1); a once-dead child needs a full revive).
+        r = refl[dn]
+        if r:
+            refl[dn] = r + 1
+        elif fl[dn]:
+            fl[dn] = 0
+            refl[dn] = 1
+            dead_set.discard(dn)
+        else:
+            self._ref_index(dn)
+        r = refl[e]
+        if r:
+            refl[e] = r + 1
+        elif fl[e]:
+            fl[e] = 0
+            refl[e] = 1
+            dead_set.discard(e)
+        else:
+            self._ref_index(e)
+        by_pv[pv].add(node)
+        by_sv[sv].add(node)
+        self._node_count += 1
+        dead_set.add(node)
+        if self._node_count > self.peak_nodes:
+            self.peak_nodes = self._node_count
+        return -node if attr else node
 
     # ------------------------------------------------------------------
     # biconditional cofactors (includes Algorithm 1's chain transform)
     # ------------------------------------------------------------------
 
-    def _cofactors(self, node: BBDDNode, v: int, w: int) -> Tuple[Edge, Edge]:
-        """``(f_neq, f_eq)`` of ``node`` w.r.t. the couple ``(v, w)``.
+    def _cofactors(self, node: int, v: int, w: int):
+        """``(f_neq, f_eq)`` of ``node`` (a positive index) w.r.t. ``(v, w)``.
 
         Four cases (Algorithm 1's chain transform, generalized to the
         support-chained CVO):
@@ -438,18 +614,18 @@ class BBDDManager(DDManager):
           ``f(v <- w') = (w = w2 ? d : e)``, ``f(v <- w) = (w != w2 ? d : e)``;
         * the literal ``lit(v)`` — cofactors ``~lit(w)`` / ``lit(w)``.
         """
-        if node.pv != v:
-            return (node, False), (node, False)
-        if node.sv == SV_ONE:
+        if self._pv[node] != v:
+            return node, node
+        if self._sv[node] == SV_ONE:
             lw = self.literal_node(w)
-            return (lw, True), (lw, False)
-        if node.sv == w:
-            return (node.neq, node.neq_attr), (node.eq, False)
-        d_edge = (node.neq, node.neq_attr)
-        e_edge = (node.eq, False)
+            return -lw, lw
+        if self._sv[node] == w:
+            return self._neq[node], self._eq[node]
+        d_edge = self._neq[node]
+        e_edge = self._eq[node]
         return (
-            self._make(w, node.sv, e_edge, d_edge),
-            self._make(w, node.sv, d_edge, e_edge),
+            self._make(w, self._sv[node], e_edge, d_edge),
+            self._make(w, self._sv[node], d_edge, e_edge),
         )
 
     # ------------------------------------------------------------------
@@ -465,19 +641,19 @@ class BBDDManager(DDManager):
         automatic GC may run after the result is computed (the result
         itself is protected).
         """
-        fn, fa = f
-        if fa:
+        if f < 0:
             op = flip_a(op)
-        gn, ga = g
-        if ga:
+            f = -f
+        if g < 0:
             op = flip_b(op)
+            g = -g
         self.apply_calls += 1
         traced = self._trace_state.enabled
         if traced:
             start = perf_counter()
         self._in_op += 1
         try:
-            result = self._apply(fn, gn, op)
+            result = self._apply(f, g, op)
         finally:
             self._in_op -= 1
         if traced:
@@ -490,20 +666,21 @@ class BBDDManager(DDManager):
     def apply_named(self, f: Edge, g: Edge, name: str) -> Edge:
         return self.apply_edges(f, g, op_from_name(name))
 
-    def _apply(self, fn: BBDDNode, gn: BBDDNode, op: int) -> Edge:
+    def _apply(self, fn: int, gn: int, op: int) -> Edge:
         """Iterative Algorithm 1 over an explicit pending-frame stack.
 
-        Frames are ``(_CALL, fn, gn, op, 0)`` (expand an operand pair) or
-        ``(_COMBINE, v, w, key, neg)`` (build the node once both cofactor
-        results sit on the value stack).  The ``=``-branch frame is
-        pushed last so it expands first, matching the recursive
+        Operands and results are attribute-free node indices / signed
+        edges.  Frames are ``(_CALL, fn, gn, op, 0)`` (expand an operand
+        pair) or ``(_COMBINE, v, w, key, neg)`` (build the node once both
+        cofactor results sit on the value stack).  The ``=``-branch frame
+        is pushed last so it expands first, matching the recursive
         formulation's evaluation order.
 
         Operators are normalized by **output polarity** (``op`` and
         ``~op`` share one cache entry and one expansion; the complement
-        rides on the result edge), which halves the work on XOR-rich
-        operand pairs where both polarities of a subproblem occur — the
-        complement attribute makes the negation free.
+        rides on the sign of the result edge), which halves the work on
+        XOR-rich operand pairs where both polarities of a subproblem
+        occur — the complement attribute makes the negation free.
         """
         position = self._order._position  # bound dict: hot-path lookups
         identity = self._order.is_identity
@@ -520,9 +697,11 @@ class BBDDManager(DDManager):
         n_lookups = 0
         n_hits = 0
         make = self._make
-        sink = self.sink
-        true_edge = (sink, False)
-        false_edge = (sink, True)
+        pvl = self._pv
+        svl = self._sv
+        neql = self._neq
+        eql = self._eq
+        suppl = self._supp
         names_len = len(self._names)
         results: List[Edge] = []
         rpush = results.append
@@ -537,10 +716,7 @@ class BBDDManager(DDManager):
                 e = rpop()
                 result = make(a, b, d, e)
                 insert(c, result)
-                if neg:
-                    rpush((result[0], not result[1]))
-                else:
-                    rpush(result)
+                rpush(-result if neg else result)
                 continue
             fn, gn, op = a, b, c
             # Output-polarity normalization: represent ~op as (op, neg).
@@ -548,14 +724,14 @@ class BBDDManager(DDManager):
             if neg:
                 op ^= 0xF
             # -- terminal cases (Alg. 1 alpha) -----------------------------
-            survivor = None
-            if fn is sink:
+            survivor = 0  # index 0 is never a node
+            if fn == SINK:
                 out = _RA1[op]
                 survivor = gn
-            elif gn is sink:
+            elif gn == SINK:
                 out = _RB1[op]
                 survivor = fn
-            elif fn is gn:
+            elif fn == gn:
                 out = _DIAG[op]
                 survivor = fn
             elif ((op >> 1) & 0b101) == (op & 0b101):  # independent of b
@@ -564,30 +740,27 @@ class BBDDManager(DDManager):
             elif ((op >> 2) & 0b11) == (op & 0b11):  # independent of a
                 out = _RA0[op]
                 survivor = gn
-            if survivor is not None:
+            if survivor:
                 out ^= neg
                 if out == _U_ID:
-                    rpush((survivor, False))
+                    rpush(survivor)
                 elif out == _U_NOT:
-                    rpush((survivor, True))
+                    rpush(-survivor)
                 elif out == _U_TRUE:
-                    rpush(true_edge)
+                    rpush(1)
                 else:
-                    rpush(false_edge)
+                    rpush(-1)
                 continue
 
             # -- computed table (Alg. 1 beta) ------------------------------
-            if gn.uid < fn.uid and ((op >> 1) & 1) == ((op >> 2) & 1):
+            if gn < fn and ((op >> 1) & 1) == ((op >> 2) & 1):
                 fn, gn = gn, fn
-            key = (fn.uid, gn.uid, op)
+            key = (fn, gn, op)
             n_lookups += 1
             cached = lookup(key)
             if cached is not None:
                 n_hits += 1
-                if neg:
-                    rpush((cached[0], not cached[1]))
-                else:
-                    rpush(cached)
+                rpush(-cached if neg else cached)
                 continue
 
             # -- terminal-substitution fast path ---------------------------
@@ -599,42 +772,38 @@ class BBDDManager(DDManager):
             # This is the shape of every incremental chain build
             # (f = f <op> next), e.g. the parity construction.
             if identity:
-                fs = fn.supp
-                gs = gn.supp
+                fs = suppl[fn]
+                gs = suppl[gn]
                 if fs.bit_length() < (gs & -gs).bit_length():
-                    if fn.sv != SV_ONE:  # literal roots use the generic path
+                    if svl[fn] != SV_ONE:  # literal roots use the generic path
                         result = self._splice(
                             fn, _RA1[op], _RA0[op], gn, op, True
                         )
                         insert(key, result)
-                        if neg:
-                            rpush((result[0], not result[1]))
-                        else:
-                            rpush(result)
+                        rpush(-result if neg else result)
                         continue
-                elif gs.bit_length() < (fs & -fs).bit_length() and gn.sv != SV_ONE:
+                elif gs.bit_length() < (fs & -fs).bit_length() and svl[gn] != SV_ONE:
                     result = self._splice(gn, _RB1[op], _RB0[op], fn, op, False)
                     insert(key, result)
-                    if neg:
-                        rpush((result[0], not result[1]))
-                    else:
-                        rpush(result)
+                    rpush(-result if neg else result)
                     continue
 
             # -- expansion step (Alg. 1 gamma) -----------------------------
             # Expansion couple: PV = earliest root variable; SV = earliest
             # following variable visible in either operand's structure (the
             # operand's own SV if rooted at v, its PV if rooted deeper).
-            pf = position[fn.pv]
-            pg = position[gn.pv]
-            v = fn.pv if pf <= pg else gn.pv
+            fpv = pvl[fn]
+            gpv = pvl[gn]
+            pf = position[fpv]
+            pg = position[gpv]
+            v = fpv if pf <= pg else gpv
             w = None
             w_pos = names_len + 1
-            cand = fn.sv if fn.pv == v else fn.pv
+            cand = svl[fn] if fpv == v else fpv
             if cand != SV_ONE:
                 w = cand
                 w_pos = position[cand]
-            cand = gn.sv if gn.pv == v else gn.pv
+            cand = svl[gn] if gpv == v else gpv
             if cand != SV_ONE:
                 cand_pos = position[cand]
                 if cand_pos < w_pos:
@@ -642,50 +811,52 @@ class BBDDManager(DDManager):
             if w is None:
                 raise BBDDError("no expansion SV: both operands literal at v")
             # Inlined biconditional cofactors (see _cofactors) for both
-            # operands; the subcall operators fold the edge attributes.
-            if fn.pv != v:
-                f_nq_n = f_eq_n = fn
-                f_nq_a = f_eq_a = False
-            elif fn.sv == SV_ONE:
+            # operands; the subcall operators fold the edge signs.
+            if fpv != v:
+                f_nq = f_eq = fn
+            elif svl[fn] == SV_ONE:
                 lw = self.literal_node(w)
-                f_nq_n = f_eq_n = lw
-                f_nq_a, f_eq_a = True, False
-            elif fn.sv == w:
-                f_nq_n, f_nq_a = fn.neq, fn.neq_attr
-                f_eq_n, f_eq_a = fn.eq, False
+                f_nq = -lw
+                f_eq = lw
+            elif svl[fn] == w:
+                f_nq = neql[fn]
+                f_eq = eql[fn]
             else:
-                d_edge = (fn.neq, fn.neq_attr)
-                e_edge = (fn.eq, False)
-                f_nq_n, f_nq_a = make(w, fn.sv, e_edge, d_edge)
-                f_eq_n, f_eq_a = make(w, fn.sv, d_edge, e_edge)
-            if gn.pv != v:
-                g_nq_n = g_eq_n = gn
-                g_nq_a = g_eq_a = False
-            elif gn.sv == SV_ONE:
+                d_edge = neql[fn]
+                e_edge = eql[fn]
+                f_nq = make(w, svl[fn], e_edge, d_edge)
+                f_eq = make(w, svl[fn], d_edge, e_edge)
+            if gpv != v:
+                g_nq = g_eq = gn
+            elif svl[gn] == SV_ONE:
                 lw = self.literal_node(w)
-                g_nq_n = g_eq_n = lw
-                g_nq_a, g_eq_a = True, False
-            elif gn.sv == w:
-                g_nq_n, g_nq_a = gn.neq, gn.neq_attr
-                g_eq_n, g_eq_a = gn.eq, False
+                g_nq = -lw
+                g_eq = lw
+            elif svl[gn] == w:
+                g_nq = neql[gn]
+                g_eq = eql[gn]
             else:
-                d_edge = (gn.neq, gn.neq_attr)
-                e_edge = (gn.eq, False)
-                g_nq_n, g_nq_a = make(w, gn.sv, e_edge, d_edge)
-                g_eq_n, g_eq_a = make(w, gn.sv, d_edge, e_edge)
+                d_edge = neql[gn]
+                e_edge = eql[gn]
+                g_nq = make(w, svl[gn], e_edge, d_edge)
+                g_eq = make(w, svl[gn], d_edge, e_edge)
             tpush((_COMBINE, v, w, key, neg))
             sub = op
-            if f_nq_a:
+            if f_nq < 0:
                 sub = ((sub & 0b0011) << 2) | ((sub & 0b1100) >> 2)  # flip_a
-            if g_nq_a:
+                f_nq = -f_nq
+            if g_nq < 0:
                 sub = ((sub & 0b0101) << 1) | ((sub & 0b1010) >> 1)  # flip_b
-            tpush((_CALL, f_nq_n, g_nq_n, sub, 0))
+                g_nq = -g_nq
+            tpush((_CALL, f_nq, g_nq, sub, 0))
             sub = op
-            if f_eq_a:
+            if f_eq < 0:
                 sub = ((sub & 0b0011) << 2) | ((sub & 0b1100) >> 2)
-            if g_eq_a:
+                f_eq = -f_eq
+            if g_eq < 0:
                 sub = ((sub & 0b0101) << 1) | ((sub & 0b1010) >> 1)
-            tpush((_CALL, f_eq_n, g_eq_n, sub, 0))
+                g_eq = -g_eq
+            tpush((_CALL, f_eq, g_eq, sub, 0))
         if raw is not None:
             cache.lookups += n_lookups
             cache.hits += n_hits
@@ -693,10 +864,10 @@ class BBDDManager(DDManager):
 
     def _splice(
         self,
-        root: BBDDNode,
+        root: int,
         out1: int,
         out0: int,
-        other: BBDDNode,
+        other: int,
         op: int,
         root_is_a: bool,
     ) -> Edge:
@@ -712,24 +883,30 @@ class BBDDManager(DDManager):
         When the two residues are complements of each other (XOR-shaped
         outcomes) the substitution commutes with complement, so the memo
         collapses to one entry per node and results are shared through
-        complement attributes.
+        the sign of the edges.
         """
-        sink = self.sink
         if out1 == _U_ID:
-            r1: Edge = (other, False)
+            r1: Edge = other
         elif out1 == _U_NOT:
-            r1 = (other, True)
+            r1 = -other
         else:
-            r1 = (sink, out1 == _U_FALSE)
+            r1 = -1 if out1 == _U_FALSE else 1
         if out0 == _U_ID:
-            r0: Edge = (other, False)
+            r0: Edge = other
         elif out0 == _U_NOT:
-            r0 = (other, True)
+            r0 = -other
         else:
-            r0 = (sink, out0 == _U_FALSE)
-        linear = r1[0] is r0[0]  # complement pair: F(~f) == ~F(f)
+            r0 = -1 if out0 == _U_FALSE else 1
+        linear = r1 == r0 or r1 == -r0  # complement pair: F(~f) == ~F(f)
         make = self._make
         apply_inner = self._apply
+        pvl = self._pv
+        svl = self._sv
+        neql = self._neq
+        eql = self._eq
+        refl = self._ref
+        fl = self._float
+        suppl = self._supp
         memo: Dict = {}
         memo_get = memo.get
         bits = self._var_bits
@@ -753,66 +930,70 @@ class BBDDManager(DDManager):
                 d = rpop()
                 e = rpop()
                 if linear:
-                    if node.neq_attr:
-                        d = (d[0], not d[1])
-                    result = make(node.pv, node.sv, d, e)
-                    memo[node.uid] = result
+                    if neql[node] < 0:
+                        d = -d
+                    result = make(pvl[node], svl[node], d, e)
+                    memo[node] = result
                 else:
-                    result = make(node.pv, node.sv, d, e)
-                    memo[(node.uid, attr)] = result
+                    result = make(pvl[node], svl[node], d, e)
+                    memo[(node, attr)] = result
                 rpush(result)
                 continue
             if tag == _UNWIND:
                 # ``node`` holds a trail of complement-pair chain nodes
                 # (root first); the value stack holds the tail result.
                 # The node constructor is inlined for the common case
-                # (no SV-elimination, dict unique backend) — this loop
-                # builds the bulk of every incremental chain step.
+                # (no SV-elimination) — this loop builds the bulk of
+                # every incremental chain step.
                 e = rpop()
                 for nd in reversed(node):
-                    en, ea = e
-                    sv = nd.sv
-                    if en.pv == sv or not nd.neq_attr or raw is None:
-                        # Possible reduction (or non-dict backend): take
-                        # the full canonical constructor.
-                        e = make(nd.pv, sv, (en, ea ^ nd.neq_attr), e)
-                        memo[nd.uid] = e
+                    en = -e if e < 0 else e
+                    sv = svl[nd]
+                    if pvl[en] == sv or neql[nd] > 0:
+                        # Possible reduction (or an irregular trail node):
+                        # take the full canonical constructor.
+                        d = -e if neql[nd] < 0 else e
+                        e = make(pvl[nd], sv, d, e)
+                        memo[nd] = e
                         continue
-                    pv = nd.pv
-                    # d = (en, ~ea), e = (en, ea); after =-edge
-                    # normalization the stored neq-attr is always True
-                    # and the external attr equals ea.
-                    key = (pv, sv, en.uid, True, en.uid)
+                    pv = pvl[nd]
+                    # d = -e, e = e; after =-edge normalization the
+                    # stored !=-edge is ``-en`` and the external attr
+                    # equals e's sign.
+                    key = (pv, sv, -en, en)
                     unique._lookups += 1
                     new = raw.get(key)
                     if new is None:
-                        uid = self._uid + 1
-                        self._uid = uid
+                        supp = bits[pv] | bits[sv] | suppl[en]
                         if free:
                             new = free.pop()
-                            new.pv = pv
-                            new.sv = sv
-                            new.neq = en
-                            new.neq_attr = True
-                            new.eq = en
-                            new.ref = 0
-                            new.uid = uid
+                            pvl[new] = pv
+                            svl[new] = sv
+                            neql[new] = -en
+                            eql[new] = en
+                            refl[new] = 0
+                            suppl[new] = supp
                         else:
-                            new = BBDDNode(pv, sv, en, True, en, uid)
-                        new.floating = True
-                        new.supp = bits[pv] | bits[sv] | en.supp
-                        new.tkey = key
+                            new = len(pvl)
+                            pvl.append(pv)
+                            svl.append(sv)
+                            neql.append(-en)
+                            eql.append(en)
+                            refl.append(0)
+                            suppl.append(supp)
+                            fl.append(0)
+                        fl[new] = 1
                         raw[key] = new
-                        r = en.ref
+                        r = refl[en]
                         if r:
-                            en.ref = r + 2
-                        elif en.floating:
-                            en.floating = False
-                            en.ref = 2
+                            refl[en] = r + 2
+                        elif fl[en]:
+                            fl[en] = 0
+                            refl[en] = 2
                             dead_discard(en)
                         else:
-                            self._ref_node(en)
-                            en.ref += 1
+                            self._ref_index(en)
+                            refl[en] += 1
                         by_pv[pv].add(new)
                         by_sv[sv].add(new)
                         nc = self._node_count + 1
@@ -822,17 +1003,14 @@ class BBDDManager(DDManager):
                             self.peak_nodes = nc
                     else:
                         unique._hits += 1
-                    e = (new, ea)
-                    memo[nd.uid] = e
+                    e = -new if e < 0 else new
+                    memo[nd] = e
                 rpush(e)
                 continue
-            if node is sink:
-                if attr:
-                    rpush(r0)
-                else:
-                    rpush(r1)
+            if node == SINK:
+                rpush(r0 if attr else r1)
                 continue
-            if node.sv == SV_ONE:
+            if svl[node] == SV_ONE:
                 # Bottom-of-chain literal: its couple partner lives in the
                 # other operand — delegate to the generic expansion.  An
                 # incoming complement flips the terminal *before* the
@@ -850,13 +1028,15 @@ class BBDDManager(DDManager):
             # In linear mode every frame carries attr == False (the root
             # is a bare operand and all linear pushes below use False);
             # complements are folded at the combine sites instead.
-            mk = node.uid if linear else (node.uid, attr)
-            hit = memo.get(mk)
+            mk = node if linear else (node, attr)
+            hit = memo_get(mk)
             if hit is not None:
                 rpush(hit)
                 continue
             if linear:
-                if node.neq is node.eq:
+                d_child = neql[node]
+                e_child = eql[node]
+                if -d_child == e_child:
                     # Complement-pair children (e.g. any XOR chain): one
                     # child visit suffices (the d-branch is its negation),
                     # and because =-edges are regular the whole descent is
@@ -864,28 +1044,34 @@ class BBDDManager(DDManager):
                     # trail and unwind it bottom-up.
                     trail = [node]
                     tappend = trail.append
-                    memo_get = memo.get
-                    nd = node.eq
+                    nd = e_child
                     while True:
-                        if nd is sink or nd.sv == SV_ONE:
+                        if nd == SINK or svl[nd] == SV_ONE:
                             break
-                        hit = memo_get(nd.uid)
+                        hit = memo_get(nd)
                         if hit is not None:
                             break
-                        if nd.neq is not nd.eq:
+                        if -neql[nd] != eql[nd]:
                             break
                         tappend(nd)
-                        nd = nd.eq
+                        nd = eql[nd]
                     tpush((_UNWIND, trail, False))
                     tpush((_CALL, nd, False))
                 else:
                     tpush((_COMBINE, node, attr))
-                    tpush((_CALL, node.neq, False))
-                    tpush((_CALL, node.eq, False))
+                    tpush((_CALL, -d_child if d_child < 0 else d_child, False))
+                    tpush((_CALL, e_child, False))
             else:
+                d_child = neql[node]
                 tpush((_COMBINE, node, attr))
-                tpush((_CALL, node.neq, attr ^ node.neq_attr))
-                tpush((_CALL, node.eq, attr))
+                tpush(
+                    (
+                        _CALL,
+                        -d_child if d_child < 0 else d_child,
+                        attr ^ (d_child < 0),
+                    )
+                )
+                tpush((_CALL, eql[node], attr))
         return results[-1]
 
     # Convenience edge-level operations used across the package.
@@ -901,7 +1087,7 @@ class BBDDManager(DDManager):
 
     @staticmethod
     def not_edge(f: Edge) -> Edge:
-        return (f[0], not f[1])
+        return -f
 
     # ------------------------------------------------------------------
     # uniform DD protocol (repro.api) — derived ops and semantics
@@ -943,15 +1129,16 @@ class BBDDManager(DDManager):
     def evaluate_edge(self, edge: Edge, values: Dict[int, bool]) -> bool:
         from repro.core import traversal as _trav
 
-        return _trav.evaluate(edge, values)
+        return _trav.evaluate(self, edge, values)
 
     def batch_stream(self, edge: Edge):
         """Top-down level stream for the batch cohort sweeps (repro.serve)."""
         from repro.core import traversal as _trav
 
-        if edge[0].is_sink:
+        if edge == 1 or edge == -1:
             return None
-        return (edge[0], _trav.iter_cohort_items(self, edge))
+        root = -edge if edge < 0 else edge
+        return (root, _trav.iter_cohort_items(self, edge))
 
     def sat_count_edge(self, edge: Edge) -> int:
         from repro.core import traversal as _trav
@@ -989,12 +1176,12 @@ class BBDDManager(DDManager):
 
         Under the support-chained CVO this is the root couple's PV.
         """
-        return edge[0].pv
+        return self._pv[-edge if edge < 0 else edge]
 
     def count_nodes(self, edges: Iterable[Edge]) -> int:
         from repro.core import traversal as _trav
 
-        return _trav.count_nodes(edges)
+        return _trav.count_nodes(self, edges)
 
     def sift(self, **kwargs):
         """Reorder variables with Rudell's sifting (see repro.core.reorder)."""
@@ -1007,9 +1194,9 @@ class BBDDManager(DDManager):
     # ------------------------------------------------------------------
     #
     # Reference counts are *cascading*: a live node holds one count on
-    # each child, a dead node holds none.  ``_ref_node`` therefore
+    # each child, a dead node holds none.  ``_ref_index`` therefore
     # revives a dead subgraph (re-acquiring child counts) and
-    # ``_deref_node`` releases one (dropping them), keeping ``_dead``
+    # ``_deref_index`` releases one (dropping them), keeping ``_dead``
     # exact without any scan.
 
     def size(self) -> int:
@@ -1022,69 +1209,90 @@ class BBDDManager(DDManager):
 
     def _scan_dead(self) -> int:
         """O(n) recount of dead nodes (invariant checking / debugging)."""
-        return sum(1 for n in self._unique.values() if n.ref == 0)
+        refl = self._ref
+        return sum(1 for n in self._uniq_raw.values() if refl[n] == 0)
 
-    def _ref_node(self, node: BBDDNode) -> None:
-        """Acquire one reference.
+    def _ref_index(self, node: int) -> None:
+        """Acquire one reference on a node index.
 
         A floating node (fresh, still holding its birth counts on the
         children) resolves in O(1); a node that once died released its
         child counts, so reviving it re-acquires the subgraph (cascade).
         """
-        if node.ref < 0:
-            raise BBDDError(f"use after sweep: {node!r}")
-        if node.ref == 0 and node is not self.sink:
+        refl = self._ref
+        r = refl[node]
+        if r < 0:
+            raise BBDDError(f"use after sweep: node {node}")
+        if r == 0 and node != SINK:
+            fl = self._float
+            neql = self._neq
+            eql = self._eq
             discard = self._dead_set.discard
             discard(node)
-            node.ref = 1
-            if node.floating:
-                node.floating = False
+            refl[node] = 1
+            if fl[node]:
+                fl[node] = 0
                 return
-            sink = self.sink
-            stack = [node.neq, node.eq]
+            d = neql[node]
+            stack = [-d if d < 0 else d, eql[node]]
             while stack:
                 n = stack.pop()
-                if n.ref == 0 and n is not sink:
+                if refl[n] == 0 and n != SINK:
                     discard(n)
-                    n.ref = 1
-                    if n.floating:
-                        n.floating = False
+                    refl[n] = 1
+                    if fl[n]:
+                        fl[n] = 0
                     else:
-                        stack.append(n.neq)
-                        stack.append(n.eq)
+                        d = neql[n]
+                        stack.append(-d if d < 0 else d)
+                        stack.append(eql[n])
                 else:
-                    n.ref += 1
+                    refl[n] += 1
         else:
-            node.ref += 1
+            refl[node] = r + 1
 
-    def _deref_node(self, node: BBDDNode) -> None:
+    def _deref_index(self, node: int) -> None:
         """Release one reference; a dying node releases its children."""
-        node.ref -= 1
-        if node.ref == 0 and node is not self.sink:
+        refl = self._ref
+        r = refl[node] - 1
+        refl[node] = r
+        if r == 0 and node != SINK:
             add = self._dead_set.add
-            sink = self.sink
+            neql = self._neq
+            eql = self._eq
             add(node)
-            stack = [node.neq, node.eq]
+            d = neql[node]
+            stack = [-d if d < 0 else d, eql[node]]
             while stack:
                 n = stack.pop()
-                n.ref -= 1
-                if n.ref == 0 and n is not sink:
+                r = refl[n] - 1
+                refl[n] = r
+                if r == 0 and n != SINK:
                     add(n)
-                    stack.append(n.neq)
-                    stack.append(n.eq)
+                    d = neql[n]
+                    stack.append(-d if d < 0 else d)
+                    stack.append(eql[n])
+
+    # Back-compat node-handle hooks: accept an index or a BBDDNode view.
+
+    def _ref_node(self, node) -> None:
+        self._ref_index(node if isinstance(node, int) else node.index)
+
+    def _deref_node(self, node) -> None:
+        self._deref_index(node if isinstance(node, int) else node.index)
 
     def inc_ref(self, edge: Edge) -> None:
-        self._ref_node(edge[0])
+        self._ref_index(-edge if edge < 0 else edge)
 
     def dec_ref(self, edge: Edge) -> None:
-        self._deref_node(edge[0])
+        self._deref_index(-edge if edge < 0 else edge)
         self._maybe_gc()
 
-    def acquire_ref(self, node: BBDDNode) -> None:
+    def acquire_ref(self, node) -> None:
         """Function-handle hook: acquire one reference on ``node``."""
-        self._ref_node(node)
+        self._ref_index(node if isinstance(node, int) else node.index)
 
-    def release_ref(self, node: BBDDNode) -> None:
+    def release_ref(self, node) -> None:
         """Function-handle hook: drop one reference (mark-only).
 
         Deliberately does **not** run the collector: handle releases can
@@ -1093,7 +1301,7 @@ class BBDDManager(DDManager):
         so ``__del__`` only accounts the garbage; the armed collection
         runs at the next operation boundary, where results are protected.
         """
-        self._deref_node(node)
+        self._deref_index(node if isinstance(node, int) else node.index)
 
     def defer_gc(self) -> _GCDeferral:
         """Suspend automatic GC for a block holding bare edges.
@@ -1101,7 +1309,7 @@ class BBDDManager(DDManager):
         Re-entrant.  An armed collection does not run on exit (the block
         may return bare edges); it happens at the next operation
         boundary instead.  Use around any code that keeps unreferenced
-        ``(node, attr)`` tuples live across several manager operations.
+        signed-int edges live across several manager operations.
         """
         return _GCDeferral(self)
 
@@ -1122,18 +1330,76 @@ class BBDDManager(DDManager):
         """Auto-GC check that keeps ``edge`` (a fresh result) alive."""
         if not self.auto_gc or self._in_op or not self._gc_armed():
             return
-        node = edge[0]
-        self._ref_node(node)
+        node = -edge if edge < 0 else edge
+        self._ref_index(node)
         try:
             self.auto_gc_runs += 1
             self.gc()
         finally:
             # Drop the protection without a death cascade: the node still
             # holds its child counts, i.e. it goes back to floating.
-            node.ref -= 1
-            if node.ref == 0 and node is not self.sink:
-                node.floating = True
+            refl = self._ref
+            refl[node] -= 1
+            if refl[node] == 0 and node != SINK:
+                self._float[node] = 1
                 self._dead_set.add(node)
+
+    def _checkpoint(self):
+        """Snapshot the complete node-store state (O(stored nodes)).
+
+        Everything a CVO swap mutates is captured: the parallel field
+        arrays, the unique table, the per-variable indexes, the free
+        list, the dead set and the variable order.  Monotone counters
+        (peak, gc/apply statistics) and the computed table (cleared on
+        every swap anyway) are deliberately left out.  Used by the
+        sifting driver to rewind excursions instead of retracing them
+        swap by swap; a state may be restored more than once.
+        """
+        return (
+            self._pv[:],
+            self._sv[:],
+            self._neq[:],
+            self._eq[:],
+            self._ref[:],
+            self._supp[:],
+            bytes(self._float),
+            dict(self._uniq_raw),
+            {v: set(s) for v, s in self._by_pv.items()},
+            {v: set(s) for v, s in self._by_sv.items()},
+            dict(self._literals),
+            list(self._free_nodes),
+            set(self._dead_set),
+            self._node_count,
+            self._order.order,
+        )
+
+    def _restore(self, state) -> None:
+        """Rewind the node store to a :meth:`_checkpoint` snapshot."""
+        (pv, sv, neq, eq, ref, supp, float_, raw, by_pv, by_sv, literals,
+         free, dead, node_count, order) = state
+        self._pv = list(pv)
+        self._sv = list(sv)
+        self._neq = list(neq)
+        self._eq = list(eq)
+        self._ref = list(ref)
+        self._supp = list(supp)
+        self._float = bytearray(float_)
+        # The raw dict is aliased by the unique-table wrapper: refill it
+        # in place so ``self._uniq_raw is self._unique._table`` holds.
+        self._uniq_raw.clear()
+        self._uniq_raw.update(raw)
+        self._by_pv = {v: set(s) for v, s in by_pv.items()}
+        self._by_sv = {v: set(s) for v, s in by_sv.items()}
+        self._literals = dict(literals)
+        self._free_nodes = list(free)
+        self._dead_set = set(dead)
+        self._node_count = node_count
+        self._order.set_order(order)
+        self._bind_hot()
+        # Cached results and interned views may reference slots that only
+        # exist on the abandoned timeline.
+        self._cache.clear()
+        self._views.clear()
 
     def gc(self) -> int:
         """Sweep dead nodes and clear the computed table.
@@ -1141,49 +1407,54 @@ class BBDDManager(DDManager):
         Returns the number of reclaimed nodes.  Dead nodes hold no child
         references and are tracked in an explicit set (cascading counts),
         so the sweep touches only the garbage — no unique-table scan.
-        The computed table must be cleared because its entries hold bare
-        pointers that are only valid while the pointed nodes stay
-        canonical residents of the unique table.
+        Swept slots are pooled for reuse by ``_make`` (array slots cannot
+        be returned to the interpreter individually, so the free list is
+        what keeps the arrays dense).  The computed table must be cleared
+        because its entries hold bare indices that are only valid while
+        the pointed nodes stay canonical residents of the unique table.
         """
         self._cache.clear()
         dead = self._dead_set
         raw = self._uniq_raw
-        delete = raw.__delitem__ if raw is not None else self._unique.delete
-        sink = self.sink
-        free = self._free_nodes
-        pool = free.append
+        pvl = self._pv
+        svl = self._sv
+        neql = self._neq
+        eql = self._eq
+        refl = self._ref
+        fl = self._float
+        pool = self._free_nodes.append
+        views = self._views
         reclaimed = 0
         while dead:
             node = dead.pop()
-            node.ref = -1  # tombstone: catches use-after-sweep
-            delete(node.tkey)
+            refl[node] = -1  # tombstone: catches use-after-sweep
             reclaimed += 1
-            if node.sv == SV_ONE:
-                del self._literals[node.pv]
-                if node.floating:
-                    sink.ref -= 2
+            pool(node)
+            views.pop(node, None)
+            if svl[node] == SV_ONE:
+                del raw[(pvl[node], SV_ONE)]
+                del self._literals[pvl[node]]
+                if fl[node]:
+                    refl[SINK] -= 2
+                fl[node] = 0
                 continue
-            self._by_pv[node.pv].discard(node)
-            self._by_sv[node.sv].discard(node)
-            if node.floating:
+            del raw[(pvl[node], svl[node], neql[node], eql[node])]
+            self._by_pv[pvl[node]].discard(node)
+            self._by_sv[svl[node]].discard(node)
+            if fl[node]:
                 # Unacquired garbage still holds its birth counts on the
                 # children — release them; newly dead children join the
                 # set and are reclaimed by this same loop.
-                self._deref_node(node.neq)
-                self._deref_node(node.eq)
-            pool(node)
-        if len(free) > _FREE_POOL_CAP:
-            for node in free:
-                node.neq = node.eq = None
-                node.supp = 0
-                node.tkey = None
-            del free[_FREE_POOL_CAP:]
+                fl[node] = 0
+                d = neql[node]
+                self._deref_index(-d if d < 0 else d)
+                self._deref_index(eql[node])
         self._node_count -= reclaimed
         self.gc_count += 1
         self.gc_reclaimed += reclaimed
         return reclaimed
 
-    def _sweep(self, node: BBDDNode) -> int:
+    def _sweep(self, node: int) -> int:
         """Reclaim the dead subgraph rooted at ``node`` (ref == 0).
 
         Child references were already dropped when the nodes died, so
@@ -1191,30 +1462,109 @@ class BBDDManager(DDManager):
         into dead children to reclaim whole subgraphs eagerly, which the
         reordering surgery relies on).
         """
+        return self._sweep_many((node,))
+
+    def _sweep_many(self, nodes) -> int:
+        """Reclaim the dead subgraphs rooted at each of ``nodes``.
+
+        Batch form of :meth:`_sweep` (one call per reordering phase
+        instead of one per dead root); entries that were already
+        reclaimed by an earlier cascade are skipped.
+        """
+        pvl = self._pv
+        svl = self._sv
+        neql = self._neq
+        eql = self._eq
+        refl = self._ref
+        fl = self._float
+        raw = self._uniq_raw
+        pool = self._free_nodes.append
+        views_pop = self._views.pop
+        dead_discard = self._dead_set.discard
+        by_pv = self._by_pv
+        by_sv = self._by_sv
+        deref = self._deref_index
         reclaimed = 0
-        stack = [node]
+        stack = list(nodes)
         while stack:
             n = stack.pop()
-            if n.ref != 0 or n.is_sink:
+            if n == SINK or refl[n] != 0:
                 continue
-            n.ref = -1  # tombstone: prevents double sweep
-            self._unique.delete(n.tkey)
-            self._node_count -= 1
-            self._dead_set.discard(n)
-            if n.is_literal:
-                del self._literals[n.pv]
-                if n.floating:
-                    self.sink.ref -= 2
+            refl[n] = -1  # tombstone: prevents double sweep
+            dead_discard(n)
+            pool(n)
+            views_pop(n, None)
+            if svl[n] == SV_ONE:
+                del raw[(pvl[n], SV_ONE)]
+                del self._literals[pvl[n]]
+                if fl[n]:
+                    refl[SINK] -= 2
+                fl[n] = 0
             else:
-                self._by_pv[n.pv].discard(n)
-                self._by_sv[n.sv].discard(n)
-                if n.floating:
+                del raw[(pvl[n], svl[n], neql[n], eql[n])]
+                by_pv[pvl[n]].discard(n)
+                by_sv[svl[n]].discard(n)
+                d = neql[n]
+                dn = -d if d < 0 else d
+                if fl[n]:
                     # Unacquired garbage: release the birth counts first.
-                    self._deref_node(n.neq)
-                    self._deref_node(n.eq)
-                stack.append(n.neq)
-                stack.append(n.eq)
+                    fl[n] = 0
+                    deref(dn)
+                    deref(eql[n])
+                stack.append(dn)
+                stack.append(eql[n])
             reclaimed += 1
+        self._node_count -= reclaimed
+        return reclaimed
+
+    def _kill_many(self, nodes) -> int:
+        """Release-and-reclaim once-live subgraphs in one walk.
+
+        Reordering-phase fast path: each entry carries one *deferred*
+        final release (the caller saw its count at 1 and did not
+        decrement).  The walk applies the decrement and, when a node
+        dies, reclaims its slot immediately and defers one release to
+        each child — fusing the :meth:`_deref_index` cascade and the
+        :meth:`_sweep_many` reclamation into a single pass with no
+        dead-set traffic.  Only valid while collection is deferred and
+        every entry is a once-live node (``ref >= 1``, float flag
+        clear): nodes re-acquired between the deferral and this walk
+        simply survive with the extra count.
+        """
+        pvl = self._pv
+        svl = self._sv
+        neql = self._neq
+        eql = self._eq
+        refl = self._ref
+        raw = self._uniq_raw
+        pool = self._free_nodes.append
+        views_pop = self._views.pop
+        by_pv = self._by_pv
+        by_sv = self._by_sv
+        reclaimed = 0
+        stack = list(nodes)
+        while stack:
+            n = stack.pop()
+            r = refl[n] - 1
+            if r > 0 or n == SINK:
+                refl[n] = r
+                continue
+            refl[n] = -1  # tombstone: the slot is gone
+            pool(n)
+            views_pop(n, None)
+            if svl[n] == SV_ONE:
+                del raw[(pvl[n], SV_ONE)]
+                del self._literals[pvl[n]]
+                refl[SINK] -= 2  # the fixed sink children
+            else:
+                del raw[(pvl[n], svl[n], neql[n], eql[n])]
+                by_pv[pvl[n]].discard(n)
+                by_sv[svl[n]].discard(n)
+                d = neql[n]
+                stack.append(-d if d < 0 else d)
+                stack.append(eql[n])
+            reclaimed += 1
+        self._node_count -= reclaimed
         return reclaimed
 
     def clear_cache(self) -> None:
@@ -1311,15 +1661,16 @@ class BBDDManager(DDManager):
     # ------------------------------------------------------------------
 
     def nodes_with_pv(self, var: int) -> set:
-        """Chain nodes whose primary variable is ``var`` (live or dead)."""
+        """Chain node indices whose primary variable is ``var`` (live or dead)."""
         return self._by_pv[var]
 
     def nodes_with_sv(self, var: int) -> set:
-        """Chain nodes whose secondary variable is ``var``."""
+        """Chain node indices whose secondary variable is ``var``."""
         return self._by_sv[var]
 
     def iter_nodes(self) -> Iterable[BBDDNode]:
-        return self._unique.values()
+        """Views of every stored node (chain + literal, sink excluded)."""
+        return (self.node_view(i) for i in list(self._uniq_raw.values()))
 
     def check_invariants(self) -> None:
         """Validate the canonical-form invariants; raise on violation.
@@ -1330,72 +1681,94 @@ class BBDDManager(DDManager):
         by construction, re-checked via key shape), CVO couple consistency,
         strictly increasing child positions, literal node shape,
         non-negative reference counts, cascading-count consistency (a live
-        node's children are live) and the exactness of the incremental
-        dead count.
+        node's children are live), no dangling child indices and the
+        exactness of the incremental dead count.
         """
         from repro.core.exceptions import InvariantViolation
 
         order = self._order
-        seen_keys = set()
-        for node in list(self._unique.values()):
-            key = node.key()
-            if key in seen_keys:
-                raise InvariantViolation(f"duplicate key {key}")
-            seen_keys.add(key)
-            if self._unique.lookup(key) is not node:
-                raise InvariantViolation(f"key {key} does not map back to its node")
-            if node.ref < 0:
-                raise InvariantViolation(f"swept node still in table: {node!r}")
-            if node.is_literal:
-                if not (
-                    node.neq is self.sink
-                    and node.neq_attr
-                    and node.eq is self.sink
-                ):
-                    raise InvariantViolation(f"malformed literal node {node!r}")
+        pvl = self._pv
+        svl = self._sv
+        neql = self._neq
+        eql = self._eq
+        refl = self._ref
+        fl = self._float
+        suppl = self._supp
+        raw = self._uniq_raw
+        for key, node in list(raw.items()):
+            if self._node_key(node) != key:
+                raise InvariantViolation(
+                    f"key {key} does not map back to node {node}"
+                )
+            if refl[node] < 0:
+                raise InvariantViolation(f"swept node still in table: {node}")
+            if svl[node] == SV_ONE:
+                if not (neql[node] == -SINK and eql[node] == SINK):
+                    raise InvariantViolation(
+                        f"malformed literal node {self.node_view(node)!r}"
+                    )
                 continue
-            pos = order.position(node.pv)
-            sv_pos = order.position(node.sv)
+            pos = order.position(pvl[node])
+            sv_pos = order.position(svl[node])
             if sv_pos <= pos:
                 raise InvariantViolation(
-                    f"couple of {node!r} inconsistent with order {order!r}"
+                    f"couple of {self.node_view(node)!r} inconsistent with "
+                    f"order {order!r}"
                 )
-            if node.neq is node.eq and not node.neq_attr:
-                raise InvariantViolation(f"R2 violation (identical children): {node!r}")
-            for child in (node.neq, node.eq):
-                if not child.is_sink and self._order.position(child.pv) < sv_pos:
+            d = neql[node]
+            e = eql[node]
+            if e < 0:
+                raise InvariantViolation(
+                    f"irregular =-edge on {self.node_view(node)!r}"
+                )
+            if d == e:
+                raise InvariantViolation(
+                    f"R2 violation (identical children): {self.node_view(node)!r}"
+                )
+            dn = -d if d < 0 else d
+            for child in (dn, e):
+                if refl[child] < 0 or (child != SINK and child not in (
+                    raw.get(self._node_key(child)),
+                )):
                     raise InvariantViolation(
-                        f"child order violation: {node!r} -> {child!r}"
+                        f"dangling child index: {node} -> {child}"
+                    )
+                if child != SINK and order.position(pvl[child]) < sv_pos:
+                    raise InvariantViolation(
+                        f"child order violation: {self.node_view(node)!r} -> "
+                        f"{self.node_view(child)!r}"
                     )
                 if (
-                    (node.ref > 0 or node.floating)
-                    and not child.is_sink
-                    and child.ref <= 0
+                    (refl[node] > 0 or fl[node])
+                    and child != SINK
+                    and refl[child] <= 0
                 ):
                     raise InvariantViolation(
-                        f"held node with dead child: {node!r} -> {child!r}"
+                        f"held node with dead child: {self.node_view(node)!r} "
+                        f"-> {self.node_view(child)!r}"
                     )
             if (
-                node.neq.pv == node.sv
-                and node.eq.pv == node.sv
-                and not node.neq.is_sink
-                and not node.eq.is_sink
+                dn != SINK
+                and e != SINK
+                and pvl[dn] == svl[node]
+                and pvl[e] == svl[node]
             ):
-                d_edge = (node.neq, node.neq_attr)
-                e_edge = (node.eq, False)
-                if self._shannon_view(d_edge, node.sv, 0) == self._shannon_view(
-                    e_edge, node.sv, 1
-                ) and self._shannon_view(e_edge, node.sv, 0) == self._shannon_view(
-                    d_edge, node.sv, 1
+                if self._shannon_view(d, svl[node], 0) == self._shannon_view(
+                    e, svl[node], 1
+                ) and self._shannon_view(e, svl[node], 0) == self._shannon_view(
+                    d, svl[node], 1
                 ):
                     raise InvariantViolation(
-                        f"R3/R4 violation (SV-independent chain node): {node!r}"
+                        f"R3/R4 violation (SV-independent chain node): "
+                        f"{self.node_view(node)!r}"
                     )
             expected_supp = (
-                (1 << node.pv) | (1 << node.sv) | node.neq.supp | node.eq.supp
+                (1 << pvl[node]) | (1 << svl[node]) | suppl[dn] | suppl[e]
             )
-            if node.supp != expected_supp:
-                raise InvariantViolation(f"support mask mismatch: {node!r}")
+            if suppl[node] != expected_supp:
+                raise InvariantViolation(
+                    f"support mask mismatch: {self.node_view(node)!r}"
+                )
         scanned_dead = self._scan_dead()
         if scanned_dead != len(self._dead_set):
             raise InvariantViolation(
@@ -1403,11 +1776,58 @@ class BBDDManager(DDManager):
                 f"{scanned_dead}"
             )
         for node in self._dead_set:
-            if node.ref != 0:
-                raise InvariantViolation(f"non-dead node in dead set: {node!r}")
-        for node in self._unique.values():
-            if node.floating and node.ref != 0:
-                raise InvariantViolation(f"floating node with refs: {node!r}")
+            if refl[node] != 0:
+                raise InvariantViolation(f"non-dead node in dead set: {node}")
+        for node in raw.values():
+            if fl[node] and refl[node] != 0:
+                raise InvariantViolation(
+                    f"floating node with refs: {self.node_view(node)!r}"
+                )
+
+    def check_ref_counts(self, roots=None) -> None:
+        """Validate the reference counters against a full parent scan.
+
+        Every stored *held* chain node (positive count, or a floating
+        birth hold) contributes one reference per child occurrence; each
+        edge in ``roots`` — the caller's live function handles —
+        contributes one reference to its root node.  With ``roots``
+        given, the scan must reproduce every stored count exactly;
+        without it the scan is a lower bound (the slack is the caller's
+        handle count, unknown here).  The sink's count aggregates
+        literal birth holds and constant handles and is skipped.
+        """
+        from repro.core.exceptions import InvariantViolation
+
+        refl = self._ref
+        fl = self._float
+        svl = self._sv
+        neql = self._neq
+        eql = self._eq
+        holds = [0] * len(refl)
+        for node in self._uniq_raw.values():
+            if svl[node] == SV_ONE:
+                continue  # literal children are sink edges
+            if refl[node] > 0 or fl[node]:
+                d = neql[node]
+                holds[-d if d < 0 else d] += 1
+                holds[eql[node]] += 1
+        exact = roots is not None
+        if exact:
+            for edge in roots:
+                holds[-edge if edge < 0 else edge] += 1
+        for node in self._uniq_raw.values():
+            if node == SINK:
+                continue
+            have = refl[node]
+            if have < 0:
+                raise InvariantViolation(f"swept node still stored: {node}")
+            expected = holds[node]
+            if have < expected or (exact and have != expected):
+                raise InvariantViolation(
+                    f"ref count mismatch on {self.node_view(node)!r}: "
+                    f"stored {have}, parent scan "
+                    f"{'==' if exact else '>='} {expected}"
+                )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

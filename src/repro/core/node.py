@@ -1,27 +1,42 @@
-"""BBDD node and edge primitives (Fig. 1 of the paper).
+"""Edge coding and node views for the flat integer-coded BBDD store.
 
-A BBDD internal node is labelled by a Primary Variable (PV) and a Secondary
-Variable (SV) and has two out-edges, ``PV != SV`` and ``PV = SV``; it
-denotes the biconditional expansion (Eq. 1)::
+The core stores nodes as **dense positive integers** indexing parallel
+arrays owned by :class:`repro.core.manager.BBDDManager` (the
+tulip-control/dd idiom): slot ``i`` of the ``_pv``/``_sv``/``_neq``/
+``_eq``/``_ref``/``_supp`` arrays holds node ``i``'s fields.  An *edge*
+is a single signed int whose sign carries the complement attribute —
+``-e`` is ``NOT e``, so negation is unary minus and the operator
+updates of Algorithm 1 become integer arithmetic.  The sink is index
+``1`` (``+1`` = constant True edge, ``-1`` = constant False edge);
+index ``0`` is never allocated so every edge has an observable sign.
+
+A BBDD internal node is labelled by a Primary Variable (PV) and a
+Secondary Variable (SV) and has two out-edges, ``PV != SV`` and
+``PV = SV``; it denotes the biconditional expansion (Eq. 1)::
 
     f = (v xor w) f_neq  +  (v xnor w) f_eq
 
-Canonical-form conventions implemented here (Sec. III-D):
+Canonical-form conventions (Sec. III-D) carried over into the coding:
 
-* only the 1-sink exists; the constant 0 is a complemented edge to it;
-* complement attributes live on ``!=``-edges (and on external edges);
-  ``=``-edges of stored nodes are always regular;
+* only the 1-sink exists; the constant 0 is the complemented edge -1;
+* complement attributes live on ``!=``-edges (and on external edges):
+  ``_neq[i]`` is stored as a signed edge while ``_eq[i]`` is always
+  regular, i.e. positive;
 * single-variable functions degenerate to *literal nodes* — rule R4's
-  "BDD node" with ``SV = 1`` — whose children are fixed: the ``!=``-edge
-  is the complemented sink (value 0), the ``=``-edge the regular sink.
+  "BDD node" with ``SV = 1`` — whose children are fixed: ``neq = -1``
+  (value 0) and ``eq = +1``.
 
-Edges are plain ``(node, attr)`` tuples in the hot paths; the
-:class:`repro.core.function.Function` wrapper gives users a safe handle.
+:class:`BBDDNode` survives only as a **lazy read-only view** over one
+slot, interned per manager (``manager.node_view(i)`` returns the same
+object for the same index) so handle identity checks such as
+``f.node is g.node`` keep working.  A view is not a handle: holding it
+does not keep the slot alive, and its fields are undefined once the
+slot is swept.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import weakref
 
 #: Sentinel variable index for a literal node's secondary variable (the
 #: fictitious constant-1 variable of the paper's boundary condition).
@@ -30,134 +45,161 @@ SV_ONE = -1
 #: Sentinel variable index identifying the sink node.
 SINK_VAR = -2
 
+#: Index of the sink node in every manager's arrays.
+SINK = 1
+
+#: An edge is one signed int: ``abs(edge)`` is the node index,
+#: ``edge < 0`` the complement attribute.
+Edge = int
+
 
 class BBDDNode:
-    """A single BBDD node.
+    """Read-only view of one node slot (render/debug surface).
 
-    Nodes are mutable only through the manager (creation, in-place CVO-swap
-    rewriting, sweep).  Identity is object identity; structural equality is
-    exactly unique-table equality, which is what makes equivalence tests a
-    pointer comparison (strong canonical form).
-
-    Attributes
-    ----------
-    pv:
-        Primary variable index; ``SINK_VAR`` for the sink.
-    sv:
-        Secondary variable index; ``SV_ONE`` for literal (R4) nodes and the
-        sink.
-    neq / neq_attr:
-        The ``PV != SV`` child and its complement attribute.
-    eq:
-        The ``PV = SV`` child (always a regular edge).
-    ref:
-        Reference count: parents plus user handles.
-    uid:
-        Manager-unique dense integer id (feeds the Cantor hashes).
+    Exposes the object-style field surface (``pv``, ``sv``, ``neq``,
+    ``neq_attr``, ``eq``, ``ref``, ``supp``, ``uid``, ...) on top of
+    the manager's arrays.  Child accessors return interned views; the
+    raw signed child edges are available as ``neq_edge``/``eq_edge``.
     """
 
-    __slots__ = (
-        "pv",
-        "sv",
-        "neq",
-        "neq_attr",
-        "eq",
-        "ref",
-        "floating",
-        "uid",
-        "supp",
-        "tkey",
-        "__weakref__",
-    )
+    __slots__ = ("_manager", "index")
 
-    def __init__(
-        self,
-        pv: int,
-        sv: int,
-        neq: Optional["BBDDNode"],
-        neq_attr: bool,
-        eq: Optional["BBDDNode"],
-        uid: int,
-    ) -> None:
-        self.pv = pv
-        self.sv = sv
-        self.neq = neq
-        self.neq_attr = neq_attr
-        self.eq = eq
-        self.ref = 0
-        # A *floating* node was created but never yet referenced: it holds
-        # one count on each child (from birth) although its own count is
-        # zero.  First acquisition clears the flag in O(1); death (a
-        # ref > 0 -> 0 transition) releases the child counts, so a node
-        # with ref == 0 and floating == False holds none.
-        self.floating = False
-        self.uid = uid
-        # Support bitmask over variable indices; maintained by the manager
-        # (0 for the sink, 1 << pv for literals, the union + couple for
-        # chain nodes).
-        self.supp = 0 if pv == SINK_VAR else (1 << pv if pv >= 0 else 0)
-        # Materialized unique-table key (the tuple actually inserted);
-        # kept by the manager so sweeps need not rebuild it.
-        self.tkey = None
+    def __init__(self, manager, index: int) -> None:
+        # Weak back-reference: the manager interns its views, so a
+        # strong one would cycle manager <-> view and managers could
+        # then only die through Python's cyclic collector.
+        self._manager = weakref.ref(manager)
+        self.index = index
+
+    @property
+    def manager(self):
+        return self._manager()
+
+    # -- raw fields ----------------------------------------------------------
+
+    @property
+    def pv(self) -> int:
+        return self.manager._pv[self.index]
+
+    @property
+    def sv(self) -> int:
+        return self.manager._sv[self.index]
+
+    @property
+    def neq_edge(self) -> Edge:
+        """The stored ``!=``-edge as a signed int."""
+        return self.manager._neq[self.index]
+
+    @property
+    def eq_edge(self) -> Edge:
+        """The stored ``=``-edge (always regular, i.e. positive)."""
+        return self.manager._eq[self.index]
+
+    @property
+    def ref(self) -> int:
+        return self.manager._ref[self.index]
+
+    @property
+    def floating(self) -> bool:
+        return bool(self.manager._float[self.index])
+
+    @property
+    def supp(self) -> int:
+        return self.manager._supp[self.index]
+
+    @property
+    def uid(self) -> int:
+        """Stable identity of this node — its array index."""
+        return self.index
+
+    # -- object-style child surface ------------------------------------------
+
+    @property
+    def neq(self):
+        """View of the ``!=``-child node (None on the sink)."""
+        if self.index == SINK:
+            return None
+        child = self.manager._neq[self.index]
+        return self.manager.node_view(-child if child < 0 else child)
+
+    @property
+    def neq_attr(self) -> bool:
+        return self.manager._neq[self.index] < 0
+
+    @property
+    def eq(self):
+        """View of the ``=``-child node (None on the sink)."""
+        if self.index == SINK:
+            return None
+        return self.manager.node_view(self.manager._eq[self.index])
 
     # -- classification ------------------------------------------------------
 
     @property
     def is_sink(self) -> bool:
-        return self.pv == SINK_VAR
+        return self.index == SINK
 
     @property
     def is_literal(self) -> bool:
         """True for R4 "BDD" nodes (``SV = 1``)."""
-        return self.sv == SV_ONE and self.pv != SINK_VAR
+        return self.index != SINK and self.manager._sv[self.index] == SV_ONE
 
     @property
     def is_chain(self) -> bool:
         """True for regular two-variable biconditional nodes."""
-        return self.sv != SV_ONE and self.pv != SINK_VAR
-
-    # -- representation -------------------------------------------------------
+        return self.index != SINK and self.manager._sv[self.index] != SV_ONE
 
     def key(self) -> tuple:
-        """Unique-table key of this node (the paper's strong-canonical tuple).
+        """The unique-table key of this node's slot.
 
-        Chain nodes are keyed by ``(pv, sv, neq.uid, neq_attr, eq.uid)``;
-        under a CVO the pair ``(pv, sv)`` is equivalent to the paper's
+        Chain nodes are keyed by ``(pv, sv, neq_edge, eq_edge)``; under
+        a CVO the pair ``(pv, sv)`` is equivalent to the paper's
         ``CVO-level`` field, and keying by the variable pair keeps
-        unaffected nodes stable across re-ordering.  Literal nodes are keyed
-        by their variable alone (their children are fixed).
+        unaffected nodes stable across re-ordering.  Literal nodes are
+        keyed by ``(pv, SV_ONE)`` alone (their children are fixed).
         """
-        if self.is_literal:
-            return (self.pv, SV_ONE)
-        return (self.pv, self.sv, self.neq.uid, self.neq_attr, self.eq.uid)
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        if self.is_sink:
-            return "<sink-1>"
-        if self.is_literal:
-            return f"<lit v{self.pv} uid={self.uid} ref={self.ref}>"
+        manager = self.manager
+        index = self.index
+        if manager._sv[index] == SV_ONE:
+            return (manager._pv[index], SV_ONE)
         return (
-            f"<node (v{self.pv},v{self.sv}) uid={self.uid} ref={self.ref} "
-            f"neq={self.neq.uid}{'~' if self.neq_attr else ''} eq={self.eq.uid}>"
+            manager._pv[index],
+            manager._sv[index],
+            manager._neq[index],
+            manager._eq[index],
         )
 
+    # -- identity ------------------------------------------------------------
 
-#: An edge is ``(node, complement_attr)``.
-Edge = Tuple[BBDDNode, bool]
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, BBDDNode)
+            and other.manager is self.manager
+            and other.index == self.index
+        )
 
+    def __hash__(self) -> int:
+        return hash((id(self.manager), self.index))
 
-def make_sink(uid: int = 0) -> BBDDNode:
-    """Create the (per-manager singleton) 1-sink node."""
-    node = BBDDNode(SINK_VAR, SV_ONE, None, False, None, uid)
-    node.ref = 1  # the sink is immortal
-    return node
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.index == SINK:
+            return "<sink-1>"
+        try:
+            if self.is_literal:
+                return f"<lit v{self.pv} uid={self.index} ref={self.ref}>"
+            return (
+                f"<node (v{self.pv},v{self.sv}) uid={self.index} "
+                f"ref={self.ref} neq={self.neq_edge} eq={self.eq_edge}>"
+            )
+        except (IndexError, KeyError):
+            return f"<node uid={self.index} (swept)>"
 
 
 def negate(edge: Edge) -> Edge:
-    """Complement an edge (free thanks to complement attributes)."""
-    return (edge[0], not edge[1])
+    """Complement an edge — unary minus in the signed-int coding."""
+    return -edge
 
 
-def edge_key(edge: Edge) -> tuple:
-    """Hashable identity of an edge (for computed tables / test oracles)."""
-    return (edge[0].uid, edge[1])
+def edge_key(edge: Edge) -> Edge:
+    """Hashable identity of an edge — the signed int itself."""
+    return edge

@@ -1,19 +1,20 @@
 """Traversals over BBDD forests: evaluation, counting, sat-count, paths.
 
-All functions operate on bare ``(node, attr)`` edges plus the owning
-manager (needed for order positions).  Level skipping is handled
-everywhere: an edge from position ``p`` to a node rooted at position ``q``
-leaves the variables at positions ``p+1 .. q-1`` unconstrained.
+All functions operate on the owning manager plus bare signed-int edges
+of the flat store (``abs(edge)`` = node index, sign = complement
+attribute).  Level skipping is handled everywhere: an edge from position
+``p`` to a node rooted at position ``q`` leaves the variables at
+positions ``p+1 .. q-1`` unconstrained.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.core.node import SV_ONE, BBDDNode, Edge
+from repro.core.node import SINK, SV_ONE, Edge
 
 
-def evaluate(edge: Edge, values: Mapping[int, bool]) -> bool:
+def evaluate(manager, edge: Edge, values: Mapping[int, bool]) -> bool:
     """Evaluate the function at a complete assignment ``{var index: bit}``.
 
     Follows one root-to-sink path: at a chain node take the ``!=``-edge
@@ -21,42 +22,57 @@ def evaluate(edge: Edge, values: Mapping[int, bool]) -> bool:
     corresponds to ``pv == 1`` (the paper's fictitious SV).  Complement
     attributes along the path toggle the result.
     """
-    node, attr = edge
-    while not node.is_sink:
-        if node.sv == SV_ONE:
-            take_neq = not values[node.pv]
+    pvl = manager._pv
+    svl = manager._sv
+    neql = manager._neq
+    eql = manager._eq
+    attr = edge < 0
+    node = -edge if attr else edge
+    while node != SINK:
+        sv = svl[node]
+        if sv == SV_ONE:
+            take_neq = not values[pvl[node]]
         else:
-            take_neq = values[node.pv] != values[node.sv]
+            take_neq = values[pvl[node]] != values[sv]
         if take_neq:
-            attr ^= node.neq_attr
-            node = node.neq
+            child = neql[node]
+            if child < 0:
+                attr = not attr
+                node = -child
+            else:
+                node = child
         else:
-            node = node.eq
+            node = eql[node]
     return not attr
 
 
-def reachable_nodes(edges: Iterable[Edge]) -> Set[BBDDNode]:
-    """All internal nodes (chain + literal) reachable from ``edges``."""
-    seen: Set[BBDDNode] = set()
-    stack: List[BBDDNode] = []
-    for node, _attr in edges:
-        if not node.is_sink and node not in seen:
+def reachable_nodes(manager, edges: Iterable[Edge]) -> Set[int]:
+    """All internal node indices (chain + literal) reachable from ``edges``."""
+    svl = manager._sv
+    neql = manager._neq
+    eql = manager._eq
+    seen: Set[int] = set()
+    stack: List[int] = []
+    for edge in edges:
+        node = -edge if edge < 0 else edge
+        if node != SINK and node not in seen:
             seen.add(node)
             stack.append(node)
     while stack:
         node = stack.pop()
-        if node.sv == SV_ONE:
+        if svl[node] == SV_ONE:
             continue
-        for child in (node.neq, node.eq):
-            if not child.is_sink and child not in seen:
+        d = neql[node]
+        for child in (-d if d < 0 else d, eql[node]):
+            if child != SINK and child not in seen:
                 seen.add(child)
                 stack.append(child)
     return seen
 
 
-def count_nodes(edges: Iterable[Edge]) -> int:
+def count_nodes(manager, edges: Iterable[Edge]) -> int:
     """Shared node count of a forest (sink excluded, literals included)."""
-    return len(reachable_nodes(edges))
+    return len(reachable_nodes(manager, edges))
 
 
 def sat_count(manager, edge: Edge) -> int:
@@ -67,26 +83,31 @@ def sat_count(manager, edge: Edge) -> int:
     """
     n = manager.num_vars
     order = manager.order
-    memo: Dict[BBDDNode, int] = {}
+    pvl = manager._pv
+    svl = manager._sv
+    neql = manager._neq
+    eql = manager._eq
+    memo: Dict[int, int] = {}
 
-    def compute(node: BBDDNode) -> int:
+    def compute(node: int) -> int:
         """Count over the variables at positions >= position(node);
         requires both non-sink children to be memoized already."""
-        p = order.position(node.pv)
+        p = order.position(pvl[node])
         span = n - p
-        if node.sv == SV_ONE:
+        if svl[node] == SV_ONE:
             result = 1 << (span - 1)
         else:
             # Each branch fixes pv relative to sv; variables strictly
             # between them in the order (skipped by the support chain)
             # are free, as are those between sv and a child's root.
-            q_sv = order.position(node.sv)
+            q_sv = order.position(svl[node])
             result = 0
-            for child, attr in ((node.neq, node.neq_attr), (node.eq, False)):
-                if child.is_sink:
+            d = neql[node]
+            for child, attr in ((-d if d < 0 else d, d < 0), (eql[node], False)):
+                if child == SINK:
                     sub = 0 if attr else (1 << (n - q_sv))
                 else:
-                    q = order.position(child.pv)
+                    q = order.position(pvl[child])
                     sub = memo[child]
                     if attr:
                         sub = (1 << (n - q)) - sub
@@ -95,26 +116,28 @@ def sat_count(manager, edge: Edge) -> int:
             result <<= q_sv - (p + 1)
         return result
 
-    node, attr = edge
-    if node.is_sink:
+    attr = edge < 0
+    node = -edge if attr else edge
+    if node == SINK:
         return 0 if attr else (1 << n)
-    stack: List[BBDDNode] = [node]
+    stack: List[int] = [node]
     while stack:
         top = stack[-1]
         if top in memo:
             stack.pop()
             continue
+        d = neql[top]
         pending = [
             c
-            for c in (top.neq, top.eq)
-            if not c.is_sink and c not in memo
+            for c in (-d if d < 0 else d, eql[top])
+            if c != SINK and c not in memo
         ]
         if pending:
             stack.extend(pending)
             continue
         stack.pop()
         memo[top] = compute(top)
-    p = order.position(node.pv)
+    p = order.position(pvl[node])
     count = memo[node]
     if attr:
         count = (1 << (n - p)) - count
@@ -135,27 +158,35 @@ def iter_paths(
     (explicit DFS stack), so arbitrarily deep chains enumerate without
     touching the Python recursion limit.
     """
-    stack: List[Tuple[BBDDNode, bool, dict]] = [(edge[0], edge[1], {})]
+    pvl = manager._pv
+    svl = manager._sv
+    neql = manager._neq
+    eql = manager._eq
+    stack: List[Tuple[int, bool, dict]] = [(-edge if edge < 0 else edge, edge < 0, {})]
     while stack:
         node, attr, constraints = stack.pop()
-        if node.is_sink:
+        if node == SINK:
             yield constraints, not attr
             continue
-        if node.sv == SV_ONE:
+        d = neql[node]
+        dn = -d if d < 0 else d
+        sv = svl[node]
+        if sv == SV_ONE:
             branches = (
-                (node.neq, attr ^ node.neq_attr, ("0", None)),
-                (node.eq, attr, ("1", None)),
+                (dn, attr ^ (d < 0), ("0", None)),
+                (eql[node], attr, ("1", None)),
             )
         else:
             branches = (
-                (node.neq, attr ^ node.neq_attr, ("!=", node.sv)),
-                (node.eq, attr, ("==", node.sv)),
+                (dn, attr ^ (d < 0), ("!=", sv)),
+                (eql[node], attr, ("==", sv)),
             )
         # Push the =-branch first so the !=-branch is explored first,
         # matching the historical (recursive) enumeration order.
+        pv = pvl[node]
         for child, child_attr, label in reversed(branches):
             extended = dict(constraints)
-            extended[node.pv] = label
+            extended[pv] = label
             stack.append((child, child_attr, extended))
 
 
@@ -170,35 +201,43 @@ def find_sat_path(manager, edge: Edge, want: bool = True) -> Optional[List[tuple
     non-constant function, so descending into *any* non-sink child keeps
     both outcomes reachable; only sink children need their parity checked.
     """
-    node, attr = edge
-    if node.is_sink:
+    pvl = manager._pv
+    svl = manager._sv
+    neql = manager._neq
+    eql = manager._eq
+    attr = edge < 0
+    node = -edge if attr else edge
+    if node == SINK:
         return [] if (not attr) == want else None
     path: List[tuple] = []
     while True:
-        if node.sv == SV_ONE:
+        d = neql[node]
+        dn = -d if d < 0 else d
+        sv = svl[node]
+        if sv == SV_ONE:
             branches = (
-                (node.neq, attr ^ node.neq_attr, "0", None),
-                (node.eq, attr, "1", None),
+                (dn, attr ^ (d < 0), "0", None),
+                (eql[node], attr, "1", None),
             )
         else:
             branches = (
-                (node.neq, attr ^ node.neq_attr, "!=", node.sv),
-                (node.eq, attr, "==", node.sv),
+                (dn, attr ^ (d < 0), "!=", sv),
+                (eql[node], attr, "==", sv),
             )
         descend = None
-        for child, child_attr, rel, sv in branches:
-            if child.is_sink:
+        for child, child_attr, rel, csv in branches:
+            if child == SINK:
                 if (not child_attr) == want:
-                    path.append((node.pv, sv, rel))
+                    path.append((pvl[node], csv, rel))
                     return path
             elif descend is None:
-                descend = (child, child_attr, rel, sv)
+                descend = (child, child_attr, rel, csv)
         if descend is None:
             # Both children are sinks of the wrong parity — impossible for
             # a canonical (non-constant) node; defensive for corrupt DAGs.
             return None
-        child, attr, rel, sv = descend
-        path.append((node.pv, sv, rel))
+        child, attr, rel, csv = descend
+        path.append((pvl[node], csv, rel))
         node = child
 
 
@@ -215,25 +254,26 @@ def truth_table_mask(manager, edge: Edge, variables: Sequence[int]) -> int:
     for i in range(1 << n):
         for j, var in enumerate(variables):
             values[var] = bool((i >> j) & 1)
-        if evaluate(edge, values):
+        if evaluate(manager, edge, values):
             mask |= 1 << i
     return mask
 
 
-def levelize(manager, edges: Iterable[Edge]) -> List[Tuple[int, List[BBDDNode]]]:
-    """Group a forest's nodes by CVO level, deepest level first.
+def levelize(manager, edges: Iterable[Edge]) -> List[Tuple[int, List[int]]]:
+    """Group a forest's node indices by CVO level, deepest level first.
 
     A node's level is the order position of its primary variable; with
     levels emitted bottom-up, children always precede their parents —
     the write order of the :mod:`repro.io` binary format.  Nodes within
-    a level are sorted by uid for deterministic output.
+    a level are sorted by index for deterministic output.
     """
-    by_position: Dict[int, List[BBDDNode]] = {}
+    by_position: Dict[int, List[int]] = {}
     position = manager.order.position
-    for node in reachable_nodes(edges):
-        by_position.setdefault(position(node.pv), []).append(node)
+    pvl = manager._pv
+    for node in reachable_nodes(manager, edges):
+        by_position.setdefault(position(pvl[node]), []).append(node)
     return [
-        (pos, sorted(by_position[pos], key=lambda n: n.uid))
+        (pos, sorted(by_position[pos]))
         for pos in sorted(by_position, reverse=True)
     ]
 
@@ -245,49 +285,57 @@ def iter_cohort_items(manager, edge: Edge) -> Iterator[tuple]:
     ``(key, pv, sv, t_key, t_flip, t_pv, f_key, f_flip, f_pv)`` with
     the *t*-branch taken where the node's test holds (``pv != sv`` on
     chain nodes, ``pv`` on literal nodes, whose ``sv`` slot is
-    ``None``).  Built on :func:`levelize` reversed — children live at
+    ``None``).  Keys are the flat store's node indices (sink children
+    are None).  Built on :func:`levelize` reversed — children live at
     strictly deeper CVO positions, so parents are always emitted first,
     which is the only ordering the sweep needs.
     """
+    pvl = manager._pv
+    svl = manager._sv
+    neql = manager._neq
+    eql = manager._eq
     for _pos, nodes in reversed(levelize(manager, [edge])):
         for node in nodes:
-            if node.sv == SV_ONE:
+            d = neql[node]
+            neq = -d if d < 0 else d
+            eq = eql[node]
+            if svl[node] == SV_ONE:
                 # Literal (R4) node: test is the variable itself; the
                 # ``=``-edge (pv == 1) is the regular sink, the
                 # ``!=``-edge the complemented one.
-                eq, neq = node.eq, node.neq
                 yield (
                     node,
-                    node.pv,
+                    pvl[node],
                     None,
-                    None if eq.is_sink else eq,
+                    None if eq == SINK else eq,
                     False,
-                    None if eq.is_sink else eq.pv,
-                    None if neq.is_sink else neq,
-                    node.neq_attr,
-                    None if neq.is_sink else neq.pv,
+                    None if eq == SINK else pvl[eq],
+                    None if neq == SINK else neq,
+                    d < 0,
+                    None if neq == SINK else pvl[neq],
                 )
             else:
-                neq, eq = node.neq, node.eq
                 yield (
                     node,
-                    node.pv,
-                    node.sv,
-                    None if neq.is_sink else neq,
-                    node.neq_attr,
-                    None if neq.is_sink else neq.pv,
-                    None if eq.is_sink else eq,
+                    pvl[node],
+                    svl[node],
+                    None if neq == SINK else neq,
+                    d < 0,
+                    None if neq == SINK else pvl[neq],
+                    None if eq == SINK else eq,
                     False,
-                    None if eq.is_sink else eq.pv,
+                    None if eq == SINK else pvl[eq],
                 )
 
 
 def structural_profile(manager, edges: Iterable[Edge]) -> Dict[str, int]:
     """Summary statistics of a forest (used by reports and examples)."""
-    nodes = reachable_nodes(edges)
-    chain = sum(1 for n in nodes if n.sv != SV_ONE)
+    svl = manager._sv
+    neql = manager._neq
+    nodes = reachable_nodes(manager, edges)
+    chain = sum(1 for n in nodes if svl[n] != SV_ONE)
     literal = len(nodes) - chain
-    complemented = sum(1 for n in nodes if n.sv != SV_ONE and n.neq_attr)
+    complemented = sum(1 for n in nodes if svl[n] != SV_ONE and neql[n] < 0)
     return {
         "nodes": len(nodes),
         "chain_nodes": chain,

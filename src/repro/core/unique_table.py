@@ -1,32 +1,33 @@
-"""Unique tables: strong canonical form storage (Sec. IV-A1).
+"""The unique table: strong canonical form storage (Sec. IV-A1).
 
-Every BBDD node has a distinct entry keyed by its strong-canonical tuple
-``{CVO-level, !=-child, !=-attr, =-child}``; a lookup before each insertion
-guarantees that structurally equal nodes are the *same object*, reducing
-equivalence tests to pointer comparisons.
+Every BBDD node has a distinct entry keyed by its strong-canonical
+tuple — ``(pv, sv, neq_edge, eq_edge)`` for chain nodes (the children
+are signed int edges of the flat store, so the ``!=``-attr rides on
+the sign) and ``(pv, SV_ONE)`` for literal nodes.  A lookup before
+each insertion guarantees that structurally equal nodes get the *same
+index*, reducing equivalence tests to integer comparisons.
 
-Two interchangeable backends are provided:
+One backend remains: :class:`UniqueTable`, a thin stats-keeping shell
+around the built-in dict.  The historical ``"cantor"`` bucket-array
+implementation (nested Cantor pairings + adaptive rehashing) was
+retired with the integer-coded store — packed int-tuple keys hash
+natively faster than any pure-Python bucket scheme — so the factory
+accepts ``"cantor"`` only as a compatibility alias.
 
-* :class:`DictUniqueTable` — Python's native hash map.  Fast; the default.
-* :class:`CantorUniqueTable` — the paper's faithful implementation: bucket
-  array addressed by nested Cantor pairings with prime modulo reduction,
-  collisions chained in per-bucket lists, dynamic resizing and adaptive
-  re-hashing controlled by the ``{size x access-time}`` metric
-  (:class:`repro.core.hashing.AdaptiveHashController`).
-
-Both expose the same protocol: ``lookup``, ``insert``, ``delete``,
-``__len__``, ``values`` and ``stats``.
+The protocol is unchanged: ``lookup``, ``insert``, ``delete``,
+``__len__``, ``__contains__``, ``values``, ``clear`` and ``stats``.
+Hot paths (``BBDDManager._make``) bypass the method layer and work on
+the raw ``_table`` dict directly, settling the ``_lookups``/``_hits``
+counters themselves.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional
-
-from repro.core.hashing import AdaptiveHashController, next_table_size
+from typing import Iterable
 
 
-class DictUniqueTable:
-    """Unique table backed by the built-in dict (native hashing)."""
+class UniqueTable:
+    """Unique table backed by the built-in dict (packed int-tuple keys)."""
 
     __slots__ = ("_table", "_lookups", "_hits")
 
@@ -69,147 +70,17 @@ class DictUniqueTable:
         }
 
 
-def _default_key_fold(key: tuple) -> tuple:
-    """Flatten a node key into non-negative ints for Cantor pairing."""
-    out = []
-    for part in key:
-        if isinstance(part, bool):
-            out.append(int(part))
-        else:
-            # Variable indices may use small negative sentinels; shift.
-            out.append(part + 4 if part >= -4 else part)
-    return tuple(out)
-
-
-class CantorUniqueTable:
-    """Faithful unique table: Cantor hashing, chaining, adaptive policy.
-
-    Collisions are handled by a linked list per hash value (here: a Python
-    list used as the chain).  The table grows when the controller requests
-    it and re-arranges all elements under a modified hash function when
-    growth stops improving the ``size x access-time`` metric.
-    """
-
-    __slots__ = ("_buckets", "_size", "_count", "_controller", "_fold", "_lookups", "_hits")
-
-    INITIAL_SIZE = 1024
-
-    def __init__(
-        self,
-        initial_size: int = INITIAL_SIZE,
-        key_fold: Callable[[tuple], tuple] = _default_key_fold,
-        controller: Optional[AdaptiveHashController] = None,
-    ) -> None:
-        self._size = max(16, initial_size)
-        self._buckets: list = [None] * self._size
-        self._count = 0
-        self._controller = controller or AdaptiveHashController()
-        self._fold = key_fold
-        self._lookups = 0
-        self._hits = 0
-
-    # -- hashing ----------------------------------------------------------
-
-    def _index(self, key: tuple) -> int:
-        return self._controller.hash_tuple(self._fold(key), self._size)
-
-    # -- protocol ----------------------------------------------------------
-
-    def lookup(self, key: tuple):
-        self._lookups += 1
-        chain = self._buckets[self._index(key)]
-        probes = 0
-        if chain is not None:
-            for probes, (k, node) in enumerate(chain, start=1):
-                if k == key:
-                    self._controller.record_access(probes)
-                    self._maybe_adapt()
-                    self._hits += 1
-                    return node
-        self._controller.record_access(probes + 1)
-        self._maybe_adapt()
-        return None
-
-    def insert(self, key: tuple, node) -> None:
-        idx = self._index(key)
-        chain = self._buckets[idx]
-        if chain is None:
-            self._buckets[idx] = [(key, node)]
-        else:
-            chain.append((key, node))
-        self._count += 1
-
-    def delete(self, key: tuple) -> None:
-        idx = self._index(key)
-        chain = self._buckets[idx]
-        if chain is not None:
-            for i, (k, _node) in enumerate(chain):
-                if k == key:
-                    chain.pop(i)
-                    self._count -= 1
-                    if not chain:
-                        self._buckets[idx] = None
-                    return
-        raise KeyError(key)
-
-    def __len__(self) -> int:
-        return self._count
-
-    def __contains__(self, key: tuple) -> bool:
-        return self.lookup(key) is not None
-
-    def values(self):
-        for chain in self._buckets:
-            if chain is not None:
-                for _key, node in chain:
-                    yield node
-
-    def clear(self) -> None:
-        self._buckets = [None] * self._size
-        self._count = 0
-
-    # -- dynamics -----------------------------------------------------------
-
-    def _maybe_adapt(self) -> None:
-        if not self._controller.should_evaluate():
-            return
-        decision = self._controller.decide(self._size, self._count)
-        if decision == "grow":
-            self._resize(next_table_size(self._size))
-        elif decision == "rehash":
-            self._controller.next_hash_function()
-            self._resize(self._size)
-
-    def _resize(self, new_size: int) -> None:
-        entries = [(k, n) for chain in self._buckets if chain for (k, n) in chain]
-        self._size = new_size
-        self._buckets = [None] * new_size
-        self._count = 0
-        for key, node in entries:
-            self.insert(key, node)
-
-    # -- reporting -----------------------------------------------------------
-
-    def stats(self) -> dict:
-        used = sum(1 for c in self._buckets if c)
-        longest = max((len(c) for c in self._buckets if c), default=0)
-        data = {
-            "backend": "cantor",
-            "entries": self._count,
-            "table_size": self._size,
-            "buckets_used": used,
-            "longest_chain": longest,
-            "lookups": self._lookups,
-            "hits": self._hits,
-        }
-        data.update(self._controller.stats())
-        return data
+#: Backwards-compatible name (the pre-refactor default backend class).
+DictUniqueTable = UniqueTable
 
 
 def make_unique_table(backend: str = "dict", **kwargs):
-    """Factory used by the managers (``backend in {"dict", "cantor"}``)."""
-    if backend == "dict":
-        return DictUniqueTable()
-    if backend == "cantor":
-        return CantorUniqueTable(**kwargs)
+    """Factory used by the managers.
+
+    ``"dict"`` is the only real backend; ``"cantor"`` is accepted as a
+    deprecated alias (extra sizing kwargs are ignored) so existing
+    configuration keeps working.
+    """
+    if backend in ("dict", "cantor"):
+        return UniqueTable()
     raise ValueError(f"unknown unique-table backend: {backend!r}")

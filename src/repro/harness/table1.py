@@ -15,6 +15,7 @@ speed-up from the summed times.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -48,6 +49,24 @@ class Table1Result:
         self.functions = functions
 
 
+def _debug_check(manager, handles) -> None:
+    """``REPRO_CHECK=1``: walk the store arrays after a pipeline stage.
+
+    Validates the canonical-form invariants (no dangling child indices,
+    R1/R2/R4, ``=``-edge regularity) plus the reference counters against
+    a full parent scan with ``handles`` as the only external holders.
+    Backends without the debug walkers are skipped.
+    """
+    if os.environ.get("REPRO_CHECK", "0") in ("", "0"):
+        return
+    check = getattr(manager, "check_invariants", None)
+    if check is not None:
+        check()
+    scan = getattr(manager, "check_ref_counts", None)
+    if scan is not None:
+        scan([f.edge for f in handles])
+
+
 def run_benchmark(
     network,
     package: str,
@@ -60,6 +79,7 @@ def run_benchmark(
     build_time = time.perf_counter() - t0
 
     handles = list(functions.values())
+    _debug_check(manager, handles)
     sift_time = 0.0
     if sift and getattr(manager, "supports_sift", True):
         # Backends without dynamic reordering (xmem keeps canonical
@@ -67,6 +87,7 @@ def run_benchmark(
         t1 = time.perf_counter()
         manager.sift(max_swaps=max_swaps)
         sift_time = time.perf_counter() - t1
+        _debug_check(manager, handles)
     nodes = manager.node_count(handles)
     return Table1Result(
         network.name, nodes, build_time, sift_time, manager=manager, functions=functions

@@ -19,7 +19,7 @@ from typing import Dict, List, Mapping, Tuple
 
 from repro.core.exceptions import BBDDError
 from repro.core.function import Function
-from repro.core.node import SV_ONE, Edge
+from repro.core.node import SINK, SV_ONE, Edge
 from repro.core.traversal import levelize
 
 from repro.io.format import FLAG_BDD, Header, SINK_ID, pack_ref
@@ -76,16 +76,10 @@ def _named_edges(functions) -> List[Tuple[str, Edge]]:
     Accepts a single Function/edge, a sequence of them, or a name-keyed
     mapping; anonymous roots are named ``f0``, ``f1``, ...
     """
-    from repro.core.node import BBDDNode
-
     if isinstance(functions, Function):
         return [("f0", functions.edge)]
-    if (
-        isinstance(functions, tuple)
-        and len(functions) == 2
-        and isinstance(functions[0], BBDDNode)
-    ):
-        return [("f0", functions)]  # a bare (node, attr) edge
+    if isinstance(functions, int):
+        return [("f0", functions)]  # a bare signed-int edge
     if isinstance(functions, Mapping):
         return [
             (name, f.edge if isinstance(f, Function) else f)
@@ -101,29 +95,30 @@ def forest_records(manager, named: List[Tuple[str, Edge]]):
     """Enumerate a forest as serializable records — the one canonical
     record shape both codecs (binary and JSON) emit.
 
-    Returns ``(records, ids)``: ``ids`` maps each node (and the sink,
-    id 0) to its dense bottom-up file id; ``records`` is a list of
+    Returns ``(records, ids)``: ``ids`` maps each node index (and the
+    sink, id 0) to its dense bottom-up file id; ``records`` is a list of
     ``(position, sv_position, node, neq, eq)`` in id order, grouped by
-    level deepest-first, where ``neq``/``eq`` are ``(child_id, attr)``
-    pairs and ``sv_position``/``neq``/``eq`` are ``None`` for literal
-    (R4) records.
+    level deepest-first, where ``node`` is the flat-store index,
+    ``neq``/``eq`` are ``(child_id, attr)`` pairs and
+    ``sv_position``/``neq``/``eq`` are ``None`` for literal (R4) records.
     """
     order = manager.order
-    ids = {manager.sink: SINK_ID}
+    ids = {SINK: SINK_ID}
     records = []
     for position, nodes in levelize(manager, [edge for _name, edge in named]):
         for node in nodes:
             ids[node] = len(records) + 1
-            if node.sv == SV_ONE:
+            pv, sv, neq, eq = manager.node_fields(node)
+            if sv == SV_ONE:
                 records.append((position, None, node, None, None))
             else:
                 records.append(
                     (
                         position,
-                        order.position(node.sv),
+                        order.position(sv),
                         node,
-                        (ids[node.neq], node.neq_attr),
-                        (ids[node.eq], False),
+                        (ids[-neq if neq < 0 else neq], neq < 0),
+                        (ids[eq], False),
                     )
                 )
     return records, ids
@@ -181,7 +176,10 @@ def _dump_file(manager, named: List[Tuple[str, Edge]], fileobj) -> None:
     if block is not None:
         block.close()
     writer.write_roots(
-        [(pack_ref(ids[node], attr), name) for name, (node, attr) in named]
+        [
+            (pack_ref(ids[-edge if edge < 0 else edge], edge < 0), name)
+            for name, edge in named
+        ]
     )
 
 

@@ -44,14 +44,15 @@ def to_dict(manager, functions) -> dict:
     records, ids = forest_records(manager, named)
     nodes = []
     for _position, sv_position, node, neq, eq in records:
+        pv, sv, _d, _e = manager.node_fields(node)
         if sv_position is None:
-            nodes.append({"id": ids[node], "var": manager.var_name(node.pv)})
+            nodes.append({"id": ids[node], "var": manager.var_name(pv)})
         else:
             nodes.append(
                 {
                     "id": ids[node],
-                    "pv": manager.var_name(node.pv),
-                    "sv": manager.var_name(node.sv),
+                    "pv": manager.var_name(pv),
+                    "sv": manager.var_name(sv),
                     "neq": [neq[0], neq[1]],
                     "eq": [eq[0], eq[1]],
                 }
@@ -62,7 +63,10 @@ def to_dict(manager, functions) -> dict:
         "variables": list(manager.var_names),
         "order": [manager.var_name(v) for v in manager.order.order],
         "nodes": nodes,
-        "roots": {name: [ids[node], attr] for name, (node, attr) in named},
+        "roots": {
+            name: [ids[-edge if edge < 0 else edge], edge < 0]
+            for name, edge in named
+        },
     }
 
 

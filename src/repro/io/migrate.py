@@ -48,7 +48,7 @@ from repro.api.base import FunctionBase, rebuild_function
 from repro.core import apply as _ops
 from repro.core.exceptions import BBDDError, VariableError
 from repro.core.function import Function
-from repro.core.node import SV_ONE, BBDDNode, Edge
+from repro.core.node import SINK, SV_ONE, Edge
 from repro.core.operations import OP_XNOR
 
 from repro.io.format import FormatError, LITERAL_TAG, SINK_ID, unpack_ref
@@ -102,7 +102,9 @@ class ForestRebuilder:
         self.order_preserved = all(
             a < b for a, b in zip(positions, positions[1:])
         )
-        self._edges: List[Edge] = [(manager.sink, False)]
+        #: Replayed edges by file id; id 0 is the sink (+1 in the flat
+        #: store's signed-int edge coding).
+        self._edges: List[Edge] = [SINK]
         self._xnor_cache: Dict[tuple, Edge] = {}
 
     # -- structural primitives (shared with the live Migrator) ----------
@@ -110,7 +112,7 @@ class ForestRebuilder:
     def make_literal(self, position: int) -> Edge:
         """Rebuild a literal (R4) node for the variable at ``position``."""
         var = self._var_at[position]
-        return (self.manager.literal_node(var), False)
+        return self.manager.literal_node(var)
 
     def make_chain(self, position: int, sv_position: int, d: Edge, e: Edge) -> Edge:
         """Rebuild a chain node ``(PV, SV)`` with children ``d`` / ``e``."""
@@ -164,8 +166,8 @@ class ForestRebuilder:
         node_id, attr = unpack_ref(ref)
         if not 0 <= node_id < len(self._edges):
             raise FormatError(f"edge ref to unwritten node id {node_id}")
-        node, base_attr = self._edges[node_id]
-        return (node, base_attr ^ attr)
+        edge = self._edges[node_id]
+        return -edge if attr else edge
 
     @property
     def replayed(self) -> int:
@@ -183,16 +185,16 @@ class Migrator:
         self.dst = dst
         ordered_names = [src.var_name(v) for v in src.order.order]
         self._rebuilder = ForestRebuilder(dst, ordered_names, rename=rename)
-        self._memo: Dict[BBDDNode, Edge] = {}
+        #: Source node index -> rebuilt signed edge in ``dst``.
+        self._memo: Dict[int, Edge] = {}
 
     def edge(self, edge: Edge) -> Edge:
         """Copy a bare edge into the target manager (memoized)."""
-        node, attr = edge
         # The memo and the copies are bare edges in ``dst``; keep its
         # automatic GC out of the way while the copy is in flight.
         with self.dst.defer_gc():
-            copied, base_attr = self._copy(node)
-        return (copied, base_attr ^ attr)
+            copied = self._copy(-edge if edge < 0 else edge)
+        return -copied if edge < 0 else copied
 
     def function(self, f: Function) -> Function:
         """Copy a source function; repeated calls keep the sharing."""
@@ -201,38 +203,46 @@ class Migrator:
         with self.dst.defer_gc():
             return Function(self.dst, self.edge(f.edge))
 
-    def _copy(self, node: BBDDNode) -> Edge:
-        """Copy ``node`` into ``dst`` (iterative post-order, deep-safe)."""
-        if node.is_sink:
-            return (self.dst.sink, False)
+    def _copy(self, node: int) -> Edge:
+        """Copy node ``node`` into ``dst`` (iterative post-order, deep-safe)."""
+        if node == SINK:
+            return SINK
+        src = self.src
+        pvl = src._pv
+        svl = src._sv
+        neql = src._neq
+        eql = src._eq
         memo = self._memo
-        position = self.src.order.position
-        stack: List[BBDDNode] = [node]
+        position = src.order.position
+        stack: List[int] = [node]
         while stack:
             top = stack[-1]
             if top in memo:
                 stack.pop()
                 continue
-            if top.sv == SV_ONE:
-                memo[top] = self._rebuilder.make_literal(position(top.pv))
+            if svl[top] == SV_ONE:
+                memo[top] = self._rebuilder.make_literal(position(pvl[top]))
                 stack.pop()
                 continue
+            d = neql[top]
+            dn = -d if d < 0 else d
             pending = [
-                c for c in (top.neq, top.eq) if not c.is_sink and c not in memo
+                c for c in (dn, eql[top]) if c != SINK and c not in memo
             ]
             if pending:
                 stack.extend(pending)
                 continue
             stack.pop()
-            dn, da = (
-                (self.dst.sink, False) if top.neq.is_sink else memo[top.neq]
-            )
-            e = (self.dst.sink, False) if top.eq.is_sink else memo[top.eq]
+            d_copy = SINK if dn == SINK else memo[dn]
+            if d < 0:
+                d_copy = -d_copy
+            eq = eql[top]
+            e_copy = SINK if eq == SINK else memo[eq]
             memo[top] = self._rebuilder.make_chain(
-                position(top.pv),
-                position(top.sv),
-                (dn, da ^ top.neq_attr),
-                e,
+                position(pvl[top]),
+                position(svl[top]),
+                d_copy,
+                e_copy,
             )
         return memo[node]
 

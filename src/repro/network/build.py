@@ -51,11 +51,11 @@ def _build_deferred(manager, network, make_manager_edge) -> Dict[str, object]:
         if op == "BUF":
             edges[signal] = fanins[0]
         elif op == "INV":
-            edges[signal] = (fanins[0][0], not fanins[0][1])
+            edges[signal] = manager.negate_edge(fanins[0])
         elif op == "MUX":
             s, a, b = fanins
             sa = manager.apply_edges(s, a, OP_AND)
-            sb = manager.apply_edges((s[0], not s[1]), b, OP_AND)
+            sb = manager.apply_edges(manager.negate_edge(s), b, OP_AND)
             edges[signal] = manager.apply_edges(sa, sb, OP_OR)
         elif op == "MAJ":
             a, b, c = fanins
@@ -73,7 +73,7 @@ def _build_deferred(manager, network, make_manager_edge) -> Dict[str, object]:
                 acc = fanins[0]
                 for nxt in fanins[1:]:
                     acc = manager.apply_edges(acc, nxt, positive)
-                edges[signal] = (acc[0], not acc[1])
+                edges[signal] = manager.negate_edge(acc)
             else:
                 acc = fanins[0]
                 for nxt in fanins[1:]:

@@ -571,9 +571,8 @@ def evaluate_batch(f, assignments, chunk: int = DEFAULT_CHUNK) -> List[bool]:
     encoded = _encode(manager, assignments, support, with_known=False)
     if encoded.count == 0:
         return []
-    node, attr = edge
-    if node.is_sink:
-        return [not attr] * encoded.count
+    if manager.edge_is_sink(edge):
+        return [not manager.edge_attr(edge)] * encoded.count
     results: List[bool] = []
     for start in range(0, encoded.count, chunk):
         stop = min(start + chunk, encoded.count)
@@ -597,9 +596,8 @@ def satisfiable_batch(f, assignments, chunk: int = DEFAULT_CHUNK) -> List[bool]:
     encoded = _encode(manager, assignments, None, with_known=True)
     if encoded.count == 0:
         return []
-    node, attr = edge
-    if node.is_sink:
-        return [not attr] * encoded.count
+    if manager.edge_is_sink(edge):
+        return [not manager.edge_attr(edge)] * encoded.count
     results: List[bool] = []
     for start in range(0, encoded.count, chunk):
         stop = min(start + chunk, encoded.count)

@@ -68,8 +68,14 @@ class BBDDRewriter:
 
     # -- edges and nodes ---------------------------------------------------------
 
-    def signal_of_edge(self, edge: Edge) -> str:
-        node, attr = edge
+    def signal_of_edge(self, edge) -> str:
+        if isinstance(edge, int):
+            # Flat-store boundary: manager edges are signed ints; the
+            # rewriter itself walks interned (view, attr) pairs.
+            node = self.manager.node_view(-edge if edge < 0 else edge)
+            attr = edge < 0
+        else:
+            node, attr = edge
         if node.is_sink:
             return self._const(not attr)
         signal = self._signal_of_node(node)

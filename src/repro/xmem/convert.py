@@ -311,13 +311,13 @@ class ToXmemMigrator:
         else:  # live BBDD nodes -> serializable records -> replay
             from repro.io.binary import forest_records
 
-            node, attr = f.edge
-            if node.is_sink:
-                return self.dst.function((self.dst._sink, bool(attr)))
+            edge = f.edge  # signed-int flat-store edge
+            if edge == 1 or edge == -1:
+                return self.dst.function((self.dst._sink, edge < 0))
             # Each call has its own file-id space; the shared builder's
             # unique table still dedups the created records.
             rebuilder = self._fresh_rebuilder()
-            records, ids = forest_records(self.src, [("f", f.edge)])
+            records, ids = forest_records(self.src, [("f", edge)])
             for position, sv_position, _node, neq, eq in records:
                 if sv_position is None:
                     rebuilder.add_record(position, LITERAL_TAG, 0, 0)
@@ -328,7 +328,9 @@ class ToXmemMigrator:
                         pack_ref(*neq),
                         pack_ref(*eq),
                     )
-            root = rebuilder.edge_for(pack_ref(ids[node], attr))
+            root = rebuilder.edge_for(
+                pack_ref(ids[-edge if edge < 0 else edge], edge < 0)
+            )
         if root >> 1 == 0:
             return self.dst.function((self.dst._sink, bool(root & 1)))
         rep, new_roots = self._builder.snapshot([root])

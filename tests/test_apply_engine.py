@@ -158,7 +158,7 @@ def test_defer_gc_blocks_collection_and_exit_keeps_bare_edges():
     # Exiting must NOT collect (the bare result would be swept before the
     # caller can reference it); the armed collection runs at the next
     # operation boundary instead.
-    assert acc[0].ref >= 0
+    assert m.edge_node(acc).ref >= 0
     f = m.function(acc)
     _g = f & m.var(0)  # next op: collection may now run, f is protected
     assert f.evaluate({m.var_name(i): i == 0 for i in range(32)})

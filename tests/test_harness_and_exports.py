@@ -47,6 +47,43 @@ def test_dot_export_contains_structure():
     assert "a,b" in dot and "sink" in dot
 
 
+def test_exports_render_literal_chain_and_complement():
+    """Regression: the export paths ride the node-view layer.
+
+    One forest exercising the three shapes an identity refactor breaks
+    silently: a literal (R4) node, a chain-transform couple that skips an
+    order variable, and complemented edges (root attribute and stored
+    ``!=``-edge attribute).
+    """
+    m = BBDDManager(["a", "b", "c"])
+    lit = m.var("b")  # literal node
+    chain = m.var("a").xnor(m.var("c"))  # chain-transform couple (a, c)
+    comp = m.var("a") ^ m.var("b")  # complemented root of the (a, b) node
+    assert m.edge_attr(comp.edge), "xor roots carry the complement attribute"
+    dot = to_dot(m, [lit, chain, comp], names=["lit", "chain", "comp"])
+    # Literal: box node labelled with its variable, implicit sink edges.
+    assert 'shape=box, label="b"' in dot
+    # Chain transform: couple label pairs non-adjacent support variables.
+    assert 'label="a,c"' in dot
+    # Complements: root arrow of `comp` and the xnor node's !=-edge are
+    # both dot-terminated.
+    assert "comp -> " in dot and "arrowhead=odot" in dot
+    comp_root = m.edge_node(comp.edge)
+    assert (
+        f"n{comp_root.uid} -> sink [style=dashed, arrowhead=odot" in dot
+    )
+    # The same three shapes survive the Verilog writer semantically.
+    text = bbdd_to_verilog(
+        m, {"lit": lit, "chain": chain, "comp": comp}, module_name="shapes"
+    )
+    net = parse_verilog(text)
+    masks = output_truth_masks(net)
+    order = net.inputs
+    assert masks["lit"] == lit.truth_mask(order)
+    assert masks["chain"] == chain.truth_mask(order)
+    assert masks["comp"] == comp.truth_mask(order)
+
+
 def test_bbdd_to_verilog_round_trips():
     m = BBDDManager(["a", "b", "c"])
     f = (m.var("a") & m.var("b")) | m.var("c")

@@ -170,11 +170,12 @@ def test_iter_levels_is_bottom_up_and_backward_referencing():
 def test_levelize_orders_children_first():
     m, fns = _small_forest()
     levels = levelize(m, [f.edge for f in fns.values()])
-    seen = {m.sink}
+    seen = {1}  # the sink's index
     for _position, nodes in levels:
         for node in nodes:
-            if node.is_chain:
-                assert node.neq in seen and node.eq in seen
+            view = m.node_view(node)
+            if view.is_chain:
+                assert view.neq.index in seen and view.eq.index in seen
             seen.add(node)
 
 

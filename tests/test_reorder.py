@@ -45,9 +45,9 @@ def test_swap_sequence_matches_rebuild_oracle(seed):
     m2.order.set_order(m.order.order)
     edges2 = [reorder.from_truth_table(m2, mask) for mask in masks]
     m.gc()
-    assert count_nodes([f.edge for f in funcs]) == count_nodes(edges2)
+    assert count_nodes(m, [f.edge for f in funcs]) == count_nodes(m2, edges2)
     for f, e2 in zip(funcs, edges2):
-        assert f.attr == e2[1]
+        assert f.attr == (e2 < 0)
         assert f.truth_mask(range(n)) == m2.function(e2).truth_mask(range(n))
 
 
@@ -90,6 +90,29 @@ def test_sift_shrinks_interleaving_blowup():
     assert result.final_size <= result.initial_size
     # The equality-of-vectors function is linear under the sifted order.
     assert f.node_count() <= n_pairs + 1
+
+
+def test_swap_with_dead_garbage_then_converge_sift():
+    """Swapping over a store holding once-live dead nodes must not let a
+    reclaimed slot's recycled identity alias a stale unique-table key
+    (the flat store's ABA hazard): the dead node's key names child slots
+    whose counts it already dropped, so a level sweep may free and
+    ``_make`` re-issue them mid-swap."""
+    width = 6
+    names = [f"a{i}" for i in range(width)] + [f"b{i}" for i in range(width)]
+    m = BBDDManager(names)
+    # add_expr leaves floating intermediates and once-live dead nodes
+    # behind — deliberately no gc() before the raw swap primitive.
+    equal = m.add_expr(" & ".join(f"(a{i} <-> b{i})" for i in range(width)))
+    mask = equal.truth_mask(names)
+    reorder.swap_adjacent(m, width - 1)
+    m.check_invariants()
+    assert equal.truth_mask(names) == mask
+    result = reorder.sift(m, converge=True)
+    m.check_invariants()
+    assert equal.truth_mask(names) == mask
+    # The interleaved comparator chain is linear.
+    assert result.final_size <= 2 * width + 1
 
 
 @pytest.mark.parametrize("seed", range(5))
