@@ -17,6 +17,10 @@ Public entry points:
   evaluation (``Function.evaluate_batch``), a multi-process forest
   pool, and an asyncio server coalescing single queries into levelized
   sweeps (``python -m repro.serve``).
+* :mod:`repro.par` — shared-memory parallelism: freeze a forest into a
+  zero-copy :class:`repro.par.ShmForest` segment, sweep batches across
+  a persistent multi-process :class:`repro.par.ParallelPool`, or pass
+  ``workers=`` to ``evaluate_batch``/``satisfiable_batch``.
 * :mod:`repro.network` — combinational logic networks with BLIF/Verilog
   frontends.
 * :mod:`repro.circuits` — MCNC/ISCAS/datapath benchmark generators.
@@ -31,7 +35,7 @@ Public entry points:
 from repro.core import BBDDManager, Function
 from repro.api import open, register_backend, backends
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BBDDManager",

@@ -171,11 +171,11 @@ class DDManager:
             raise ForeignManagerError("function belongs to a different manager")
         return f.to_expr()
 
-    def evaluate_batch(self, f: "FunctionBase", assignments):
+    def evaluate_batch(self, f: "FunctionBase", assignments, workers: Optional[int] = None):
         """Manager-level spelling of :meth:`FunctionBase.evaluate_batch`."""
         if f.manager is not self:
             raise ForeignManagerError("function belongs to a different manager")
-        return f.evaluate_batch(assignments)
+        return f.evaluate_batch(assignments, workers=workers)
 
     # -- batch protocol (repro.serve) ---------------------------------------
 
@@ -212,6 +212,115 @@ class DDManager:
             evaluate(edge, values)
             for values in batch.iter_value_dicts(self.num_vars)
         ]
+
+    def freeze_export(self, named):
+        """Flatten a named forest into parallel int64 columns, or None.
+
+        The array producer behind :meth:`repro.par.shm.ShmForest.freeze`
+        (``named`` is a list of ``(name, edge)`` pairs).  Returns a dict
+        of ``kind`` (the backend name), four per-slot integer lists
+        ``pv``/``sv``/``t``/``f`` (slots 0 and 1 reserved, ``sv = -1``
+        marks a single-variable test, child references are signed with
+        ``abs(ref) == 1`` the sink) in one **global topological order**
+        — children strictly after parents across all roots — and
+        ``roots`` mapping each name to its signed root reference
+        (``±1`` for constants).
+
+        This default builds on :meth:`batch_stream`: backends without a
+        structural level stream return None, and shared-memory callers
+        fall back to the sequential in-process path.  Backends with a
+        cheaper global enumeration override it.
+        """
+        infos: Dict[object, tuple] = {}
+        node_roots: Dict[str, tuple] = {}
+        # Item keys are only guaranteed unique *within* one stream (the
+        # xmem backend, say, numbers nodes per root representation), so
+        # each stream's keys are namespaced by a stream index; two names
+        # rooted at the same node share one stream (and its slots).
+        streams_by_node: Dict[object, tuple] = {}
+        for name, edge in named:
+            if self.edge_is_sink(edge):
+                continue
+            attr = self.edge_attr(edge)
+            regular = self.negate_edge(edge) if attr else edge
+            node_key = self.edge_uid(regular)
+            entry = streams_by_node.get(node_key)
+            if entry is None:
+                stream = self.batch_stream(edge)
+                if stream is None:
+                    return None
+                root_key, items = stream
+                ns = len(streams_by_node)
+                for key, pvv, svv, tk, tf, tpv, fk, ff, fpv in items:
+                    infos.setdefault(
+                        (ns, key),
+                        (
+                            (ns, key),
+                            pvv,
+                            svv,
+                            None if tk is None else (ns, tk),
+                            tf,
+                            tpv,
+                            None if fk is None else (ns, fk),
+                            ff,
+                            fpv,
+                        ),
+                    )
+                entry = ((ns, root_key),)
+                streams_by_node[node_key] = entry
+            node_roots[name] = (entry[0], attr)
+        # Reverse DFS post-order = parents before children, merged
+        # across roots (a node shared between two roots keeps one slot).
+        seen = set()
+        order = []
+        for name, _edge in named:
+            entry = node_roots.get(name)
+            if entry is None or entry[0] in seen:
+                continue
+            stack = [(entry[0], False)]
+            while stack:
+                key, finished = stack.pop()
+                if finished:
+                    order.append(key)
+                    continue
+                if key in seen:
+                    continue
+                seen.add(key)
+                stack.append((key, True))
+                item = infos[key]
+                for child in (item[6], item[3]):
+                    if child is not None and child not in seen:
+                        stack.append((child, False))
+        ids: Dict[object, int] = {}
+        pv = [0, 0]
+        sv = [-1, -1]
+        t = [0, 0]
+        f = [0, 0]
+        for key in reversed(order):
+            ids[key] = 2 + len(ids)
+        for key in reversed(order):
+            _key, pvv, svv, t_key, t_flip, _tpv, f_key, f_flip, _fpv = infos[key]
+            pv.append(pvv)
+            sv.append(-1 if svv is None else svv)
+            t_ref = 1 if t_key is None else ids[t_key]
+            t.append(-t_ref if t_flip else t_ref)
+            f_ref = 1 if f_key is None else ids[f_key]
+            f.append(-f_ref if f_flip else f_ref)
+        roots: Dict[str, int] = {}
+        for name, edge in named:
+            if self.edge_is_sink(edge):
+                roots[name] = -1 if self.edge_is_false(edge) else 1
+            else:
+                key, attr = node_roots[name]
+                roots[name] = -ids[key] if attr else ids[key]
+        return {
+            "kind": self.backend,
+            "pv": pv,
+            "sv": sv,
+            "t": t,
+            "f": f,
+            "roots": roots,
+        }
 
     def satisfiable_batch_edges(self, edge, batch):
         """Batched cube satisfiability (see :func:`repro.serve.bulk.satisfiable_batch`).
@@ -597,7 +706,7 @@ class FunctionBase:
                 values.setdefault(var, False)
         return self.manager.evaluate_edge(self.edge, values)
 
-    def evaluate_batch(self, assignments) -> list:
+    def evaluate_batch(self, assignments, workers: Optional[int] = None) -> list:
         """Evaluate at many assignments with one levelized sweep.
 
         ``assignments`` is an iterable of mappings — each under the
@@ -609,19 +718,35 @@ class FunctionBase:
         (:mod:`repro.serve.bulk`), so the cost is
         ``O(nodes + queries)`` instead of one root-to-sink walk per
         query.
+
+        With ``workers=N`` (truthy) the sweep runs across the shared
+        worker pool of :mod:`repro.par`: the forest is frozen into
+        shared memory and the batch's lane chunks are swept by ``N``
+        processes in parallel — worthwhile for large batches on large
+        diagrams.  Backends without a freeze export silently use the
+        sequential path.
         """
+        if workers:
+            from repro.par import parallel_evaluate_batch
+
+            return parallel_evaluate_batch(self, assignments, workers=workers)
         from repro.serve.bulk import evaluate_batch
 
         return evaluate_batch(self, assignments)
 
-    def satisfiable_batch(self, assignments) -> list:
+    def satisfiable_batch(self, assignments, workers: Optional[int] = None) -> list:
         """For each partial assignment (cube): is ``f ∧ cube`` satisfiable?
 
         Same input forms and error contract as :meth:`evaluate_batch`,
         except assignments may be partial — unconstrained variables are
         existentially quantified by the sweep itself (a query flows
         into both branches where its cube does not decide the test).
+        ``workers=N`` parallelizes exactly like :meth:`evaluate_batch`.
         """
+        if workers:
+            from repro.par import parallel_satisfiable_batch
+
+            return parallel_satisfiable_batch(self, assignments, workers=workers)
         from repro.serve.bulk import satisfiable_batch
 
         return satisfiable_batch(self, assignments)

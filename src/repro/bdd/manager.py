@@ -341,6 +341,61 @@ class BDDManager(DDManager):
             return None
         return (edge[0], _ops.iter_cohort_items(self, edge))
 
+    def freeze_export(self, named):
+        """Flat int64 columns of a named forest (the shared-memory codec).
+
+        Native override of :meth:`repro.api.base.DDManager.freeze_export`:
+        one DFS over all roots collects the shared node set, and sorting
+        by order position (then uid, for determinism) is a valid global
+        top-down order for Shannon diagrams — children always sit at
+        strictly later positions.
+        """
+        nodes = []
+        seen = set()
+        stack = []
+        for _name, edge in named:
+            node = edge[0]
+            if not node.is_sink and node not in seen:
+                seen.add(node)
+                stack.append(node)
+        while stack:
+            node = stack.pop()
+            nodes.append(node)
+            for child in (node.then, node.else_):
+                if not child.is_sink and child not in seen:
+                    seen.add(child)
+                    stack.append(child)
+        position = self.order.position
+        nodes.sort(key=lambda n: (position(n.var), n.uid))
+        ids = {node: 2 + i for i, node in enumerate(nodes)}
+        pv = [0, 0]
+        sv = [-1, -1]
+        t = [0, 0]
+        f = [0, 0]
+        for node in nodes:
+            pv.append(node.var)
+            sv.append(-1)
+            then = node.then
+            t.append(1 if then.is_sink else ids[then])
+            els = node.else_
+            f_ref = 1 if els.is_sink else ids[els]
+            f.append(-f_ref if node.else_attr else f_ref)
+        roots = {}
+        for name, edge in named:
+            node, attr = edge
+            if node.is_sink:
+                roots[name] = -1 if attr else 1
+            else:
+                roots[name] = -ids[node] if attr else ids[node]
+        return {
+            "kind": self.backend,
+            "pv": pv,
+            "sv": sv,
+            "t": t,
+            "f": f,
+            "roots": roots,
+        }
+
     def sat_count_edge(self, edge: BDDEdge) -> int:
         return self.sat_count(edge)
 

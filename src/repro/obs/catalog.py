@@ -60,6 +60,8 @@ CATALOG: "Mapping[str, tuple]" = {
         "counter", "Request-queue sorted runs spilled during sweeps.", (), None),
     "repro_xmem_merge_passes_total": (
         "counter", "Run-compaction merge passes over spilled runs.", (), None),
+    "repro_xmem_parallel_merge_tasks_total": (
+        "counter", "Run-merge groups executed on the merge process pool.", (), None),
     "repro_xmem_resident_nodes": (
         "gauge", "Node records currently resident in RAM.", (), None),
     "repro_xmem_resident_blocks": (
@@ -96,6 +98,29 @@ CATALOG: "Mapping[str, tuple]" = {
         "counter", "Forest containers decoded into a host cache.", (), None),
     "repro_serve_forest_hits_total": (
         "counter", "Forest-host LRU hits (container already loaded).", (), None),
+    "repro_serve_worker_restarts_total": (
+        "counter", "Pool workers that died and were respawned.", (), None),
+    "repro_serve_batch_retries_total": (
+        "counter", "Pool batches retried after a worker restart.", (), None),
+    "repro_serve_shm_freezes_total": (
+        "counter", "Dumps frozen into shared-memory segments.", (), None),
+    "repro_serve_shm_attaches_total": (
+        "counter", "Shared-segment attachments made by forest hosts.", (), None),
+    "repro_serve_shm_segment_bytes": (
+        "gauge", "Bytes held in live shared forest segments.", (), None),
+    # -- par: shared-memory forests and parallel sweeps ----------------
+    "repro_par_tasks_total": (
+        "counter", "Sweep/count tasks dispatched to the parallel pool.", (), None),
+    "repro_par_batches_total": (
+        "counter", "Query batches run through the parallel pool.", (), None),
+    "repro_par_batch_retries_total": (
+        "counter", "Parallel batches retried after a worker restart.", (), None),
+    "repro_par_worker_restarts_total": (
+        "counter", "Parallel-pool workers that died and were respawned.", (), None),
+    "repro_par_shm_attaches_total": (
+        "counter", "Shared-segment attachments made by pool workers.", (), None),
+    "repro_par_attached_segments": (
+        "gauge", "Segments currently attached in a worker.", (), None),
 }
 
 _KINDS = {"counter", "gauge", "histogram"}

@@ -64,11 +64,24 @@ def build_parser() -> argparse.ArgumentParser:
             "(0 picks a free one; off by default)"
         ),
     )
+    parser.add_argument(
+        "--no-shared-memory",
+        action="store_true",
+        help=(
+            "give each worker a private forest copy instead of attaching "
+            "one shared frozen segment (shared memory is the default "
+            "with workers > 0 where the platform supports it)"
+        ),
+    )
     return parser
 
 
 async def _serve(args: argparse.Namespace) -> None:
-    pool = ForestPool(workers=args.workers, max_forests=args.max_forests)
+    pool = ForestPool(
+        workers=args.workers,
+        max_forests=args.max_forests,
+        shared_memory=False if args.no_shared_memory else None,
+    )
     server = BatchingServer(
         pool,
         args.forest,
@@ -94,6 +107,20 @@ async def _serve(args: argparse.Namespace) -> None:
             snapshot_fn=server.metrics_snapshot,
             host=args.host,
         ).start()
+    # SIGTERM/SIGINT trigger the same graceful path as --max-requests:
+    # the finally block below closes the pool, which unlinks every
+    # shared-memory segment — an orchestrator's stop must not leak
+    # /dev/shm space.  (Unsupported on some platforms/loops.)
+    import signal
+
+    loop = asyncio.get_running_loop()
+    handled_signals = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, done.set)
+            handled_signals.append(signum)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
     tcp = await serve_tcp(server, args.host, args.port, on_request=on_request)
     address = tcp.sockets[0].getsockname()
     print(
@@ -107,11 +134,10 @@ async def _serve(args: argparse.Namespace) -> None:
             flush=True,
         )
     try:
-        if args.max_requests is None:
-            await asyncio.Event().wait()
-        else:
-            await done.wait()
+        await done.wait()
     finally:
+        for signum in handled_signals:
+            loop.remove_signal_handler(signum)
         tcp.close()
         await tcp.wait_closed()
         if exporter is not None:

@@ -17,17 +17,28 @@ pool's wire/warm-start format):
 right choice for tests, small deployments, and platforms where
 spawning is expensive; it still provides the forest cache, sharding
 and result cache.
+
+With **shared memory** on (the default wherever
+``multiprocessing.shared_memory`` works), the dispatcher loads each
+dump once, freezes it into a :class:`repro.par.shm.ShmForest` segment
+and the workers *attach* instead of holding private copies — memory
+per added worker is O(1) in the forest size.  A dump file that changes
+on disk is re-frozen under a bumped generation number and the old
+segment retired, so serving hot-reloads without a restart.  Worker
+processes that die mid-batch are detected, respawned (re-attaching
+lazily) and the in-flight batch retried once
+(:class:`repro.par.dispatch.WorkerCrew`).
 """
 
 from __future__ import annotations
 
 import os
 import threading
-import time
 from collections import OrderedDict
-from typing import Dict, Iterable, List, Mapping, Optional, Set
+from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.api.base import check_assignment_bit
+from repro.par.dispatch import CrewError, WorkerCrew, WorkerRestarted
 from repro.serve.bulk import ServeError
 
 #: Default shard size: batches above this split across workers.
@@ -48,12 +59,14 @@ class ForestHost:
             raise ServeError("max_forests must be positive")
         self.max_forests = max_forests
         self._forests: "OrderedDict[str, tuple]" = OrderedDict()
+        self._segments: "OrderedDict[str, object]" = OrderedDict()
         # An inline (workers=0) pool shares this host across the
         # batching server's executor threads; serialize access so the
         # LRU bookkeeping and the underlying manager stay consistent.
         self._lock = threading.Lock()
         self.loads = 0
         self.hits = 0
+        self.shm_attaches = 0
 
         from repro import obs
 
@@ -98,6 +111,49 @@ class ForestHost:
             # thread-safe (worker processes are the parallelism axis).
             return f.evaluate_batch(assignments)
 
+    def attach_segment(self, segment: str):
+        """The attached :class:`~repro.par.shm.ShmForest` for ``segment``.
+
+        Attachments share the host's LRU budget semantics (a separate
+        table, same capacity): an evicted segment is closed, and
+        re-attaching later is cheap — the kernel mapping is the only
+        cost, the arrays are never copied.
+        """
+        with self._lock:
+            forest = self._segments.get(segment)
+            if forest is None:
+                from repro.par.shm import ShmForest
+
+                forest = ShmForest.attach(segment)
+                self._segments[segment] = forest
+                self.shm_attaches += 1
+                while len(self._segments) > self.max_forests:
+                    _, evicted = self._segments.popitem(last=False)
+                    evicted.close()
+            else:
+                self._segments.move_to_end(segment)
+            return forest
+
+    def evaluate_segment(self, segment: str, name: str, assignments) -> List[bool]:
+        """Batch-evaluate one named function of an attached segment."""
+        forest = self.attach_segment(segment)
+        return forest.evaluate_batch(name, assignments)
+
+    def detach_segment(self, segment: str) -> None:
+        """Drop (and close) one segment attachment, if present."""
+        with self._lock:
+            forest = self._segments.pop(segment, None)
+        if forest is not None:
+            forest.close()
+
+    def close_segments(self) -> None:
+        """Close every segment attachment (worker exit)."""
+        with self._lock:
+            segments = list(self._segments.values())
+            self._segments.clear()
+        for forest in segments:
+            forest.close()
+
     def collect_metrics(self, registry) -> None:
         """Sample forest-cache counters into an obs registry.
 
@@ -110,9 +166,10 @@ class ForestHost:
 
         family(registry, "repro_serve_forest_loads_total").inc(self.loads)
         family(registry, "repro_serve_forest_hits_total").inc(self.hits)
+        family(registry, "repro_serve_shm_attaches_total").inc(self.shm_attaches)
 
 
-def _worker_main(in_queue, out_queue, max_forests: int) -> None:
+def _worker_main(in_queue, reply, max_forests: int) -> None:
     """Worker-process loop: serve ``(task_id, op, payload)`` requests."""
     from repro import obs
 
@@ -121,28 +178,41 @@ def _worker_main(in_queue, out_queue, max_forests: int) -> None:
     # only its own work (the dispatcher merges them with its own).
     obs.reset()
     host = ForestHost(max_forests)
-    while True:
-        message = in_queue.get()
-        if message is None:
-            return
-        task_id, op, payload = message
-        try:
-            if op == "eval":
-                path, name, assignments = payload
-                result = host.evaluate(path, name, assignments)
-            elif op == "warm":
-                result = host.names(payload)
-            elif op == "stats":
-                result = {"loads": host.loads, "forest_hits": host.hits}
-            elif op == "metrics":
-                from repro import obs
-
-                result = obs.snapshot()
-            else:  # pragma: no cover - protocol misuse
-                raise ServeError(f"unknown worker op {op!r}")
-            out_queue.put((task_id, True, result))
-        except BaseException as exc:  # noqa: BLE001 - reported to the caller
-            out_queue.put((task_id, False, f"{type(exc).__name__}: {exc}"))
+    try:
+        while True:
+            message = in_queue.get()
+            if message is None:
+                return
+            task_id, op, payload = message
+            try:
+                if op == "eval":
+                    path, name, assignments = payload
+                    result = host.evaluate(path, name, assignments)
+                elif op == "eval_shm":
+                    segment, name, assignments = payload
+                    result = host.evaluate_segment(segment, name, assignments)
+                elif op == "warm":
+                    result = host.names(payload)
+                elif op == "attach_shm":
+                    result = sorted(host.attach_segment(payload).functions)
+                elif op == "detach_shm":
+                    host.detach_segment(payload)
+                    result = None
+                elif op == "stats":
+                    result = {
+                        "loads": host.loads,
+                        "forest_hits": host.hits,
+                        "shm_attaches": host.shm_attaches,
+                    }
+                elif op == "metrics":
+                    result = obs.snapshot()
+                else:  # pragma: no cover - protocol misuse
+                    raise ServeError(f"unknown worker op {op!r}")
+                reply.send((task_id, True, result))
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                reply.send((task_id, False, f"{type(exc).__name__}: {exc}"))
+    finally:
+        host.close_segments()
 
 
 def _normalize_assignment(assignment: Mapping, where: str) -> tuple:
@@ -178,6 +248,12 @@ class ForestPool:
         across the workers.
     timeout:
         Seconds to wait for a worker reply before declaring it dead.
+    shared_memory:
+        ``True`` freezes each dump into a shared-memory segment the
+        workers attach zero-copy; ``False`` keeps private per-worker
+        copies; ``None`` (default) enables sharing whenever the
+        platform supports it and the pool has workers.  Forests whose
+        backend cannot freeze fall back to private copies per path.
     """
 
     def __init__(
@@ -187,6 +263,7 @@ class ForestPool:
         cache_size: int = 4096,
         shard_size: int = DEFAULT_SHARD,
         timeout: float = 120.0,
+        shared_memory: Optional[bool] = None,
     ) -> None:
         if workers is None:
             workers = min(4, os.cpu_count() or 1)
@@ -202,63 +279,64 @@ class ForestPool:
         self.cache_misses = 0
         self.batches_dispatched = 0
         self.shards_dispatched = 0
-        self._task_seq = 0
-        self._results: Dict[int, tuple] = {}
-        self._abandoned: Set[int] = set()
-        # One lock/condition guards task ids, worker rotation and the
-        # result demux: several threads may wait concurrently (the
-        # batching server's flush gathers groups in executor threads),
-        # and only one of them may block on the shared result queue at
-        # a time — it parks other threads' replies in ``_results`` and
-        # wakes them through the condition.
+        self.batch_retries = 0
+        self.shm_freezes = 0
+        # Guards the result cache and dispatcher counters: the batching
+        # server calls in from several executor threads at once.
         self._cond = threading.Condition()
-        self._draining = False
         self._host: Optional[ForestHost] = None
-        self._processes: List = []
-        self._queues: List = []
-        self._out_queue = None
-        self._next_worker = 0
+        self._crew: Optional[WorkerCrew] = None
+        if shared_memory is None:
+            from repro.par.shm import shm_available
+
+            shared_memory = workers > 0 and shm_available()
+        self.shared_memory = bool(shared_memory) and workers > 0
+        # path -> {"forest": ShmForest, "sig": (mtime_ns, size),
+        #          "generation": int}.  The dispatcher owns the frozen
+        # segments; workers attach them by name on demand.
+        self._shared_lock = threading.Lock()
+        self._shared: Dict[str, dict] = {}
+        self._shm_failed: set = set()
         from repro import obs
 
         obs.track(self)
         if workers == 0:
             self._host = ForestHost(max_forests)
         else:
-            import multiprocessing as mp
-
-            context = mp.get_context()
-            self._out_queue = context.Queue()
-            for _ in range(workers):
-                in_queue = context.Queue()
-                process = context.Process(
-                    target=_worker_main,
-                    args=(in_queue, self._out_queue, max_forests),
-                    daemon=True,
-                )
-                process.start()
-                self._queues.append(in_queue)
-                self._processes.append(process)
+            self._crew = WorkerCrew(
+                workers,
+                _worker_main,
+                args=(max_forests,),
+                timeout=timeout,
+                name="repro-serve",
+            )
 
     # -- lifecycle ------------------------------------------------------
 
     @property
     def workers(self) -> int:
         """Worker process count (0 when serving inline)."""
-        return len(self._processes)
+        return self._crew.workers if self._crew is not None else 0
+
+    @property
+    def worker_restarts(self) -> int:
+        """Workers that died mid-task and were respawned (0 inline)."""
+        return self._crew.worker_restarts if self._crew is not None else 0
 
     def close(self) -> None:
-        """Stop the workers (idempotent)."""
-        for queue in self._queues:
+        """Stop the workers and unlink owned segments (idempotent)."""
+        if self._crew is not None:
+            self._crew.close()
+        with self._shared_lock:
+            entries = list(self._shared.values())
+            self._shared.clear()
+        for entry in entries:
+            forest = entry["forest"]
             try:
-                queue.put(None)
-            except (OSError, ValueError):  # pragma: no cover - teardown
+                forest.unlink()
+            except Exception:  # pragma: no cover - already unlinked
                 pass
-        for process in self._processes:
-            process.join(timeout=5)
-            if process.is_alive():  # pragma: no cover - stuck worker
-                process.terminate()
-        self._processes = []
-        self._queues = []
+            forest.close()
 
     def __enter__(self) -> "ForestPool":
         return self
@@ -274,108 +352,112 @@ class ForestPool:
 
     # -- dispatch -------------------------------------------------------
 
-    def _submit_to(self, index: int, op: str, payload) -> int:
-        with self._cond:
-            self._task_seq += 1
-            task_id = self._task_seq
-        self._queues[index].put((task_id, op, payload))
-        return task_id
+    def _crewed(self, attempt):
+        """Run ``attempt()`` against the crew; retry once after a respawn.
 
-    def _submit(self, op: str, payload) -> int:
-        with self._cond:
-            self._task_seq += 1
-            task_id = self._task_seq
-            index = self._next_worker
-            self._next_worker = (index + 1) % len(self._queues)
-        self._queues[index].put((task_id, op, payload))
-        return task_id
-
-    def _collect(self, task_id: int):
-        """Wait for one task's worker reply (thread-safe demux).
-
-        Exactly one thread at a time drains the shared result queue;
-        replies for other waiters are parked in ``_results`` and their
-        threads woken through the condition, so concurrent callers
-        never steal each other's wakeups.  A timed-out task id is
-        remembered so its late reply is discarded instead of leaking.
+        A worker death mid-batch surfaces as
+        :class:`~repro.par.dispatch.WorkerRestarted`; since every pool
+        op is idempotent (pure reads over immutable forests), the whole
+        attempt is re-submitted once against the respawned crew.  Any
+        other crew failure surfaces as :class:`ServeError`, keeping one
+        exception surface across inline and worker modes.
         """
-        import queue as queue_mod
-
-        deadline = time.monotonic() + self.timeout
-        with self._cond:
-            while task_id not in self._results:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    self._abandoned.add(task_id)
-                    raise ServeError(
-                        f"pool worker did not answer within {self.timeout}s"
-                    )
-                if self._draining:
-                    # Someone else is on the queue; they will park our
-                    # reply and notify.  Wake periodically to re-check
-                    # the deadline.
-                    self._cond.wait(timeout=min(remaining, 1.0))
-                    continue
-                self._draining = True
-                self._cond.release()
-                item = None
-                try:
-                    try:
-                        item = self._out_queue.get(timeout=min(remaining, 1.0))
-                    except queue_mod.Empty:
-                        item = None
-                finally:
-                    self._cond.acquire()
-                    self._draining = False
-                    if item is not None:
-                        done_id, ok, payload = item
-                        if done_id in self._abandoned:
-                            self._abandoned.discard(done_id)
-                        else:
-                            self._results[done_id] = (ok, payload)
-                    self._cond.notify_all()
-                if item is None and not any(
-                    p.is_alive() for p in self._processes
-                ):
-                    raise ServeError("all pool workers died")
-            ok, payload = self._results.pop(task_id)
-        if not ok:
-            raise ServeError(f"pool worker failed: {payload}")
-        return payload
-
-    def _collect_all(self, task_ids: List[int]) -> List:
-        """Collect several task replies; on failure, abandon the rest.
-
-        Without the cleanup, a timed-out multi-shard batch would leave
-        its sibling shards' late replies accumulating in ``_results``
-        forever.
-        """
-        payloads = []
-        for position, task_id in enumerate(task_ids):
+        try:
             try:
-                payloads.append(self._collect(task_id))
-            except ServeError:
+                return attempt()
+            except WorkerRestarted:
                 with self._cond:
-                    for stale_id in task_ids[position + 1 :]:
-                        if self._results.pop(stale_id, None) is None:
-                            self._abandoned.add(stale_id)
-                raise
-        return payloads
+                    self.batch_retries += 1
+                return attempt()
+        except CrewError as exc:
+            raise ServeError(str(exc)) from exc
+
+    # -- shared segments ------------------------------------------------
+
+    def _segment_for(self, path: str) -> Optional[str]:
+        """The live shared-segment name serving ``path`` (or ``None``).
+
+        Freezes the dump on first use.  A dump whose on-disk signature
+        (mtime, size) changed since the freeze is re-frozen under a
+        bumped generation and the stale segment retired, so serving
+        hot-reloads edited dumps without a pool restart.  A backend
+        that cannot freeze is remembered per path and served through
+        the private-copy ``eval`` path from then on.
+        """
+        if not self.shared_memory or path in self._shm_failed:
+            return None
+        try:
+            info = os.stat(path)
+            signature: Optional[tuple] = (info.st_mtime_ns, info.st_size)
+        except OSError:
+            signature = None
+        retired = None
+        with self._shared_lock:
+            entry = self._shared.get(path)
+            if entry is not None and entry["sig"] == signature:
+                return entry["forest"].name
+            generation = entry["generation"] + 1 if entry is not None else 0
+            try:
+                from repro.io import open_forest
+                from repro.par.shm import ShmForest
+
+                manager, functions = open_forest(path)
+                forest = ShmForest.freeze(
+                    manager, functions, generation=generation
+                )
+            except Exception:
+                self._shm_failed.add(path)
+                return None
+            self._shared[path] = {
+                "forest": forest,
+                "sig": signature,
+                "generation": generation,
+            }
+            self.shm_freezes += 1
+            if entry is not None:
+                retired = entry["forest"]
+        if retired is not None:
+            self._retire_segment(retired)
+        return forest.name
+
+    def _retire_segment(self, forest) -> None:
+        """Unlink a superseded segment after detaching the workers."""
+        if self._crew is not None:
+            try:
+                self._crew.abandon(
+                    self._crew.broadcast("detach_shm", forest.name)
+                )
+            except CrewError:  # pragma: no cover - closed crew
+                pass
+        try:
+            forest.unlink()
+        except Exception:  # pragma: no cover - already unlinked
+            pass
+        forest.close()
 
     def warm(self, path) -> List[str]:
         """Pre-load ``path`` into every worker; returns the root names.
 
         Warm-starting moves the dump decode off the first request's
-        latency path (every worker pays it once, concurrently).
+        latency path.  In shared-memory mode the dispatcher freezes the
+        dump once and the workers merely attach (one map each); in
+        private-copy mode every worker decodes the dump concurrently.
         """
         path = os.fspath(path)
         if self._host is not None:
             return self._host.names(path)
-        task_ids = [
-            self._submit_to(index, "warm", path)
-            for index in range(len(self._queues))
-        ]
-        return self._collect_all(task_ids)[-1]
+        segment = self._segment_for(path)
+        if segment is not None:
+            return self._crewed(
+                lambda: self._crew.collect_all(
+                    self._crew.broadcast("attach_shm", segment)
+                )[-1]
+            )
+        return self._crewed(
+            lambda: self._crew.collect_all(
+                self._crew.broadcast("warm", path)
+            )[-1]
+        )
 
     def evaluate_batch(self, path, name: str, assignments: Iterable[Mapping]) -> List[bool]:
         """Evaluate many assignments of one stored function.
@@ -437,45 +519,50 @@ class ForestPool:
             with self._cond:
                 self.shards_dispatched += 1
             return self._host.evaluate(path, name, misses)
+        segment = self._segment_for(path)
+        op = "eval" if segment is None else "eval_shm"
+        target = path if segment is None else segment
         shard = self.shard_size
-        task_ids = []
-        for start in range(0, len(misses), shard):
-            task_ids.append(
-                self._submit("eval", (path, name, misses[start : start + shard]))
-            )
-        with self._cond:
-            self.shards_dispatched += len(task_ids)
-        values: List[bool] = []
-        for shard_values in self._collect_all(task_ids):
-            values.extend(shard_values)
-        return values
+
+        def attempt() -> List[bool]:
+            task_ids = [
+                self._crew.submit(op, (target, name, misses[start : start + shard]))
+                for start in range(0, len(misses), shard)
+            ]
+            with self._cond:
+                self.shards_dispatched += len(task_ids)
+            values: List[bool] = []
+            for shard_values in self._crew.collect_all(task_ids):
+                values.extend(shard_values)
+            return values
+
+        return self._crewed(attempt)
 
     def evaluate(self, path, name: str, assignment: Mapping) -> bool:
         """Evaluate one assignment (a batch of one, through the cache)."""
         return self.evaluate_batch(path, name, [assignment])[0]
 
     def _forest_counters(self) -> tuple:
-        """``(loads, hits)`` of the forest caches, both pool modes.
+        """``(loads, hits, shm_attaches)`` of the forest caches.
 
         Inline pools read the host directly; worker pools ask every
         worker (best effort — a dead pool reports zeros rather than
         failing a stats call).
         """
         if self._host is not None:
-            return (self._host.loads, self._host.hits)
-        if not self._queues:
-            return (0, 0)
+            return (self._host.loads, self._host.hits, self._host.shm_attaches)
+        if self._crew is None:
+            return (0, 0, 0)
         try:
-            task_ids = [
-                self._submit_to(index, "stats", None)
-                for index in range(len(self._queues))
-            ]
-            replies = self._collect_all(task_ids)
-        except ServeError:
-            return (0, 0)
+            replies = self._crew.collect_all(
+                self._crew.broadcast("stats", None)
+            )
+        except CrewError:
+            return (0, 0, 0)
         loads = sum(reply["loads"] for reply in replies)
         hits = sum(reply["forest_hits"] for reply in replies)
-        return (loads, hits)
+        attaches = sum(reply.get("shm_attaches", 0) for reply in replies)
+        return (loads, hits, attaches)
 
     def metric_snapshots(self) -> List[dict]:
         """Metrics snapshots of every worker process (empty inline).
@@ -485,15 +572,13 @@ class ForestPool:
         of the local :func:`repro.obs.snapshot` and returns nothing
         here (no double counting).
         """
-        if self._host is not None or not self._queues:
+        if self._host is not None or self._crew is None:
             return []
         try:
-            task_ids = [
-                self._submit_to(index, "metrics", None)
-                for index in range(len(self._queues))
-            ]
-            return self._collect_all(task_ids)
-        except ServeError:
+            return self._crew.collect_all(
+                self._crew.broadcast("metrics", None)
+            )
+        except CrewError:
             return []
 
     def collect_metrics(self, registry) -> None:
@@ -519,17 +604,41 @@ class ForestPool:
         family(registry, "repro_serve_shards_dispatched_total").inc(
             self.shards_dispatched
         )
+        family(registry, "repro_serve_worker_restarts_total").inc(
+            self.worker_restarts
+        )
+        family(registry, "repro_serve_batch_retries_total").inc(
+            self.batch_retries
+        )
+        family(registry, "repro_serve_shm_freezes_total").inc(self.shm_freezes)
+        with self._shared_lock:
+            segment_bytes = sum(
+                entry["forest"].nbytes for entry in self._shared.values()
+            )
+        family(registry, "repro_serve_shm_segment_bytes").inc(segment_bytes)
 
     def stats(self) -> dict:
         """Dispatcher counters (cache effectiveness, dispatch volume)."""
-        forest_loads, forest_hits = self._forest_counters()
+        forest_loads, forest_hits, shm_attaches = self._forest_counters()
+        with self._shared_lock:
+            shared_segments = len(self._shared)
+            segment_bytes = sum(
+                entry["forest"].nbytes for entry in self._shared.values()
+            )
         return {
             "workers": self.workers,
+            "shared_memory": self.shared_memory,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_entries": len(self._cache),
             "batches_dispatched": self.batches_dispatched,
             "shards_dispatched": self.shards_dispatched,
+            "batch_retries": self.batch_retries,
+            "worker_restarts": self.worker_restarts,
             "forest_loads": forest_loads,
             "forest_hits": forest_hits,
+            "shm_freezes": self.shm_freezes,
+            "shm_attaches": shm_attaches,
+            "shared_segments": shared_segments,
+            "shm_segment_bytes": segment_bytes,
         }

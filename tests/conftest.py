@@ -13,10 +13,16 @@ health checks) and inherit ``max_examples`` from the active profile.
 The slowest tests are additionally marked ``@pytest.mark.slow`` (see
 ``pyproject.toml``); deselect them locally with ``-m "not slow"`` —
 they still run by default so the tier-1 gate covers everything.
+
+``@pytest.mark.timeout(seconds)`` puts a hard SIGALRM deadline on a
+test — used by the multi-process pool tests, where a dispatch bug
+would otherwise hang the whole suite on a queue that never answers.
 """
 
 import os
+import signal
 import sys
+import threading
 
 import pytest
 from hypothesis import HealthCheck, settings
@@ -34,6 +40,36 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "fast"))
+
+
+@pytest.fixture(autouse=True)
+def _hard_timeout(request):
+    """Enforce ``@pytest.mark.timeout(seconds)`` with SIGALRM.
+
+    Implemented in-tree (no pytest-timeout dependency); silently
+    inactive where SIGALRM cannot fire (non-main thread, platforms
+    without it) — the marker is a safety net, not a correctness gate.
+    """
+    marker = request.node.get_closest_marker("timeout")
+    if (
+        marker is None
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+    seconds = int(marker.args[0]) if marker.args else 60
+
+    def _expired(signum, frame):
+        pytest.fail(f"test exceeded the {seconds}s hard timeout", pytrace=False)
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -1,7 +1,8 @@
 """Docstring coverage gate for the documented packages.
 
 The docs site generates its API reference from docstrings, so the
-packages it renders — ``repro.api``, ``repro.io``, ``repro.serve`` —
+packages it renders — ``repro.api``, ``repro.io``, ``repro.par``,
+``repro.serve`` —
 carry a hard coverage gate: >= 90% of public definitions (modules,
 classes, functions, methods) must have a docstring, mirroring
 ``interrogate --fail-under 90`` / ruff's D1 rules without needing
@@ -16,7 +17,7 @@ import os
 import pytest
 
 SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
-GATED_PACKAGES = ("api", "io", "obs", "serve")
+GATED_PACKAGES = ("api", "io", "obs", "par", "serve")
 FAIL_UNDER = 90.0
 
 

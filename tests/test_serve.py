@@ -538,6 +538,49 @@ def test_serve_cli_answers_and_exits(forest_path):
         process.stdout.close()
 
 
+@pytest.mark.timeout(60)
+def test_serve_cli_sigterm_unlinks_segments(forest_path):
+    """SIGTERM exits gracefully and leaves no shared-memory segments."""
+    import signal as signal_mod
+
+    from repro.par.shm import active_segments
+
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    before = set(active_segments())
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.serve",
+            forest_path,
+            "--port",
+            "0",
+            "--workers",
+            "2",
+            "--batch-window",
+            "0.001",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        banner = process.stdout.readline()
+        assert "serving" in banner
+        # Warm-up froze the forest into a segment the workers attach.
+        assert set(active_segments()) - before
+        process.send_signal(signal_mod.SIGTERM)
+        assert process.wait(timeout=15) == 0
+        assert set(active_segments()) - before == set()
+    finally:
+        if process.poll() is None:
+            process.kill()
+        process.stdout.close()
+
+
 # ----------------------------------------------------------------------
 # observability surfaces
 # ----------------------------------------------------------------------
@@ -553,13 +596,82 @@ def test_pool_stats_expose_forest_counters_inline(forest_path):
 
 
 def test_pool_stats_expose_forest_counters_workers(forest_path):
-    with ForestPool(workers=2) as pool:
+    with ForestPool(workers=2, shared_memory=False) as pool:
         pool.warm(forest_path)
         pool.evaluate_batch(forest_path, "f", reference_batch(20, seed=11))
         stats = pool.stats()
-    # Warming loads the forest once per worker.
+    # Warming loads the forest once per worker (private-copy mode).
     assert stats["forest_loads"] == 2
     assert stats["forest_hits"] >= 1
+
+
+def test_pool_shared_memory_attaches_instead_of_loading(forest_path):
+    """Shared-memory pools freeze the dump once; workers never decode it."""
+    batch = reference_batch(60, seed=21)
+    want = reference_results(forest_path, "f", batch)
+    with ForestPool(workers=2, cache_size=0, shared_memory=True) as pool:
+        assert pool.shared_memory is True
+        assert pool.warm(forest_path) == ["f", "g"]
+        assert pool.evaluate_batch(forest_path, "f", batch) == want
+        stats = pool.stats()
+    assert stats["forest_loads"] == 0
+    assert stats["shm_attaches"] == 2
+    assert stats["shm_freezes"] == 1
+    assert stats["shared_segments"] == 1
+    assert stats["shm_segment_bytes"] > 0
+
+
+def test_pool_shared_memory_hot_reload(forest_path, tmp_path):
+    """A dump rewritten on disk is re-frozen under a new generation."""
+    import os
+    import time as time_mod
+
+    batch = reference_batch(40, seed=23)
+    with ForestPool(workers=2, cache_size=0, shared_memory=True) as pool:
+        pool.warm(forest_path)
+        before = pool.evaluate_batch(forest_path, "g", batch)
+        time_mod.sleep(0.01)
+        manager = repro.open("bbdd", vars=NAMES)
+        f = manager.add_expr("(a ^ b) | (c & d)")
+        g = manager.add_expr("~(a & ~e)")  # inverted vs the fixture
+        manager.dump({"f": f, "g": g}, forest_path)
+        os.utime(forest_path)
+        after = pool.evaluate_batch(forest_path, "g", batch)
+        stats = pool.stats()
+    assert after == [not value for value in before]
+    assert stats["shm_freezes"] == 2
+    assert stats["shared_segments"] == 1  # the stale segment was retired
+
+
+@pytest.mark.timeout(60)
+def test_pool_worker_death_respawns_and_retries(forest_path):
+    """A worker killed mid-service is respawned; the batch retries once."""
+    import time as time_mod
+
+    batch = reference_batch(50, seed=27)
+    want = reference_results(forest_path, "f", batch)
+    with ForestPool(workers=2, cache_size=0, timeout=30) as pool:
+        pool.warm(forest_path)
+        assert pool.evaluate_batch(forest_path, "f", batch) == want
+        pool._crew.processes[0].kill()
+        time_mod.sleep(0.2)
+        assert pool.evaluate_batch(forest_path, "f", batch) == want
+        stats = pool.stats()
+    assert stats["worker_restarts"] >= 1
+
+
+def test_pool_close_unlinks_all_segments(forest_path):
+    """Closing a shared-memory pool leaves no segments behind."""
+    from repro.par.shm import active_segments
+
+    before = set(active_segments())
+    pool = ForestPool(workers=2, cache_size=0, shared_memory=True)
+    try:
+        pool.warm(forest_path)
+        assert set(active_segments()) - before
+    finally:
+        pool.close()
+    assert set(active_segments()) - before == set()
 
 
 def test_server_metrics_snapshot_and_op(forest_path):
