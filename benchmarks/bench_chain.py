@@ -1,0 +1,133 @@
+"""Chain-reduction and compressed-codec benchmarks (``BENCH_chain.json``).
+
+Two gates introduced with the chain-reduced node kinds:
+
+* **Node reduction** — building the MCNC/ISCAS registry circuits with
+  ``chain_reduce=True`` must never grow a forest and must strictly
+  shrink the suite total (the parity-tower circuits are where spans
+  bite; most MCNC circuits already absorb their XOR structure into
+  biconditional couples, so per-circuit equality is expected there).
+* **Compressed codec** — the v2 ``FLAG_COMPRESSED`` container must be
+  at least 25 % smaller per node than the plain codec's ~4.7 B/node
+  baseline on the largest measured forest, with a bit-exact round
+  trip (same node count, canonical plain re-dump identical).
+"""
+
+import pytest
+
+from _metrics import record_metric
+from repro import io as rio
+from repro.circuits.registry import TABLE1_ROWS
+from repro.network.build import build
+
+_ROWS = {row.name: row for row in TABLE1_ROWS}
+
+#: MCNC two-level/random-logic rows plus ISCAS'85 netlists — the
+#: fast-profile mix bench_io uses, extended with the XOR-rich rows
+#: (parity, z4ml) where chain reduction actually fires.
+_CIRCUITS = ["parity", "z4ml", "9symml", "comp", "count", "my_adder", "C499", "C1355"]
+
+#: The plain codec's historical footprint on registry forests; the
+#: compressed gate is measured against it.
+_PLAIN_BASELINE_B_PER_NODE = 4.7
+
+
+def _forests(name):
+    network = _ROWS[name].build(full=False)
+    plain_manager, plain_fns = build(network, backend="bbdd")
+    chain_manager, chain_fns = build(network, backend="bbdd", chain_reduce=True)
+    return plain_manager, plain_fns, chain_manager, chain_fns
+
+
+def test_chain_node_reduction(benchmark):
+    """chain_reduce never grows a forest and strictly shrinks the suite."""
+
+    def sweep():
+        totals = {"plain": 0, "chain": 0}
+        per_circuit = []
+        for name in _CIRCUITS:
+            pm, pf, cm, cf = _forests(name)
+            plain = pm.node_count(list(pf.values()))
+            chain = cm.node_count(list(cf.values()))
+            totals["plain"] += plain
+            totals["chain"] += chain
+            per_circuit.append((name, plain, chain))
+        return totals, per_circuit
+
+    totals, per_circuit = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for name, plain, chain in per_circuit:
+        assert chain <= plain, f"{name}: chain {chain} > plain {plain}"
+        record_metric("chain", f"{name}_plain_nodes", plain, "nodes")
+        record_metric("chain", f"{name}_chain_nodes", chain, "nodes")
+    assert totals["chain"] < totals["plain"], totals
+    record_metric("chain", "total_plain_nodes", totals["plain"], "nodes")
+    record_metric("chain", "total_chain_nodes", totals["chain"], "nodes")
+    record_metric(
+        "chain",
+        "node_reduction_pct",
+        round(100.0 * (1 - totals["chain"] / totals["plain"]), 2),
+        "%",
+    )
+    benchmark.extra_info.update(totals)
+
+
+def test_compressed_codec_size(benchmark, capsys):
+    """v2 compressed dumps beat the plain baseline by >= 25 % per node."""
+    name = "C1355"  # largest forest in the fast-profile mix
+    pm, pf, _cm, _cf = _forests(name)
+    nodes = pm.node_count(list(pf.values()))
+
+    def dumps():
+        plain = rio.dumps(pm, pf)
+        compressed = rio.dumps(pm, pf, compress=True)
+        return plain, compressed
+
+    plain, compressed = benchmark.pedantic(dumps, rounds=1, iterations=1)
+
+    # Bit-exact round trip: the compressed container reloads to the
+    # same canonical forest, whose plain re-dump is byte-identical.
+    manager, reloaded = rio.loads(compressed)
+    assert manager.node_count(list(reloaded.values())) == nodes
+    assert rio.dumps(manager, reloaded) == plain
+
+    plain_bpn = len(plain) / nodes
+    compressed_bpn = len(compressed) / nodes
+    with capsys.disabled():
+        print(
+            f"\ncompressed codec: {name}, {nodes} nodes, "
+            f"plain {plain_bpn:.2f} B/node, compressed {compressed_bpn:.2f} "
+            f"B/node ({100 * (1 - compressed_bpn / plain_bpn):.0f}% smaller)"
+        )
+    record_metric("chain", "codec_nodes", nodes, "nodes")
+    record_metric("chain", "plain_bytes_per_node", round(plain_bpn, 2), "B/node")
+    record_metric(
+        "chain", "compressed_bytes_per_node", round(compressed_bpn, 2), "B/node"
+    )
+    record_metric(
+        "chain",
+        "codec_size_reduction_pct",
+        round(100.0 * (1 - compressed_bpn / plain_bpn), 2),
+        "%",
+    )
+    assert compressed_bpn <= 0.75 * _PLAIN_BASELINE_B_PER_NODE
+    assert compressed_bpn <= 0.75 * plain_bpn
+
+
+@pytest.mark.parametrize("backend", ["bbdd", "bdd"])
+def test_parity_collapses_on_both_backends(benchmark, backend):
+    """The 16-input parity netlist is spans all the way down."""
+    network = _ROWS["parity"].build(full=False)
+
+    def builds():
+        pm, pf = build(network, backend=backend)
+        cm, cf = build(network, backend=backend, chain_reduce=True)
+        return (
+            pm.node_count(list(pf.values())),
+            cm.node_count(list(cf.values())),
+        )
+
+    plain, chain = benchmark.pedantic(builds, rounds=1, iterations=1)
+    assert chain < plain
+    assert chain <= 2
+    record_metric("chain", f"parity_{backend}_plain_nodes", plain, "nodes")
+    record_metric("chain", f"parity_{backend}_chain_nodes", chain, "nodes")

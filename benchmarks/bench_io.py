@@ -68,6 +68,12 @@ def test_io_throughput_largest_circuit(benchmark, capsys):
     )
     assert reloaded_nodes == nodes  # same order => node-for-node round trip
 
+    # The v2 compressed container, for the size trajectory next to the
+    # plain footprint (bench_chain gates the ratio; here it is recorded).
+    compressed = rio.dumps(manager, functions, compress=True)
+    compressed_manager, compressed_fns = rio.loads(compressed)
+    assert compressed_manager.node_count(list(compressed_fns.values())) == nodes
+
     bytes_per_node = len(data) / nodes
     throughput = nodes / (t_dump + t_load)
     benchmark.extra_info["nodes"] = nodes
@@ -83,6 +89,12 @@ def test_io_throughput_largest_circuit(benchmark, capsys):
         )
     record_metric("io", "largest_nodes", nodes, "nodes")
     record_metric("io", "bytes_per_node", round(bytes_per_node, 2), "B/node")
+    record_metric(
+        "io",
+        "compressed_bytes_per_node",
+        round(len(compressed) / nodes, 2),
+        "B/node",
+    )
     record_metric("io", "dump_nodes_per_s", round(nodes / t_dump), "nodes/s")
     record_metric("io", "load_nodes_per_s", round(nodes / t_load), "nodes/s")
     record_metric("io", "roundtrip_nodes_per_s", round(throughput), "nodes/s")

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional
 
 from repro.bdd.node import BDDEdge, BDDNode
 from repro.core.apply import _memo_fns
-from repro.core.operations import OP_AND, OP_OR
+from repro.core.operations import OP_AND, OP_OR, OP_XNOR
 
 #: Computed-table tags (aligned with repro.core.apply's scheme).
 TAG_RESTRICT = 17
@@ -26,6 +26,26 @@ TAG_QUANT = 18
 
 _CALL = 0
 _COMBINE = 1
+_COMBINE_SPAN = 2
+
+
+def _span_minus_var(manager, node: BDDNode, var: int) -> BDDEdge:
+    """``X(span vars minus var) XNOR then`` — a span's cofactor shape.
+
+    Restricting any span variable to 0 leaves the parity over the
+    remaining span variables (to 1, its complement).  Built with plain
+    applies so it re-canonicalizes under the manager's current rules.
+    """
+    position = manager._order.position
+    order_seq = manager._order._order
+    parity = None
+    for p in range(position(node.var), position(node.bot) + 1):
+        v2 = order_seq[p]
+        if v2 == var:
+            continue
+        lit = manager.literal_edge(v2)
+        parity = lit if parity is None else manager.xor_edges(parity, lit)
+    return manager.apply_edges(parity, (node.then, False), OP_XNOR)
 
 
 def restrict(manager, edge: BDDEdge, var, value: bool) -> BDDEdge:
@@ -62,6 +82,23 @@ def restrict(manager, edge: BDDEdge, var, value: bool) -> BDDEdge:
             if cached is not None:
                 rpush(cached)
                 continue
+            if node.bot != node.var:
+                # Parity span <var:bot>.
+                if position(node.bot) >= target_pos:
+                    # var is one of the span's variables: the cofactor
+                    # is the parity over the remaining span variables
+                    # (complemented when restricting to 1).
+                    rn, ra = _span_minus_var(manager, node, var)
+                    result = (rn, ra ^ value)
+                else:
+                    # var lives below the span: restrict the then-child
+                    # and rebuild the span around it.
+                    tpush((_COMBINE_SPAN, node, key))
+                    tpush((_CALL, node.then, None))
+                    continue
+                insert(key, result)
+                rpush(result)
+                continue
             if node.var == var:
                 result = (
                     (node.then, False) if value else (node.else_, node.else_attr)
@@ -72,6 +109,11 @@ def restrict(manager, edge: BDDEdge, var, value: bool) -> BDDEdge:
             tpush((_COMBINE, node, key))
             tpush((_CALL, node.then, None))
             tpush((_CALL, node.else_, None))
+            continue
+        if tag == _COMBINE_SPAN:
+            result = manager._make_span(node.var, node.bot, rpop())
+            insert(key, result)
+            rpush(result)
             continue
         t = rpop()
         en, ea = rpop()
@@ -146,6 +188,17 @@ def _quantify_one(manager, edge: BDDEdge, var: int, op: int) -> BDDEdge:
             if cached is not None:
                 rpush(cached)
                 continue
+            if node.bot != node.var:
+                # Parity span: both cofactors are complements when var
+                # is a span variable (the quantification is constant);
+                # otherwise fall back to two span-aware restricts.
+                signed = (node, attr)
+                f0 = restrict(manager, signed, var, False)
+                f1 = restrict(manager, signed, var, True)
+                result = apply_edges(f0, f1, op)
+                insert(key, result)
+                rpush(result)
+                continue
             if node.var == var:
                 result = apply_edges(
                     (node.then, attr), (node.else_, attr ^ node.else_attr), op
@@ -173,6 +226,8 @@ def support(manager, edge: BDDEdge) -> frozenset:
     removed by reduction), so the support is exactly the set of labels.
     """
     node, _attr = edge
+    position = manager._order.position
+    order_seq = manager._order._order
     seen = set()
     vars_ = set()
     stack: List[BDDNode] = [] if node.is_sink else [node]
@@ -181,7 +236,12 @@ def support(manager, edge: BDDEdge) -> frozenset:
         if n in seen:
             continue
         seen.add(n)
-        vars_.add(n.var)
+        if n.bot != n.var:
+            # A parity span depends on every variable it covers.
+            for p in range(position(n.var), position(n.bot) + 1):
+                vars_.add(order_seq[p])
+        else:
+            vars_.add(n.var)
         for child in (n.then, n.else_):
             if not child.is_sink:
                 stack.append(child)
@@ -199,10 +259,22 @@ def sat_one_edge(manager, edge: BDDEdge) -> Optional[Dict[int, bool]]:
     node, attr = edge
     if node.is_sink:
         return {} if not attr else None
+    position = manager._order.position
+    order_seq = manager._order._order
     values: Dict[int, bool] = {}
+
+    def assign(n: BDDNode, bit: bool) -> None:
+        # A span needs its whole variable run assigned: parity ``bit``
+        # with the top variable carrying it and the rest cleared.
+        values[n.var] = bit
+        if n.bot != n.var:
+            for p in range(position(n.var) + 1, position(n.bot) + 1):
+                values[order_seq[p]] = False
+
     while True:
         # Then-edges of stored nodes are regular, so the then-branch
-        # parity is the incoming attribute itself.
+        # parity is the incoming attribute itself (for a span the
+        # then-branch is the X=1 side, the else-branch X=0).
         branches = (
             (node.then, attr, True),
             (node.else_, attr ^ node.else_attr, False),
@@ -211,7 +283,7 @@ def sat_one_edge(manager, edge: BDDEdge) -> Optional[Dict[int, bool]]:
         for child, child_attr, bit in branches:
             if child.is_sink:
                 if not child_attr:
-                    values[node.var] = bit
+                    assign(node, bit)
                     return values
             elif descend is None:
                 descend = (child, child_attr, bit)
@@ -219,8 +291,9 @@ def sat_one_edge(manager, edge: BDDEdge) -> Optional[Dict[int, bool]]:
             # Both children are sinks of the wrong parity — impossible
             # for a canonical node; defensive for corrupt DAGs.
             return None
-        child, attr, bit = descend
-        values[node.var] = bit
+        child, child_attr, bit = descend
+        assign(node, bit)
+        attr = child_attr
         node = child
 
 
@@ -230,14 +303,18 @@ def iter_cohort_items(manager, edge: BDDEdge):
     Shape documented in :mod:`repro.serve.bulk`: Shannon nodes test a
     single variable (``sv`` slot ``None``), the *t*-branch is the
     then-edge (always regular under the CUDD normalization) and the
-    *f*-branch the else-edge with its complement attribute.  Nodes are
-    grouped by order position; children sit at strictly greater
-    positions, so ascending position emits parents first.
+    *f*-branch the else-edge with its complement attribute.  A parity
+    span ``<var:bot>`` puts the tuple of its remaining span variables
+    in the ``sv`` slot — odd parity of ``var`` plus the partners takes
+    the then-edge, even parity its complement.  Nodes are grouped by
+    order position; children sit at strictly greater positions, so
+    ascending position emits parents first.
     """
     node, _attr = edge
     if node.is_sink:
         return
-    position = manager.order.position
+    order = manager.order
+    position = order.position
     buckets: Dict[int, List[BDDNode]] = {}
     seen = {node}
     stack = [node]
@@ -251,6 +328,17 @@ def iter_cohort_items(manager, edge: BDDEdge):
     for pos in sorted(buckets):
         for n in sorted(buckets[pos], key=lambda x: x.uid):
             then, else_ = n.then, n.else_
+            if n.bot != n.var:
+                # Span <var:bot> = X(var..bot) XNOR then: odd parity
+                # reaches the then-edge, even parity its complement.
+                partners = tuple(
+                    order.var_at(p)
+                    for p in range(pos + 1, position(n.bot) + 1)
+                )
+                t_key = None if then.is_sink else then
+                t_pv = None if then.is_sink else then.var
+                yield (n, n.var, partners, t_key, False, t_pv, t_key, True, t_pv)
+                continue
             yield (
                 n,
                 n.var,

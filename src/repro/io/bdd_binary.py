@@ -15,6 +15,15 @@ numbered in file order (level blocks deepest first), so every reference
 points strictly backwards and a sequential reader always sees a node's
 children before the node itself.
 
+Version 2 containers extend the grammar (see :mod:`repro.io.format`):
+with ``FLAG_CHAIN`` every record is prefixed by a ``span_delta`` varint
+(0 for plain Shannon records); a span record (``span_delta >= 1``)
+denotes the parity span ``X(top..top+span_delta) XNOR then`` and stores
+only ``then_ref`` (the else-edge is its complement by construction).
+With ``FLAG_COMPRESSED`` child refs are delta-coded against the
+record's own file id and level payloads pass through one shared
+deflate stream (sync-flushed per level, so block sizes stay exact).
+
 ``load`` re-reduces on the fly: when the target manager preserves the
 dump's relative variable order each record is a single
 ``BDDManager._make`` call; otherwise the node is rebuilt semantically as
@@ -29,16 +38,26 @@ from typing import Dict, List, Mapping, Tuple
 from repro.bdd.function import BDDFunction
 from repro.bdd.node import BDDEdge, BDDNode
 from repro.core.exceptions import VariableError
+from repro.core.operations import OP_XNOR
 from repro.io.format import (
     FLAG_BDD,
+    FLAG_CHAIN,
+    FLAG_COMPRESSED,
     FormatError,
     Header,
+    PayloadCompressor,
+    PayloadDecompressor,
     SINK_ID,
+    decode_name,
+    decode_varint,
+    delta_ref,
     encode_varint,
     pack_ref,
     read_header,
     read_varint,
+    undelta_ref,
     unpack_ref,
+    version_for_flags,
 )
 from repro.io.migrate import Rename, _resolve_rename
 
@@ -88,51 +107,87 @@ def _levelized(manager, edges) -> List[Tuple[int, List[BDDNode]]]:
     ]
 
 
-def dump(manager, functions, target) -> None:
-    """Write a BDD forest to ``target`` (a path or binary file object)."""
+def dump(manager, functions, target, compress: bool = False) -> None:
+    """Write a BDD forest to ``target`` (a path or binary file object).
+
+    ``compress=True`` writes a v2 ``FLAG_COMPRESSED`` container
+    (delta-coded refs + shared deflate stream); parity spans in the
+    forest switch the record grammar (``FLAG_CHAIN``) automatically.
+    """
     from repro.io.binary import check_dump_args
 
     check_dump_args(functions, target)
     named = _named_edges(manager, functions)
     if hasattr(target, "write"):
-        _dump_file(manager, named, target)
+        _dump_file(manager, named, target, compress=compress)
         return
     with open(target, "wb") as fileobj:
-        _dump_file(manager, named, fileobj)
+        _dump_file(manager, named, fileobj, compress=compress)
 
 
-def dumps(manager, functions) -> bytes:
+def dumps(manager, functions, compress: bool = False) -> bytes:
     """Serialize a BDD forest to bytes (see :func:`dump`)."""
     buffer = _io.BytesIO()
-    dump(manager, functions, buffer)
+    dump(manager, functions, buffer, compress=compress)
     return buffer.getvalue()
 
 
-def _dump_file(manager, named: List[Tuple[str, BDDEdge]], fileobj) -> None:
+def _dump_file(
+    manager, named: List[Tuple[str, BDDEdge]], fileobj, compress: bool = False
+) -> None:
     levels = _levelized(manager, [edge for _name, edge in named])
+    position = manager.order.position
+    has_span = any(
+        node.bot != node.var for _pos, nodes in levels for node in nodes
+    )
+    flags = FLAG_BDD
+    if has_span:
+        flags |= FLAG_CHAIN
+    if compress:
+        flags |= FLAG_COMPRESSED
     header = Header(
         names=list(manager.var_names),
         order=list(manager.order.order),
         num_roots=len(named),
         levels=[(pos, len(nodes)) for pos, nodes in levels],
-        flags=FLAG_BDD,
+        version=version_for_flags(flags),
+        flags=flags,
     )
     fileobj.write(header.encode())
+    compressor = PayloadCompressor() if compress else None
     ids: Dict[BDDNode, int] = {manager.sink: SINK_ID}
     next_id = SINK_ID + 1
     for pos, nodes in levels:
         payload = bytearray()
         for node in nodes:
             ids[node] = next_id
+            then_ref = pack_ref(ids[node.then], False)
+            else_ref = pack_ref(ids[node.else_], node.else_attr)
+            if compress:
+                then_ref = delta_ref(then_ref, next_id)
+                else_ref = delta_ref(else_ref, next_id)
             next_id += 1
-            encode_varint(pack_ref(ids[node.then], False), payload)
-            encode_varint(pack_ref(ids[node.else_], node.else_attr), payload)
+            if has_span:
+                span_delta = (
+                    position(node.bot) - pos if node.bot != node.var else 0
+                )
+                encode_varint(span_delta, payload)
+                encode_varint(then_ref, payload)
+                if span_delta == 0:
+                    encode_varint(else_ref, payload)
+                # Span records imply else = ~then: no else_ref stored.
+            else:
+                encode_varint(then_ref, payload)
+                encode_varint(else_ref, payload)
+        data = bytes(payload)
+        if compressor is not None:
+            data = compressor.compress(data)
         block = bytearray()
         encode_varint(pos, block)
         encode_varint(len(nodes), block)
-        encode_varint(len(payload), block)
+        encode_varint(len(data), block)
         fileobj.write(bytes(block))
-        fileobj.write(bytes(payload))
+        fileobj.write(data)
     trailer = bytearray()
     for name, (node, attr) in named:
         encode_varint(pack_ref(ids[node], attr), trailer)
@@ -202,23 +257,64 @@ def _load_file(fileobj, manager, rename: Rename):
 
     n = len(var_at)
     expected = header.node_count
+    chain = bool(header.flags & FLAG_CHAIN)
+    decompressor = (
+        PayloadDecompressor() if header.flags & FLAG_COMPRESSED else None
+    )
+    next_id = SINK_ID + 1
     for _ in header.levels:
         position = read_varint(fileobj)
         if not 0 <= position < n:
             raise FormatError(f"record position {position} out of range 0..{n - 1}")
         level_count = read_varint(fileobj)
-        _nbytes = read_varint(fileobj)
+        nbytes = read_varint(fileobj)
+        payload = fileobj.read(nbytes)
+        if len(payload) != nbytes:
+            raise FormatError("truncated level payload")
+        if decompressor is not None:
+            payload = decompressor.decompress(payload)
         var = var_at[position]
+        offset = 0
         for _ in range(level_count):
-            then_edge = edge_for(read_varint(fileobj))
-            else_edge = edge_for(read_varint(fileobj))
-            if order_preserved:
-                edge = manager._make(var, then_edge, else_edge)
+            span_delta = 0
+            if chain:
+                span_delta, offset = decode_varint(payload, offset)
+            then_ref, offset = decode_varint(payload, offset)
+            if decompressor is not None:
+                then_ref = undelta_ref(then_ref, next_id)
+            if span_delta:
+                if not position + span_delta < n:
+                    raise FormatError(
+                        f"span bottom position {position + span_delta} "
+                        f"out of range 0..{n - 1}"
+                    )
+                then_edge = edge_for(then_ref)
+                # Replay the span semantically: f = X(top..bot) XNOR
+                # then.  Re-canonicalizes under the target manager (a
+                # chain manager re-merges the span; a plain one expands
+                # it) and under any target order.
+                parity = manager.literal_edge(var_at[position])
+                for p in range(position + 1, position + span_delta + 1):
+                    parity = manager.xor_edges(
+                        parity, manager.literal_edge(var_at[p])
+                    )
+                edge = manager.apply_edges(parity, then_edge, OP_XNOR)
             else:
-                edge = manager.ite_edges(
-                    manager.literal_edge(var), then_edge, else_edge
-                )
+                else_ref, offset = decode_varint(payload, offset)
+                if decompressor is not None:
+                    else_ref = undelta_ref(else_ref, next_id)
+                then_edge = edge_for(then_ref)
+                else_edge = edge_for(else_ref)
+                if order_preserved:
+                    edge = manager._make(var, then_edge, else_edge)
+                else:
+                    edge = manager.ite_edges(
+                        manager.literal_edge(var), then_edge, else_edge
+                    )
+            next_id += 1
             edges.append(edge)
+        if offset != len(payload):
+            raise FormatError("level payload has trailing bytes")
     if len(edges) - 1 != expected:
         raise FormatError(
             f"dump header promises {expected} nodes, read {len(edges) - 1}"
@@ -230,5 +326,5 @@ def _load_file(fileobj, manager, rename: Rename):
         raw = fileobj.read(length)
         if len(raw) != length:
             raise FormatError("truncated root name")
-        functions[raw.decode("utf-8")] = BDDFunction(manager, edge_for(ref))
+        functions[decode_name(raw)] = BDDFunction(manager, edge_for(ref))
     return manager, functions

@@ -22,7 +22,15 @@ from repro.core.function import Function
 from repro.core.node import SINK, SV_ONE, Edge
 from repro.core.traversal import levelize
 
-from repro.io.format import FLAG_BDD, Header, SINK_ID, pack_ref
+from repro.io.format import (
+    FLAG_BDD,
+    FLAG_CHAIN,
+    FLAG_COMPRESSED,
+    Header,
+    SINK_ID,
+    pack_ref,
+    version_for_flags,
+)
 from repro.io.migrate import Rename
 from repro.io.stream import LevelStreamReader, LevelStreamWriter
 
@@ -97,10 +105,12 @@ def forest_records(manager, named: List[Tuple[str, Edge]]):
 
     Returns ``(records, ids)``: ``ids`` maps each node index (and the
     sink, id 0) to its dense bottom-up file id; ``records`` is a list of
-    ``(position, sv_position, node, neq, eq)`` in id order, grouped by
-    level deepest-first, where ``node`` is the flat-store index,
-    ``neq``/``eq`` are ``(child_id, attr)`` pairs and
-    ``sv_position``/``neq``/``eq`` are ``None`` for literal (R4) records.
+    ``(position, sv_position, span_delta, node, neq, eq)`` in id order,
+    grouped by level deepest-first, where ``node`` is the flat-store
+    index, ``neq``/``eq`` are ``(child_id, attr)`` pairs,
+    ``span_delta`` is ``position(bot) - position(sv)`` (0 for plain
+    couples) and ``sv_position``/``neq``/``eq`` are ``None`` for
+    literal (R4) records.
     """
     order = manager.order
     ids = {SINK: SINK_ID}
@@ -108,14 +118,19 @@ def forest_records(manager, named: List[Tuple[str, Edge]]):
     for position, nodes in levelize(manager, [edge for _name, edge in named]):
         for node in nodes:
             ids[node] = len(records) + 1
-            pv, sv, neq, eq = manager.node_fields(node)
+            pv, sv, bot, neq, eq = manager.node_fields(node)
             if sv == SV_ONE:
-                records.append((position, None, node, None, None))
+                records.append((position, None, 0, node, None, None))
             else:
+                sv_position = order.position(sv)
+                span_delta = (
+                    order.position(bot) - sv_position if bot != sv else 0
+                )
                 records.append(
                     (
                         position,
-                        order.position(sv),
+                        sv_position,
+                        span_delta,
                         node,
                         (ids[-neq if neq < 0 else neq], neq < 0),
                         (ids[eq], False),
@@ -124,51 +139,73 @@ def forest_records(manager, named: List[Tuple[str, Edge]]):
     return records, ids
 
 
-def dump(manager, functions, target) -> None:
+def dump(manager, functions, target, compress: bool = False) -> None:
     """Write a forest to ``target`` (a path or binary file object).
 
     ``functions``: a Function, an edge, a sequence of either, or a
     ``{name: Function}`` mapping (names are stored and restored).
+    ``compress=True`` writes a v2 ``FLAG_COMPRESSED`` container
+    (delta-coded refs + shared deflate stream); chain spans in the
+    forest switch the record grammar (``FLAG_CHAIN``) automatically.
     """
     check_dump_args(functions, target)
     named = _named_edges(functions)
     if hasattr(target, "write"):
-        _dump_file(manager, named, target)
+        _dump_file(manager, named, target, compress=compress)
         return
     with open(target, "wb") as fileobj:
-        _dump_file(manager, named, fileobj)
+        _dump_file(manager, named, fileobj, compress=compress)
 
 
-def dumps(manager, functions) -> bytes:
+def dumps(manager, functions, compress: bool = False) -> bytes:
     """Serialize a forest to bytes (see :func:`dump`)."""
     buffer = _io.BytesIO()
-    dump(manager, functions, buffer)
+    dump(manager, functions, buffer, compress=compress)
     return buffer.getvalue()
 
 
-def _dump_file(manager, named: List[Tuple[str, Edge]], fileobj) -> None:
+def _dump_file(
+    manager, named: List[Tuple[str, Edge]], fileobj, compress: bool = False
+) -> None:
     records, ids = forest_records(manager, named)
     level_counts: List[Tuple[int, int]] = []
-    for position, _sv, _node, _neq, _eq in records:
+    has_span = False
+    for position, _sv, span_delta, _node, _neq, _eq in records:
+        if span_delta:
+            has_span = True
         if level_counts and level_counts[-1][0] == position:
             level_counts[-1] = (position, level_counts[-1][1] + 1)
         else:
             level_counts.append((position, 1))
+    flags = 0
+    if has_span:
+        flags |= FLAG_CHAIN
+    if compress:
+        flags |= FLAG_COMPRESSED
     header = Header(
         names=list(manager.var_names),
         order=list(manager.order.order),
         num_roots=len(named),
         levels=level_counts,
+        version=version_for_flags(flags),
+        flags=flags,
     )
     writer = LevelStreamWriter(fileobj, header)
     block = None
-    for position, sv_position, _node, neq, eq in records:
+    for position, sv_position, span_delta, _node, neq, eq in records:
         if block is None or block.position != position:
             if block is not None:
                 block.close()
             block = writer.begin_level(position)
         if sv_position is None:
             block.write_literal()
+        elif span_delta:
+            block.write_span(
+                sv_position - position,
+                span_delta,
+                pack_ref(*neq),
+                pack_ref(*eq),
+            )
         else:
             block.write_chain(
                 sv_position - position, pack_ref(*neq), pack_ref(*eq)

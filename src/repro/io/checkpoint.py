@@ -81,13 +81,18 @@ class CheckpointStore:
         return os.path.exists(self.forest_path(key))
 
     def save_forest(self, key: str, manager, functions) -> None:
-        """Atomically persist a forest through the manager's dump codec."""
+        """Atomically persist a forest through the manager's dump codec.
+
+        Checkpoints are written compressed (the v2 ``FLAG_COMPRESSED``
+        container): they are write-once/read-rarely artifacts, so the
+        smaller footprint wins over the deflate cost.
+        """
         path = self.forest_path(key)
         tmp = path + ".tmp"
         with open(tmp, "wb") as fileobj:
             # Protocol dispatch: each backend writes its own record kind
             # into the shared container (BBDD couples / BDD Shannon).
-            manager.dump(functions, fileobj)
+            manager.dump(functions, fileobj, compress=True)
         os.replace(tmp, path)
 
     def load_forest(self, key: str, manager=None):

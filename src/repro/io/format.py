@@ -9,8 +9,8 @@ Layout::
 
     File       = Header LevelBlock* RootsBlock
     Header     = magic "BBDD" (4 bytes)
-                 version   varint          -- FORMAT_VERSION
-                 flags     varint          -- reserved, 0
+                 version   varint          -- 1, or 2 when any v2 flag set
+                 flags     varint          -- FLAG_* bits below
                  nvars     varint
                  names     nvars x (varint len, utf-8 bytes)
                  order     nvars x varint  -- variable indices, root
@@ -38,9 +38,47 @@ first.  The header's level directory carries per-level node counts, so
 a file can be size-estimated from the header alone; each level block
 additionally records its payload byte length, so a scanner can skip
 from block to block without decoding node records.
+
+Version 2 (chain spans, compression)
+------------------------------------
+Version 2 is version 1 plus two optional, independently flagged
+extensions; a v2 file with neither flag set is byte-identical to v1
+and writers keep emitting ``version = 1`` in that case.
+
+``FLAG_CHAIN`` changes the node record grammar so chain-reduced span
+nodes (``(pv, sv:bot)``, see :meth:`BBDDNode.is_span`) can be stored::
+
+    NodeRecord = tag varint                -- 0: literal; else
+                                           -- (sv_delta << 1) | span_flag
+    plain span_flag=0:
+                 neq       varint          -- edge ref
+                 eq        varint          -- edge ref
+    span  span_flag=1:
+                 span_delta varint         -- position(bot) - position(SV),
+                                           -- even, >= 2
+                 eq        varint          -- edge ref, regular (attr 0);
+                                           -- the != edge is implied:
+                                           -- same node, complemented
+
+``FLAG_COMPRESSED`` keeps the block structure (positions, counts and
+the skippable ``nbytes`` prefix stay plain varints) but transforms the
+record payloads two ways, after Hansen, Rao & Tiedemann:
+
+* child refs are **delta-coded** against the record's own sequential
+  file id: ``delta = id - child_id`` (always >= 1; the sink's delta is
+  the full id), packed as ``(delta << 1) | attr``, which keeps local
+  references to one or two varint bytes regardless of file size;
+* each level payload runs through one **shared** zlib deflate stream
+  (``Z_SYNC_FLUSH`` at block boundaries), so the compression dictionary
+  persists across levels while blocks stay individually decodable in
+  file order.
+
+The roots trailer and the header are never compressed.
 """
 
 from __future__ import annotations
+
+import zlib
 
 from typing import List, Tuple
 
@@ -49,15 +87,37 @@ from repro.core.exceptions import BBDDError
 MAGIC = b"BBDD"
 FORMAT_VERSION = 1
 
+#: Highest format version this codec can emit (used only when a v2
+#: feature flag is set; flagless dumps stay at :data:`FORMAT_VERSION`).
+FORMAT_VERSION_CHAIN = 2
+
+#: Format versions :func:`read_header` accepts.
+SUPPORTED_VERSIONS = frozenset({1, 2})
+
 #: Header flag bit: the dump holds baseline-BDD (Shannon) node records
 #: (see :mod:`repro.io.bdd_binary`) instead of BBDD couple records.
 FLAG_BDD = 1
+
+#: Header flag bit (v2): node records use the chain-span grammar.
+FLAG_CHAIN = 2
+
+#: Header flag bit (v2): level payloads are delta-coded and deflated
+#: through a shared zlib stream.
+FLAG_COMPRESSED = 4
+
+#: Flags that force the header version up to :data:`FORMAT_VERSION_CHAIN`.
+V2_FLAGS = FLAG_CHAIN | FLAG_COMPRESSED
 
 #: Node id of the 1-sink in every file.
 SINK_ID = 0
 
 #: svtag value marking a literal (R4) node record.
 LITERAL_TAG = 0
+
+
+def version_for_flags(flags: int) -> int:
+    """The lowest header version able to express ``flags``."""
+    return FORMAT_VERSION_CHAIN if flags & V2_FLAGS else FORMAT_VERSION
 
 
 class FormatError(BBDDError):
@@ -108,6 +168,14 @@ def read_varint(fileobj) -> int:
         if not b & 0x80:
             return result
         shift += 7
+
+
+def decode_name(raw: bytes) -> str:
+    """Decode a stored name, surfacing bad bytes as :class:`FormatError`."""
+    try:
+        return raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise FormatError(f"stored name is not valid UTF-8: {exc}") from None
 
 
 def pack_ref(node_id: int, attr: bool) -> int:
@@ -179,13 +247,23 @@ class Header:
 
 def read_header(fileobj) -> Header:
     """Read and validate the header at the current position of ``fileobj``."""
+    source = getattr(fileobj, "name", None)
+    shown = f"{source}: " if isinstance(source, str) else ""
     magic = fileobj.read(len(MAGIC))
     if magic != MAGIC:
-        raise FormatError(f"bad magic {magic!r}; not a BBDD dump")
+        raise FormatError(f"{shown}bad magic {magic!r}; not a BBDD dump")
     version = read_varint(fileobj)
-    if version != FORMAT_VERSION:
-        raise FormatError(f"unsupported format version {version}")
+    if version not in SUPPORTED_VERSIONS:
+        supported = ", ".join(str(v) for v in sorted(SUPPORTED_VERSIONS))
+        raise FormatError(
+            f"{shown}unsupported format version {version} "
+            f"(this reader supports versions {supported})"
+        )
     flags = read_varint(fileobj)
+    if version < FORMAT_VERSION_CHAIN and flags & V2_FLAGS:
+        raise FormatError(
+            f"{shown}version {version} header carries v2 flags {flags:#x}"
+        )
     nvars = read_varint(fileobj)
     names = []
     for _ in range(nvars):
@@ -193,7 +271,7 @@ def read_header(fileobj) -> Header:
         raw = fileobj.read(length)
         if len(raw) != length:
             raise FormatError("truncated variable name")
-        names.append(raw.decode("utf-8"))
+        names.append(decode_name(raw))
     order = [read_varint(fileobj) for _ in range(nvars)]
     if sorted(order) != list(range(nvars)):
         raise FormatError("order is not a permutation of the variables")
@@ -247,3 +325,135 @@ def decode_records(payload: bytes, count: int) -> List[Tuple[int, int, int]]:
             f"level payload has {len(payload) - pos} trailing bytes"
         )
     return records
+
+
+# ----------------------------------------------------------------------
+# v2 chain-span node records (FLAG_CHAIN grammar)
+# ----------------------------------------------------------------------
+
+
+def encode_chain_v2(
+    sv_delta: int, span_delta: int, neq_ref: int, eq_ref: int, out: bytearray
+) -> None:
+    """Append a v2 (FLAG_CHAIN grammar) chain or span node record.
+
+    ``span_delta`` is ``position(bot) - position(SV)`` — 0 for a plain
+    couple, else even and >= 2.  Span records store only the regular
+    ``=``-edge ref; the ``!=`` edge is the same node complemented, so
+    ``neq_ref`` is validated and dropped.
+    """
+    if sv_delta < 1:
+        raise FormatError(f"chain SV must lie below PV (delta {sv_delta})")
+    if not span_delta:
+        encode_varint(sv_delta << 1, out)
+        encode_varint(neq_ref, out)
+        encode_varint(eq_ref, out)
+        return
+    if span_delta < 2 or span_delta % 2:
+        raise FormatError(
+            f"span bottom delta must be even and >= 2, got {span_delta}"
+        )
+    if eq_ref & 1:
+        raise FormatError("span = edge must be regular")
+    if neq_ref != (eq_ref | 1):
+        raise FormatError("span != edge must complement the = edge")
+    encode_varint((sv_delta << 1) | 1, out)
+    encode_varint(span_delta, out)
+    encode_varint(eq_ref, out)
+
+
+def decode_records_v2(payload: bytes, count: int) -> List[Tuple[int, int, int, int]]:
+    """Decode ``count`` FLAG_CHAIN-grammar records from a level payload.
+
+    Returns ``(sv_delta, span_delta, neq_ref, eq_ref)`` tuples; literal
+    records come back as ``(LITERAL_TAG, 0, 0, 0)`` and plain couples
+    carry ``span_delta = 0``.
+    """
+    records = []
+    pos = 0
+    for _ in range(count):
+        tag, pos = decode_varint(payload, pos)
+        if tag == LITERAL_TAG:
+            records.append((LITERAL_TAG, 0, 0, 0))
+            continue
+        sv_delta = tag >> 1
+        if not sv_delta:
+            raise FormatError(f"malformed node record tag {tag}")
+        if not tag & 1:
+            neq_ref, pos = decode_varint(payload, pos)
+            eq_ref, pos = decode_varint(payload, pos)
+            records.append((sv_delta, 0, neq_ref, eq_ref))
+            continue
+        span_delta, pos = decode_varint(payload, pos)
+        if span_delta < 2 or span_delta % 2:
+            raise FormatError(
+                f"span bottom delta must be even and >= 2, got {span_delta}"
+            )
+        eq_ref, pos = decode_varint(payload, pos)
+        if eq_ref & 1:
+            raise FormatError("span = edge ref must be regular")
+        records.append((sv_delta, span_delta, eq_ref | 1, eq_ref))
+    if pos != len(payload):
+        raise FormatError(
+            f"level payload has {len(payload) - pos} trailing bytes"
+        )
+    return records
+
+
+# ----------------------------------------------------------------------
+# compressed payloads (FLAG_COMPRESSED)
+# ----------------------------------------------------------------------
+
+
+def delta_ref(ref: int, node_id: int) -> int:
+    """Delta-code an edge ref against the referencing record's file id."""
+    child_id = ref >> 1
+    delta = node_id - child_id
+    if delta < 1:
+        raise FormatError(
+            f"edge ref from node {node_id} does not point backwards"
+        )
+    return (delta << 1) | (ref & 1)
+
+
+def undelta_ref(dref: int, node_id: int) -> int:
+    """Invert :func:`delta_ref`; validates the ref points backwards."""
+    delta = dref >> 1
+    if not 1 <= delta <= node_id:
+        raise FormatError(
+            f"delta ref {delta} out of range at node {node_id}"
+        )
+    return ((node_id - delta) << 1) | (dref & 1)
+
+
+class PayloadCompressor:
+    """One shared deflate stream for all of a file's level payloads.
+
+    ``Z_SYNC_FLUSH`` at block boundaries keeps each block decodable
+    as soon as it is read (in file order) while the dictionary built
+    on earlier levels keeps compressing later ones.
+    """
+
+    __slots__ = ("_stream",)
+
+    def __init__(self, level: int = 9) -> None:
+        self._stream = zlib.compressobj(level)
+
+    def compress(self, payload: bytes) -> bytes:
+        stream = self._stream
+        return stream.compress(payload) + stream.flush(zlib.Z_SYNC_FLUSH)
+
+
+class PayloadDecompressor:
+    """Inverse of :class:`PayloadCompressor` — feed blocks in file order."""
+
+    __slots__ = ("_stream",)
+
+    def __init__(self) -> None:
+        self._stream = zlib.decompressobj()
+
+    def decompress(self, blob: bytes) -> bytes:
+        try:
+            return self._stream.decompress(blob)
+        except zlib.error as exc:
+            raise FormatError(f"corrupt compressed payload: {exc}") from None

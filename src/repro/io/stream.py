@@ -14,6 +14,13 @@ Both halves work one CVO level at a time over the layout defined in
 * :func:`scan` reads only the header and the per-block lengths (seeking
   past record payloads), returning a :class:`FileInfo` — the cheap
   "what's in this file" primitive the level directory exists for.
+
+The v2 extensions are handled transparently from the header flags:
+under ``FLAG_CHAIN`` the buffers accept :meth:`_LevelBuffer.write_span`
+and :meth:`iter_levels` yields 4-tuples carrying the span delta; under
+``FLAG_COMPRESSED`` the writer delta-codes child refs and deflates each
+block through one shared zlib stream, and the reader undoes both, so
+record consumers always see plain packed refs.
 """
 
 from __future__ import annotations
@@ -21,14 +28,24 @@ from __future__ import annotations
 from typing import Iterator, List, Tuple
 
 from repro.io.format import (
+    FLAG_CHAIN,
+    FLAG_COMPRESSED,
+    LITERAL_TAG,
     FormatError,
     Header,
+    PayloadCompressor,
+    PayloadDecompressor,
+    decode_name,
     decode_records,
+    decode_records_v2,
+    delta_ref,
     encode_chain,
+    encode_chain_v2,
     encode_literal,
     encode_varint,
     read_header,
     read_varint,
+    undelta_ref,
 )
 from repro.io.migrate import ForestRebuilder, Rename
 
@@ -40,6 +57,11 @@ class LevelStreamWriter:
         self._file = fileobj
         self._header = header
         self._pending = dict(header.levels)  # position -> expected count
+        self.chain = bool(header.flags & FLAG_CHAIN)
+        self.compressed = bool(header.flags & FLAG_COMPRESSED)
+        # One deflate stream shared by every level block (dictionary
+        # carries over; blocks stay decodable in file order).
+        self._compressor = PayloadCompressor() if self.compressed else None
         fileobj.write(header.encode())
         self._next_id = 1
         self._roots_written = False
@@ -90,15 +112,40 @@ class _LevelBuffer:
 
     def write_literal(self) -> int:
         """Append a literal record; returns the node's file id."""
+        node_id = self._allocate()
         encode_literal(self._payload)
-        return self._bump()
+        return node_id
 
     def write_chain(self, sv_delta: int, neq_ref: int, eq_ref: int) -> int:
-        """Append a chain record; returns the node's file id."""
-        encode_chain(sv_delta, neq_ref, eq_ref, self._payload)
-        return self._bump()
+        """Append a plain chain record; returns the node's file id."""
+        writer = self._writer
+        node_id = self._allocate()
+        if writer.compressed:
+            neq_ref = delta_ref(neq_ref, node_id)
+            eq_ref = delta_ref(eq_ref, node_id)
+        if writer.chain:
+            encode_chain_v2(sv_delta, 0, neq_ref, eq_ref, self._payload)
+        else:
+            encode_chain(sv_delta, neq_ref, eq_ref, self._payload)
+        return node_id
 
-    def _bump(self) -> int:
+    def write_span(
+        self, sv_delta: int, span_delta: int, neq_ref: int, eq_ref: int
+    ) -> int:
+        """Append a chain-span record (requires ``FLAG_CHAIN``)."""
+        writer = self._writer
+        if not writer.chain:
+            raise FormatError(
+                "span records need FLAG_CHAIN set on the header"
+            )
+        node_id = self._allocate()
+        if writer.compressed:
+            neq_ref = delta_ref(neq_ref, node_id)
+            eq_ref = delta_ref(eq_ref, node_id)
+        encode_chain_v2(sv_delta, span_delta, neq_ref, eq_ref, self._payload)
+        return node_id
+
+    def _allocate(self) -> int:
         self._written += 1
         if self._written > self._expected:
             raise FormatError(
@@ -113,12 +160,16 @@ class _LevelBuffer:
                 f"level {self.position} wrote {self._written} of "
                 f"{self._expected} declared records"
             )
+        payload = bytes(self._payload)
+        compressor = self._writer._compressor
+        if compressor is not None:
+            payload = compressor.compress(payload)
         head = bytearray()
         encode_varint(self.position, head)
         encode_varint(self._written, head)
-        encode_varint(len(self._payload), head)
+        encode_varint(len(payload), head)
         self._writer._file.write(bytes(head))
-        self._writer._file.write(bytes(self._payload))
+        self._writer._file.write(payload)
 
 
 class LevelStreamReader:
@@ -127,13 +178,21 @@ class LevelStreamReader:
     def __init__(self, fileobj) -> None:
         self._file = fileobj
         self.header = read_header(fileobj)
+        self.chain = bool(self.header.flags & FLAG_CHAIN)
+        self.compressed = bool(self.header.flags & FLAG_COMPRESSED)
+        self._decompressor = PayloadDecompressor() if self.compressed else None
         self._levels_read = 0
+        self._next_id = 1
 
-    def iter_levels(self) -> Iterator[Tuple[int, List[Tuple[int, int, int]]]]:
+    def iter_levels(self) -> Iterator[Tuple[int, list]]:
         """Yield ``(position, records)`` per level block, file order.
 
-        Records are raw ``(sv_delta, neq_ref, eq_ref)`` tuples (see
-        :func:`repro.io.format.decode_records`).
+        For plain-grammar files records are raw ``(sv_delta, neq_ref,
+        eq_ref)`` tuples (see :func:`repro.io.format.decode_records`);
+        ``FLAG_CHAIN`` files yield ``(sv_delta, span_delta, neq_ref,
+        eq_ref)`` instead.  Compressed payloads are inflated and their
+        delta-coded refs rewritten back to plain packed refs here, so
+        consumers never see the wire transforms.
         """
         while self._levels_read < len(self.header.levels):
             position = read_varint(self._file)
@@ -149,7 +208,48 @@ class LevelStreamReader:
                     f"header directory ({declared_pos}, {declared_count})"
                 )
             self._levels_read += 1
-            yield position, decode_records(payload, count)
+            if self._decompressor is not None:
+                payload = self._decompressor.decompress(payload)
+            if self.chain:
+                records = decode_records_v2(payload, count)
+            else:
+                records = decode_records(payload, count)
+            if self.compressed:
+                records = self._undelta(records)
+            yield position, records
+
+    def _undelta(self, records: list) -> list:
+        """Rewrite a level's delta-coded refs to plain packed refs."""
+        out = []
+        if self.chain:
+            for sv_delta, span_delta, neq_ref, eq_ref in records:
+                node_id = self._next_id
+                self._next_id += 1
+                if sv_delta == LITERAL_TAG:
+                    out.append((LITERAL_TAG, 0, 0, 0))
+                    continue
+                eq_ref = undelta_ref(eq_ref, node_id)
+                if span_delta:
+                    out.append((sv_delta, span_delta, eq_ref | 1, eq_ref))
+                else:
+                    out.append(
+                        (sv_delta, 0, undelta_ref(neq_ref, node_id), eq_ref)
+                    )
+        else:
+            for sv_delta, neq_ref, eq_ref in records:
+                node_id = self._next_id
+                self._next_id += 1
+                if sv_delta == LITERAL_TAG:
+                    out.append((LITERAL_TAG, 0, 0))
+                    continue
+                out.append(
+                    (
+                        sv_delta,
+                        undelta_ref(neq_ref, node_id),
+                        undelta_ref(eq_ref, node_id),
+                    )
+                )
+        return out
 
     def read_roots(self) -> List[Tuple[int, str]]:
         """Read the roots trailer (after all levels have been iterated)."""
@@ -164,7 +264,7 @@ class LevelStreamReader:
             raw = self._file.read(length)
             if len(raw) != length:
                 raise FormatError("truncated root name")
-            roots.append((ref, raw.decode("utf-8")))
+            roots.append((ref, decode_name(raw)))
         return roots
 
     def load_into(self, manager, rename: Rename = None):
@@ -179,9 +279,20 @@ class LevelStreamReader:
         # The rebuilder's replay table holds bare edges; defer automatic
         # GC until the caller has wrapped (or referenced) the roots.
         with manager.defer_gc():
-            for position, records in self.iter_levels():
-                for sv_delta, neq_ref, eq_ref in records:
-                    rebuilder.add_record(position, sv_delta, neq_ref, eq_ref)
+            if self.chain:
+                for position, records in self.iter_levels():
+                    for sv_delta, span_delta, neq_ref, eq_ref in records:
+                        rebuilder.add_record(
+                            position,
+                            sv_delta,
+                            neq_ref,
+                            eq_ref,
+                            span_delta=span_delta,
+                        )
+            else:
+                for position, records in self.iter_levels():
+                    for sv_delta, neq_ref, eq_ref in records:
+                        rebuilder.add_record(position, sv_delta, neq_ref, eq_ref)
             roots = [
                 (rebuilder.edge_for(ref), name) for ref, name in self.read_roots()
             ]
@@ -231,7 +342,9 @@ def scan(source) -> FileInfo:
     """Scan a dump without decoding node records.
 
     ``source`` is a path or a seekable binary file object.  Reads the
-    header and each level block's small prefix, seeking past payloads.
+    header and each level block's small prefix, seeking past payloads
+    (compressed blocks skip the same way — the ``nbytes`` prefix always
+    counts stored bytes).
     """
     if hasattr(source, "read"):
         return _scan_file(source)

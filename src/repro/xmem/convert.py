@@ -25,13 +25,15 @@ import io as _io
 from typing import Dict, List, Tuple
 
 from repro.core.exceptions import BBDDError, VariableError
-from repro.core.operations import OP_XNOR
+from repro.core.operations import OP_XNOR, OP_XOR
 from repro.io.format import (
     FLAG_BDD,
+    FLAG_COMPRESSED,
     FormatError,
     Header,
     LITERAL_TAG,
     pack_ref,
+    version_for_flags,
 )
 from repro.io.migrate import ForestRebuilder, Rename, _resolve_rename
 from repro.io.stream import LevelStreamReader, LevelStreamWriter
@@ -118,6 +120,33 @@ class XmemForestRebuilder:
         self._refs.append(ref)
         return ref
 
+    def add_span(
+        self, position: int, sv_position: int, bot_position: int, eq_ref: int
+    ) -> int:
+        """Replay a chain-span record semantically (xmem has no span
+        node kind): ``f = eq xor pv xor sv ... xor bot``."""
+        n = len(self._var_at)
+        if not 0 <= position < sv_position <= bot_position < n:
+            raise FormatError(
+                f"span record positions ({position}, {sv_position}, "
+                f"{bot_position}) out of range ({n} variables)"
+            )
+        builder = self.builder
+        manager = self.manager
+        ref = self.edge_for(eq_ref)
+        for p in (position, *range(sv_position, bot_position + 1)):
+            ref = apply_refs(
+                manager,
+                builder,
+                builder,
+                ref,
+                builder,
+                builder.literal(self._var_at[p]),
+                OP_XOR,
+            )
+        self._refs.append(ref)
+        return ref
+
     def edge_for(self, ref: int) -> int:
         node_id = ref >> 1
         if not 0 <= node_id < len(self._refs):
@@ -144,7 +173,7 @@ def _named_functions(functions) -> List[Tuple[str, object]]:
     return [(f"f{i}", f) for i, f in enumerate(functions)]
 
 
-def dump_forest(manager, functions, target) -> None:
+def dump_forest(manager, functions, target, compress: bool = False) -> None:
     """Write an xmem forest to ``target`` (path or binary file object)."""
     from repro.io.binary import check_dump_args
 
@@ -163,11 +192,14 @@ def dump_forest(manager, functions, target) -> None:
                 memo = memos.setdefault(id(rep), {})
                 roots.append((name, builder.import_ref(rep, ref, memo)))
         levels, new_roots = _canonical_parts(builder, [r for _n, r in roots])
+        flags = FLAG_COMPRESSED if compress else 0
         header = Header(
             names=list(manager.var_names),
             order=list(manager.order.order),
             num_roots=len(named),
             levels=[(pos, len(records)) for pos, records in levels],
+            version=version_for_flags(flags),
+            flags=flags,
         )
         if hasattr(target, "write"):
             _write_levels(target, header, levels, named, new_roots)
@@ -226,9 +258,22 @@ def _load_file(manager, fileobj, rename: Rename) -> dict:
         rebuilder = XmemForestRebuilder(
             manager, builder, reader.header.ordered_names(), rename=rename
         )
-        for position, records in reader.iter_levels():
-            for sv_delta, neq_ref, eq_ref in records:
-                rebuilder.add_record(position, sv_delta, neq_ref, eq_ref)
+        if reader.chain:
+            for position, records in reader.iter_levels():
+                for sv_delta, span_delta, neq_ref, eq_ref in records:
+                    if span_delta:
+                        rebuilder.add_span(
+                            position,
+                            position + sv_delta,
+                            position + sv_delta + span_delta,
+                            eq_ref,
+                        )
+                    else:
+                        rebuilder.add_record(position, sv_delta, neq_ref, eq_ref)
+        else:
+            for position, records in reader.iter_levels():
+                for sv_delta, neq_ref, eq_ref in records:
+                    rebuilder.add_record(position, sv_delta, neq_ref, eq_ref)
         roots = [
             (name, rebuilder.edge_for(ref)) for ref, name in reader.read_roots()
         ]
@@ -318,9 +363,16 @@ class ToXmemMigrator:
             # unique table still dedups the created records.
             rebuilder = self._fresh_rebuilder()
             records, ids = forest_records(self.src, [("f", edge)])
-            for position, sv_position, _node, neq, eq in records:
+            for position, sv_position, span_delta, _node, neq, eq in records:
                 if sv_position is None:
                     rebuilder.add_record(position, LITERAL_TAG, 0, 0)
+                elif span_delta:
+                    rebuilder.add_span(
+                        position,
+                        sv_position,
+                        sv_position + span_delta,
+                        pack_ref(*eq),
+                    )
                 else:
                     rebuilder.add_record(
                         position,

@@ -662,10 +662,11 @@ class XmemManager(DDManager):
     # persistence (native: representations *are* the file format)
     # ------------------------------------------------------------------
 
-    def dump(self, functions, target) -> None:
+    def dump(self, functions, target, compress: bool = False) -> None:
         """Write a forest to ``target`` in the levelized binary format.
 
-        The output is a standard ``.bbdd`` container (flags 0):
+        The output is a standard ``.bbdd`` container (flags 0, or the
+        v2 ``FLAG_COMPRESSED`` container with ``compress=True``):
         representations are merged into one shared id space — per-level
         unique records re-share structure across functions — and the
         blocks stream out unchanged, so the dump interoperates with the
@@ -673,7 +674,7 @@ class XmemManager(DDManager):
         """
         from repro.xmem.convert import dump_forest
 
-        dump_forest(self, functions, target)
+        dump_forest(self, functions, target, compress=compress)
 
     def load(self, source, rename=None) -> dict:
         """Load a ``.bbdd`` dump *into this manager*; ``{name: function}``.

@@ -16,10 +16,12 @@ functions (under one manager) produce byte-identical representations —
 equality reduces to comparing canonical signatures.
 
 Each level block is independently *spillable*: its records can be
-encoded to a spill file (the varint codec of :mod:`repro.io.format`)
-and dropped from RAM, then transparently reloaded on access.  The
-manager's :class:`SpillStore` accounts residency against the
-``node_budget``.
+encoded to a spill file (the varint codec of :mod:`repro.io.format`,
+deflated per block — spill files are private to one process, so the
+compression is unconditional) and dropped from RAM, then transparently
+reloaded on access.  The manager's :class:`SpillStore` accounts
+residency against the ``node_budget``; ``spill_bytes`` counts the
+compressed bytes actually written.
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ from __future__ import annotations
 import os
 import tempfile
 import weakref
+import zlib
 from bisect import bisect_right
 from hashlib import blake2b
 from typing import Dict, Iterable, List, Optional, Set, Tuple
@@ -162,7 +165,7 @@ class Levelized:
         if records is None:
             with open(block.spill_path, "rb") as fileobj:
                 payload = fileobj.read()
-            records = decode_records(payload, block.count)
+            records = decode_records(zlib.decompress(payload), block.count)
             block.records = records
             store = self.store
             store.level_loads += 1
@@ -209,7 +212,7 @@ class Levelized:
         store = self.store
         if block.spill_path is None:
             path = store.new_path("rep")
-            payload = block.encode()
+            payload = zlib.compress(block.encode(), 6)
             with open(path, "wb") as fileobj:
                 fileobj.write(payload)
             block.spill_path = path

@@ -45,6 +45,31 @@ def _empty_dump() -> bytes:
     return rio.dumps(m, {})
 
 
+#: A parity tower over five variables: chain reduction collapses it to
+#: span nodes, so these dumps exercise FLAG_CHAIN alongside
+#: FLAG_COMPRESSED (span records + delta refs + shared deflate).
+_CHAIN_VARS = ["a", "b", "c", "d", "e"]
+_CHAIN_EXPR = "a <-> (b <-> (c <-> (d <-> e)))"
+
+
+def _bbdd_dump_compressed() -> bytes:
+    m = repro.open("bbdd", vars=_CHAIN_VARS, chain_reduce=True)
+    return rio.dumps(
+        m,
+        {"par": m.add_expr(_CHAIN_EXPR), "g": m.add_expr("(a ^ b) | e")},
+        compress=True,
+    )
+
+
+def _bdd_dump_compressed() -> bytes:
+    m = repro.open("bdd", vars=_CHAIN_VARS, chain_reduce=True)
+    return rio.dumps_bdd(
+        m,
+        {"par": m.add_expr(_CHAIN_EXPR), "g": m.add_expr("(a ^ b) | e")},
+        compress=True,
+    )
+
+
 def _assert_formaterror(fn, data):
     try:
         fn(data)
@@ -58,7 +83,7 @@ def _assert_formaterror(fn, data):
         pytest.fail("truncated input loaded without error")
 
 
-@pytest.mark.parametrize("make_dump", [_bbdd_dump, _empty_dump])
+@pytest.mark.parametrize("make_dump", [_bbdd_dump, _empty_dump, _bbdd_dump_compressed])
 def test_bbdd_load_rejects_every_truncation(make_dump):
     data = make_dump()
     # Sanity: the untruncated dump loads.
@@ -67,11 +92,31 @@ def test_bbdd_load_rejects_every_truncation(make_dump):
         _assert_formaterror(rio.loads, data[:cut])
 
 
-def test_bdd_load_rejects_every_truncation():
-    data = _bdd_dump()
+@pytest.mark.parametrize("make_dump", [_bdd_dump, _bdd_dump_compressed])
+def test_bdd_load_rejects_every_truncation(make_dump):
+    data = make_dump()
     rio.loads_bdd(data)
     for cut in range(len(data)):
         _assert_formaterror(rio.loads_bdd, data[:cut])
+
+
+def test_compressed_dumps_carry_v2_flags():
+    """The fuzz fixtures really hit the v2 chain+compressed code paths."""
+    from repro.io.format import (
+        FLAG_BDD,
+        FLAG_CHAIN,
+        FLAG_COMPRESSED,
+        FORMAT_VERSION_CHAIN,
+        read_header,
+    )
+
+    bbdd = read_header(_io.BytesIO(_bbdd_dump_compressed()))
+    assert bbdd.version == FORMAT_VERSION_CHAIN
+    assert bbdd.flags & FLAG_COMPRESSED and bbdd.flags & FLAG_CHAIN
+    assert not bbdd.flags & FLAG_BDD
+    bdd = read_header(_io.BytesIO(_bdd_dump_compressed()))
+    assert bdd.version == FORMAT_VERSION_CHAIN
+    assert bdd.flags & FLAG_COMPRESSED and bdd.flags & FLAG_BDD
 
 
 def test_xmem_load_rejects_every_truncation():
@@ -96,6 +141,46 @@ def test_scan_rejects_header_truncations():
         # scan only validates the header + level directory; cuts inside
         # the roots trailer are legitimately invisible to it.
         assert cut > len(data) - 16, f"scan accepted deep truncation at {cut}"
+
+
+@pytest.mark.parametrize(
+    "make_dump, loader",
+    [(_bbdd_dump_compressed, "loads"), (_bdd_dump_compressed, "loads_bdd")],
+)
+def test_compressed_payload_byte_flips_never_leak_raw_errors(make_dump, loader):
+    """Corrupting deflate data must surface as FormatError, not zlib.error.
+
+    Flips are restricted to the payload region (a flipped *header* byte
+    can legitimately fail in name decoding, which is out of scope here).
+    A flip that still decodes to a well-formed forest is acceptable.
+    """
+    from repro.io.format import read_header
+
+    load = getattr(rio, loader)
+    data = make_dump()
+    buf = _io.BytesIO(data)
+    read_header(buf)
+    start = buf.tell()
+    for i in range(start, len(data)):
+        flipped = data[:i] + bytes([data[i] ^ 0xFF]) + data[i + 1 :]
+        try:
+            load(flipped)
+        except BBDDError:
+            continue
+        except Exception as exc:  # pragma: no cover - the failure under test
+            pytest.fail(f"flip at {i} leaked {type(exc).__name__}: {exc}")
+
+
+def test_unsupported_version_names_file_and_supported_range(tmp_path):
+    path = tmp_path / "future.bbdd"
+    # Magic + varint version 9: a container from a future writer.
+    path.write_bytes(b"BBDD\x09" + b"\x00" * 16)
+    with pytest.raises(FormatError) as excinfo:
+        rio.load(str(path))
+    message = str(excinfo.value)
+    assert "future.bbdd" in message
+    assert "unsupported format version 9" in message
+    assert "supports versions 1, 2" in message
 
 
 def test_garbage_and_wrong_magic_rejected():
