@@ -1,0 +1,118 @@
+"""Reachability gates: oracle-verified fixpoints and the fused product.
+
+Two claims are gated here:
+
+* **correctness at scale** — the symbolic BFS fixpoint of every shipped
+  FSM family (counter / LFSR / rule-110 cellular automaton) at 10-12
+  state bits enumerates to exactly the state codes the explicit
+  bit-parallel oracle finds;
+* **the fused relational product pays** — on the largest frontend FSM
+  (an 18-cell cellular automaton) quantifying against an
+  *incompressible* state set (a uniformly random function over 12 state
+  variables, the worst case for conjunction size), fused
+  ``relation.and_exists(S, V)`` must beat the unfused
+  ``(relation & S).exists(V)`` by at least 1.5x.  The two variants run
+  on **separate managers**: sharing one would let the first-run's node
+  table and memo growth poison the second measurement.
+
+Numbers land in ``benchmarks/out/BENCH_reach.json``.
+"""
+
+import random
+import time
+
+from repro.reach import explicit_reachable, from_network, models, reachable
+from _metrics import record_metric
+
+SPEEDUP_GATE = 1.5
+GATE_CELLS = 18
+GATE_SET_VARS = 12
+GATE_SEED = 0x2014
+
+
+def _random_function(manager, names, rng):
+    """A uniformly random function over ``names``, by Shannon expansion.
+
+    Random truth tables are maximally incompressible for decision
+    diagrams, so conjoining one with a transition relation is the
+    worst case the fused product is designed to avoid materializing.
+    """
+
+    def build(i):
+        if i == len(names):
+            return manager.true() if rng.getrandbits(1) else manager.false()
+        low = build(i + 1)
+        high = build(i + 1)
+        v = manager.var(names[i])
+        return (v & high) | (~v & low)
+
+    return build(0)
+
+
+def test_fixpoints_match_explicit_oracle(capsys):
+    """Gate: symbolic BFS == explicit BFS on every 10-12 bit family."""
+    cases = [
+        models.counter(10),
+        models.lfsr(12),
+        models.cellular_automaton(12, seed=1),
+    ]
+    for network in cases:
+        oracle = explicit_reachable(network)
+        system = from_network(network)
+        t0 = time.perf_counter()
+        result = reachable(system)
+        elapsed = time.perf_counter() - t0
+        codes = system.state_codes(result.states)
+        # -- the acceptance gate --------------------------------------
+        assert codes == oracle, network.name
+        assert result.state_count == len(oracle)
+        with capsys.disabled():
+            print(
+                f"\nreach: {network.name} {result.state_count} states in "
+                f"{result.iterations} iterations ({elapsed:.3f}s, "
+                f"oracle-verified)"
+            )
+        record_metric("reach", f"{network.name}_states", result.state_count, "count")
+        record_metric("reach", f"{network.name}_iterations", result.iterations, "count")
+        record_metric("reach", f"{network.name}_fixpoint_s", elapsed, "s")
+
+
+def _timed_product(fused):
+    """One relational product over a fresh manager; returns (seconds, count)."""
+    network = models.cellular_automaton(GATE_CELLS, seed=1)
+    system = from_network(network)
+    states = _random_function(
+        system.manager, system.current[:GATE_SET_VARS], random.Random(GATE_SEED)
+    )
+    quantified = system.current + system.inputs
+    t0 = time.perf_counter()
+    if fused:
+        image = system.relation.and_exists(states, quantified)
+    else:
+        image = (system.relation & states).exists(quantified)
+    elapsed = time.perf_counter() - t0
+    return elapsed, image.sat_count()
+
+
+def test_fused_product_beats_unfused(capsys):
+    """Gate: fused ``and_exists`` >= 1.5x the materialized conjunction."""
+    # Best of two runs per variant damps allocator/GC noise; each run
+    # builds its own manager so neither variant inherits a warm table.
+    t_fused, count_fused = min(_timed_product(fused=True) for _ in range(2))
+    t_unfused, count_unfused = min(_timed_product(fused=False) for _ in range(2))
+    assert count_fused == count_unfused
+    speedup = t_unfused / t_fused
+    with capsys.disabled():
+        print(
+            f"reach: ca{GATE_CELLS} x random {GATE_SET_VARS}-var set: "
+            f"unfused {t_unfused:.3f}s, fused {t_fused:.3f}s "
+            f"({speedup:.2f}x)"
+        )
+    record_metric("reach", "unfused_product_s", t_unfused, "s")
+    record_metric("reach", "fused_product_s", t_fused, "s")
+    record_metric("reach", "fused_speedup", speedup, "ratio")
+    # -- the acceptance gate ------------------------------------------
+    assert speedup >= SPEEDUP_GATE, (
+        f"fused and_exists only {speedup:.2f}x faster than the "
+        f"materialized conjunction (gate: {SPEEDUP_GATE}x)"
+    )

@@ -177,6 +177,32 @@ class DDManager:
             raise ForeignManagerError("function belongs to a different manager")
         return f.evaluate_batch(assignments, workers=workers)
 
+    def weighted_count(self, f: "FunctionBase", weights=None, *, exact: bool = True):
+        """Manager-level spelling of :meth:`FunctionBase.weighted_count`."""
+        if f.manager is not self:
+            raise ForeignManagerError("function belongs to a different manager")
+        return f.weighted_count(weights, exact=exact)
+
+    def p_one(self, f: "FunctionBase", weights=None, *, exact: bool = True):
+        """Manager-level spelling of :meth:`FunctionBase.p_one`."""
+        if f.manager is not self:
+            raise ForeignManagerError("function belongs to a different manager")
+        return f.p_one(weights, exact=exact)
+
+    def marginals(
+        self, f: "FunctionBase", weights=None, variables=None, *, exact: bool = True
+    ):
+        """Manager-level spelling of :meth:`FunctionBase.marginals`."""
+        if f.manager is not self:
+            raise ForeignManagerError("function belongs to a different manager")
+        return f.marginals(weights, variables, exact=exact)
+
+    def and_exists(self, f: "FunctionBase", g: "FunctionBase", variables):
+        """Manager-level spelling of :meth:`FunctionBase.and_exists`."""
+        if f.manager is not self or g.manager is not self:
+            raise ForeignManagerError("function belongs to a different manager")
+        return f.and_exists(g, variables)
+
     # -- batch protocol (repro.serve) ---------------------------------------
 
     def batch_stream(self, edge):
@@ -368,6 +394,76 @@ class DDManager:
                     cofactor = self.restrict_edge(cofactor, var, value)
                 results.append(not self.edge_is_false(cofactor))
         return results
+
+    def weighted_count_edge(self, edge, w1, w0, one, zero):
+        """Weighted model count of ``edge`` (see :mod:`repro.wmc`).
+
+        ``w1``/``w0`` are per-variable weight columns indexed by
+        variable index, ``one``/``zero`` the units of the arithmetic in
+        use (Fractions or floats).  With a :meth:`batch_stream` and a
+        variable order this is the one-pass levelized
+        :func:`repro.wmc.sweep.mass_sweep`; any other backend takes the
+        protocol-pure memoized Shannon recursion
+        (:func:`repro.wmc.sweep.shannon_count`) — correct without
+        knowing the node layout.
+        """
+        from repro.wmc.sweep import mass_sweep, shannon_count, total_mass
+
+        if self.edge_is_sink(edge):
+            if self.edge_is_false(edge):
+                return zero
+            return total_mass(w1, w0, one)
+        order_obj = getattr(self, "order", None)
+        stream = self.batch_stream(edge) if order_obj is not None else None
+        if stream is None:
+            return shannon_count(self, edge, w1, w0, one, zero)
+        root_key, items = stream
+        order = tuple(order_obj.order)
+        positions = [0] * self.num_vars
+        for pos, var in enumerate(order):
+            positions[var] = pos
+        return mass_sweep(
+            root_key,
+            self.edge_attr(edge),
+            items,
+            order=order,
+            positions=positions,
+            w1=w1,
+            w0=w0,
+            one=one,
+            zero=zero,
+        )
+
+    def and_exists_edges(self, f, g, variables):
+        """Relational product ``exists variables . f & g``.
+
+        The built-in backends override this with a fused one-pass
+        cofactor sweep (:func:`repro.core.apply.and_exists`,
+        :func:`repro.bdd.ops.and_exists`); this default composes public
+        operations with *early quantification* — variables confined to
+        one operand's support are quantified out of that operand before
+        the conjunction, so only variables both operands mention pay
+        for the intermediate product.
+        """
+        if isinstance(variables, (str, int)):
+            variables = (variables,)
+        indices = sorted({self.var_index(v) for v in variables})
+        with self.defer_gc():
+            if not indices:
+                return self.apply_edges(f, g, OP_AND)
+            fsupp = set(self.support_edge(f))
+            gsupp = set(self.support_edge(g))
+            f_only = [v for v in indices if v in fsupp and v not in gsupp]
+            g_only = [v for v in indices if v in gsupp and v not in fsupp]
+            shared = [v for v in indices if v in fsupp and v in gsupp]
+            if f_only:
+                f = self.quantify_edge(f, f_only, False)
+            if g_only:
+                g = self.quantify_edge(g, g_only, False)
+            product = self.apply_edges(f, g, OP_AND)
+            if shared:
+                product = self.quantify_edge(product, shared, False)
+            return product
 
 
 def rebuild_function(manager, root, var_fn, target, memo=None):
@@ -798,6 +894,36 @@ class FunctionBase:
         """Number of satisfying assignments over all manager variables."""
         return self.manager.sat_count_edge(self.edge)
 
+    def weighted_count(self, weights=None, *, exact: bool = True):
+        """Weighted model count over all manager variables.
+
+        ``weights`` maps variables to ``(w1, w0)`` pairs or single
+        numbers ``p`` (meaning ``(p, 1 - p)``); unmentioned variables
+        weigh ``(1, 1)``.  See :func:`repro.wmc.weighted_count`.
+        """
+        from repro.wmc import weighted_count
+
+        return weighted_count(self, weights, exact=exact)
+
+    def p_one(self, weights=None, *, exact: bool = True):
+        """``p(f = 1)`` under independent per-variable probabilities.
+
+        ``weights`` maps variables to ``p(v = 1)``; unmentioned
+        variables default to ``1/2``.  See :func:`repro.wmc.p_one`.
+        """
+        from repro.wmc import p_one
+
+        return p_one(self, weights, exact=exact)
+
+    def marginals(self, weights=None, variables=None, *, exact: bool = True):
+        """Posterior marginals ``p(v = 1 | f = 1)`` per support variable.
+
+        See :func:`repro.wmc.marginals`.
+        """
+        from repro.wmc import marginals
+
+        return marginals(self, weights, variables, exact=exact)
+
     def sat_one(self) -> Optional[Dict[str, bool]]:
         """One satisfying assignment (by name), or None if unsatisfiable.
 
@@ -855,6 +981,17 @@ class FunctionBase:
     def forall(self, variables) -> "FunctionBase":
         """Universal quantification over ``variables`` (names/indices)."""
         return self._wrap(self.manager.quantify_edge(self.edge, variables, True))
+
+    def and_exists(self, other, variables) -> "FunctionBase":
+        """Relational product ``exists variables . self & other``.
+
+        One fused sweep on the built-in backends — the conjunction is
+        never materialized, which is what makes symbolic image
+        computation (:mod:`repro.reach`) scale.
+        """
+        return self._wrap(
+            self.manager.and_exists_edges(self.edge, self._coerce(other), variables)
+        )
 
     def equivalent(self, other) -> bool:
         """Canonicity-based equivalence check (pointer comparison)."""

@@ -392,6 +392,11 @@ class BDDManager(DDManager):
 
         return _ops.support(self, edge)
 
+    def and_exists_edges(self, f: BDDEdge, g: BDDEdge, variables) -> BDDEdge:
+        from repro.bdd import ops as _ops
+
+        return _ops.and_exists(self, f, g, variables)
+
     def evaluate_edge(self, edge: BDDEdge, values: Dict[int, bool]) -> bool:
         return self.evaluate(edge, values)
 

@@ -23,10 +23,12 @@ from repro.core.operations import OP_AND, OP_OR, OP_XNOR
 #: Computed-table tags (aligned with repro.core.apply's scheme).
 TAG_RESTRICT = 17
 TAG_QUANT = 18
+TAG_ANDEX = 19
 
 _CALL = 0
 _COMBINE = 1
 _COMBINE_SPAN = 2
+_COMBINE_OR = 3
 
 
 def _span_minus_var(manager, node: BDDNode, var: int) -> BDDEdge:
@@ -215,6 +217,116 @@ def _quantify_one(manager, edge: BDDEdge, var: int, op: int) -> BDDEdge:
         result = make(node.var, t, e)
         insert(key, result)
         rpush(result)
+    return results[-1]
+
+
+def and_exists(manager, f: BDDEdge, g: BDDEdge, variables) -> BDDEdge:
+    """Relational product ``exists variables . f & g`` in one fused pass.
+
+    The conjunction is never materialized: one memoized sweep expands
+    both operands together on the top variable ``v``; where ``v`` is
+    quantified the Shannon branches OR directly (existentials
+    distribute over the disjunction), elsewhere the node rebuilds over
+    the recursive children.  Subgraphs rooted entirely below the
+    deepest quantified variable collapse to a plain cached AND, and a
+    parity span at ``v`` cofactors through two span-aware restricts.
+    Memoized ``(TAG_ANDEX, f_uid, f_attr, g_uid, g_attr, vmask)`` with
+    the commutative operands in canonical order.
+    """
+    indices = sorted({manager.var_index(v) for v in _as_iterable(variables)})
+    if not indices:
+        return manager.apply_edges(f, g, OP_AND)
+    position = manager._order.position
+    vset = frozenset(indices)
+    vmask = 0
+    for index in indices:
+        vmask |= 1 << index
+    max_qpos = max(position(index) for index in indices)
+    lookup, insert = _memo_fns(manager)
+    make = manager._make
+    apply_edges = manager.apply_edges
+    false_edge = manager.false_edge
+    results: List[BDDEdge] = []
+    rpush = results.append
+    rpop = results.pop
+    tasks: List[tuple] = [(_CALL, f, g)]
+    tpush = tasks.append
+    tpop = tasks.pop
+    while tasks:
+        tag, a, b = tpop()
+        if tag == _COMBINE:
+            t = rpop()
+            e = rpop()
+            result = make(a, t, e)
+            insert(b, result)
+            rpush(result)
+            continue
+        if tag == _COMBINE_OR:
+            t = rpop()
+            e = rpop()
+            result = apply_edges(t, e, OP_OR)
+            insert(b, result)
+            rpush(result)
+            continue
+        f, g = a, b
+        fn, fa = f
+        gn, ga = g
+        if (gn.uid, ga) < (fn.uid, fa):  # AND commutes: canonical order.
+            f, g = g, f
+            fn, fa, gn, ga = gn, ga, fn, fa
+        # -- terminal cases -----------------------------------------------
+        if (fn.is_sink and fa) or (gn.is_sink and ga):
+            rpush(false_edge)
+            continue
+        if fn is gn:
+            if fa != ga:
+                rpush(false_edge)
+            else:
+                rpush(exists(manager, f, indices))
+            continue
+        if fn.is_sink:  # f == TRUE
+            rpush(exists(manager, g, indices))
+            continue
+        if gn.is_sink:  # g == TRUE
+            rpush(exists(manager, f, indices))
+            continue
+        f_pos = position(fn.var)
+        g_pos = position(gn.var)
+        v_pos = f_pos if f_pos <= g_pos else g_pos
+        if v_pos > max_qpos:
+            # Every variable below here outranks the quantified set.
+            rpush(apply_edges(f, g, OP_AND))
+            continue
+
+        key = (TAG_ANDEX, fn.uid, fa, gn.uid, ga, vmask)
+        cached = lookup(key)
+        if cached is not None:
+            rpush(cached)
+            continue
+
+        v = fn.var if f_pos <= g_pos else gn.var
+        if f_pos > v_pos:
+            f1 = f0 = f
+        elif fn.bot != fn.var:
+            f1 = restrict(manager, f, v, True)
+            f0 = restrict(manager, f, v, False)
+        else:
+            f1 = (fn.then, fa)
+            f0 = (fn.else_, fa ^ fn.else_attr)
+        if g_pos > v_pos:
+            g1 = g0 = g
+        elif gn.bot != gn.var:
+            g1 = restrict(manager, g, v, True)
+            g0 = restrict(manager, g, v, False)
+        else:
+            g1 = (gn.then, ga)
+            g0 = (gn.else_, ga ^ gn.else_attr)
+        if v in vset:
+            tpush((_COMBINE_OR, None, key))
+        else:
+            tpush((_COMBINE, v, key))
+        tpush((_CALL, f1, g1))
+        tpush((_CALL, f0, g0))
     return results[-1]
 
 

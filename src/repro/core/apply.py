@@ -50,10 +50,16 @@ from repro.core.operations import OP_AND, OP_OR, OP_XNOR
 TAG_ITE = 16
 TAG_RESTRICT = 17
 TAG_QUANT = 18
+TAG_ANDEX = 19
 
 _CALL = 0
 _COMBINE = 1
 _COMBINE_ITE = 2
+# and_exists lazy-OR frames: the second disjunct is only computed when
+# the first one fails to short-circuit the disjunction to TRUE.
+_ANDEX_ELSE = 4
+_ANDEX_ELSE_SPLIT = 5
+_ANDEX_OR = 6
 
 
 def _memo_fns(manager):
@@ -416,6 +422,186 @@ def _quantify_iter(manager, edge: Edge, var: int, op: int) -> Edge:
         result = make(pvl[node], svl[node], d2, e2)
         insert(key, result)
         rpush(result)
+    return results[-1]
+
+
+def and_exists(manager, f: Edge, g: Edge, variables) -> Edge:
+    """Relational product ``exists variables . f & g`` in one fused pass.
+
+    The workhorse of symbolic image computation (:mod:`repro.reach`):
+    instead of materializing the conjunction and then quantifying —
+    whose intermediate can dwarf both the operands and the result —
+    one memoized sweep expands both operands together over the
+    biconditional couple ``(v, w)`` and folds the quantifier in at the
+    expansion point:
+
+    * ``v`` quantified (``w`` not) — the couple's branches are disjoint
+      and neither mentions ``v``, so
+      ``E v . f&g = (f_nq & g_nq) | (f_eq & g_eq)`` — recurse on both
+      cofactor pairs and OR the results (existentials distribute over
+      the disjunction);
+    * ``w`` quantified — the branching *condition* itself mentions
+      ``w``, which the couple structure cannot absorb: Shannon-split
+      both operands on ``w`` (two cached restricts each) and OR the
+      recursive halves;
+    * neither quantified — rebuild the couple over the recursive
+      children (every effective quantified variable lies strictly
+      below ``w``: positions between ``v`` and ``w`` are support-free
+      by the chained-CVO selection of ``w``).
+
+    Memoized ``(TAG_ANDEX, f, g, vmask)`` with the commutative operands
+    in canonical order; subgraphs whose combined support misses the
+    quantified set collapse to a plain cached AND.
+    """
+    indices = sorted({manager.var_index(v) for v in _as_iterable(variables)})
+    if not indices:
+        return manager.apply_edges(f, g, OP_AND)
+    vmask = 0
+    for index in indices:
+        vmask |= 1 << index
+    manager._in_op += 1
+    try:
+        result = _and_exists_iter(manager, f, g, indices, vmask)
+    finally:
+        manager._in_op -= 1
+    manager._maybe_gc_protect(result)
+    return result
+
+
+def _and_exists_iter(manager, f: Edge, g: Edge, vlist, vmask: int) -> Edge:
+    lookup, insert = _memo_fns(manager)
+    position = manager._order.position
+    cofactors = manager._cofactors
+    make = manager._make
+    apply_edges = manager.apply_edges
+    pvl = manager._pv
+    svl = manager._sv
+    suppl = manager._supp
+    results: List[Edge] = []
+    rpush = results.append
+    rpop = results.pop
+    tasks: List[tuple] = [(_CALL, f, g)]
+    tpush = tasks.append
+    tpop = tasks.pop
+    while tasks:
+        tag, a, b = tpop()
+        if tag == _COMBINE:
+            d = rpop()
+            e = rpop()
+            result = make(a[0], a[1], d, e)
+            insert(b, result)
+            rpush(result)
+            continue
+        if tag == _ANDEX_ELSE:
+            first = rpop()
+            if first == SINK:
+                # E x . anything | TRUE: the second disjunct is moot.
+                insert(b, SINK)
+                rpush(SINK)
+                continue
+            tpush((_ANDEX_OR, first, b))
+            tpush((_CALL, a[0], a[1]))
+            continue
+        if tag == _ANDEX_ELSE_SPLIT:
+            first = rpop()
+            if first == SINK:
+                # Short-circuit before even restricting the other half.
+                insert(b, SINK)
+                rpush(SINK)
+                continue
+            tpush((_ANDEX_OR, first, b))
+            tpush((
+                _CALL,
+                restrict(manager, a[0], a[2], False),
+                restrict(manager, a[1], a[2], False),
+            ))
+            continue
+        if tag == _ANDEX_OR:
+            second = rpop()
+            result = apply_edges(a, second, OP_OR)
+            insert(b, result)
+            rpush(result)
+            continue
+        f, g = a, b
+        if f > g:  # AND commutes: canonical operand order for the memo.
+            f, g = g, f
+        # -- terminal cases -----------------------------------------------
+        if f == -SINK or g == -SINK or f == -g:
+            rpush(-SINK)
+            continue
+        if f == g:
+            rpush(exists(manager, f, vlist))
+            continue
+        if f == SINK:
+            rpush(exists(manager, g, vlist))
+            continue
+        if g == SINK:
+            rpush(exists(manager, f, vlist))
+            continue
+        fn = -f if f < 0 else f
+        gn = -g if g < 0 else g
+        if not (suppl[fn] | suppl[gn]) & vmask:
+            rpush(apply_edges(f, g, OP_AND))
+            continue
+
+        key = (TAG_ANDEX, f, g, vmask)
+        cached = lookup(key)
+        if cached is not None:
+            rpush(cached)
+            continue
+
+        # -- fused biconditional expansion (top couple as in _ite_iter) ---
+        v = pvl[fn]
+        v_pos = position(v)
+        p = position(pvl[gn])
+        if p < v_pos:
+            v, v_pos = pvl[gn], p
+        w = None
+        w_pos = manager.num_vars + 1
+        for node in (fn, gn):
+            cand = svl[node] if pvl[node] == v else pvl[node]
+            if cand == SV_ONE:
+                continue
+            cand_pos = position(cand)
+            if cand_pos < w_pos:
+                w, w_pos = cand, cand_pos
+        if w is None:  # pragma: no cover - both-literal cases hit f == +-g
+            raise BBDDError("no expansion SV: both operands literal at v")
+        if vmask >> w & 1 and not vmask >> v & 1:
+            # Only the surviving condition variable is quantified: the
+            # couple structure cannot absorb a quantifier on its own
+            # condition, so Shannon-split both operands on w with cached
+            # restricts and OR the halves — lazily, so a TRUE first half
+            # skips the second half's restricts and recursion entirely.
+            # (With v quantified too the couple expansion below already
+            # covers w — E v alone makes both branches reachable for
+            # every w value.)
+            tpush((_ANDEX_ELSE_SPLIT, (f, g, w), key))
+            tpush((
+                _CALL,
+                restrict(manager, f, w, True),
+                restrict(manager, g, w, True),
+            ))
+            continue
+        f_nq, f_eq = cofactors(fn, v, w)
+        g_nq, g_eq = cofactors(gn, v, w)
+        if f < 0:
+            f_nq = -f_nq
+            f_eq = -f_eq
+        if g < 0:
+            g_nq = -g_nq
+            g_eq = -g_eq
+        if vmask >> v & 1:
+            # Disjoint branches, neither mentioning v: E v collapses to
+            # the OR of the branch conjunctions (w, quantified or not,
+            # stays free in the cofactors and recurses on) — again
+            # lazily: a TRUE ==-half short-circuits the !=-half.
+            tpush((_ANDEX_ELSE, (f_nq, g_nq), key))
+            tpush((_CALL, f_eq, g_eq))
+        else:
+            tpush((_COMBINE, (v, w), key))
+            tpush((_CALL, f_nq, g_nq))
+            tpush((_CALL, f_eq, g_eq))
     return results[-1]
 
 

@@ -1345,6 +1345,11 @@ class BBDDManager(DDManager):
 
         return _ops.support(self, edge)
 
+    def and_exists_edges(self, f: Edge, g: Edge, variables) -> Edge:
+        from repro.core import apply as _ops
+
+        return _ops.and_exists(self, f, g, variables)
+
     def evaluate_edge(self, edge: Edge, values: Dict[int, bool]) -> bool:
         from repro.core import traversal as _trav
 

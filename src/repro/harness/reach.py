@@ -1,0 +1,168 @@
+"""Differential reachability harness: symbolic fixpoints vs explicit BFS.
+
+``python -m repro.harness.reach`` sweeps the benchmark FSM families of
+:mod:`repro.reach.models` across backends, runs the symbolic
+breadth-first fixpoint (:func:`repro.reach.reachable`, fused
+``and_exists`` images) and — at checkable sizes — the explicit-state
+oracle (:func:`repro.reach.explicit_reachable`), and cross-checks the
+reachable state sets code for code.  Any divergence is a correctness
+failure, not a statistic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.reach import explicit_reachable, from_network, models, reachable
+
+#: Backends swept by default (xmem exercises the external-memory path).
+DEFAULT_BACKENDS = ("bbdd", "bdd", "xmem")
+
+#: Largest state-bit count the explicit oracle is asked to enumerate.
+ORACLE_LIMIT = 14
+
+
+def model_suite(full: bool = False) -> List:
+    """The benchmark FSM instances for one harness run."""
+    if full:
+        sizes = [8, 12, 16]
+    else:
+        sizes = [4, 6, 8]
+    nets = []
+    for bits in sizes:
+        nets.append(models.counter(bits))
+        nets.append(models.lfsr(bits))
+        nets.append(models.cellular_automaton(bits))
+    return nets
+
+
+def run_reach(
+    networks: Optional[Sequence] = None,
+    backends: Sequence[str] = DEFAULT_BACKENDS,
+    full: bool = False,
+    verbose: bool = False,
+) -> Dict:
+    """Run the differential sweep; returns the result dictionary.
+
+    Per network and backend: fixpoint iterations, reachable-state count,
+    peak diagram sizes and wall time.  Networks within the oracle limit
+    are additionally checked against explicit BFS — a mismatch raises
+    ``AssertionError`` immediately.
+    """
+    if networks is None:
+        networks = model_suite(full)
+    rows: List[dict] = []
+    for network in networks:
+        bits = len(network.latches)
+        oracle = None
+        oracle_time = 0.0
+        if bits <= ORACLE_LIMIT:
+            t0 = time.perf_counter()
+            oracle = explicit_reachable(network)
+            oracle_time = time.perf_counter() - t0
+        record = {
+            "name": network.name,
+            "bits": bits,
+            "oracle_states": len(oracle) if oracle is not None else None,
+            "oracle_time": oracle_time,
+            "checked": oracle is not None,
+        }
+        for backend in backends:
+            system = from_network(network, backend=backend)
+            t0 = time.perf_counter()
+            result = reachable(system)
+            elapsed = time.perf_counter() - t0
+            record[f"{backend}_states"] = result.state_count
+            record[f"{backend}_iterations"] = result.iterations
+            record[f"{backend}_peak_nodes"] = result.visited_peak
+            record[f"{backend}_time"] = elapsed
+            if oracle is not None:
+                codes = system.state_codes(result.states)
+                assert codes == oracle, (
+                    f"{network.name}/{backend}: symbolic reachable set "
+                    f"({len(codes)} states) != explicit BFS ({len(oracle)})"
+                )
+        rows.append(record)
+        if verbose:
+            parts = [f"  {record['name']:12s} {bits:3d} bits"]
+            for backend in backends:
+                parts.append(
+                    f"{backend} {record[f'{backend}_states']:6d} states/"
+                    f"{record[f'{backend}_iterations']:3d} it "
+                    f"({record[f'{backend}_time']:.3f}s)"
+                )
+            parts.append("checked" if record["checked"] else "symbolic-only")
+            print("  ".join(parts))
+    return {
+        "rows": rows,
+        "backends": list(backends),
+        "checked": sum(1 for r in rows if r["checked"]),
+        "profile": "full" if full else "fast",
+    }
+
+
+def render_reach(summary: Dict) -> str:
+    """Human-readable table for one harness run."""
+    from repro.harness.report import format_table
+
+    backends = summary["backends"]
+    headers = ["Model", "Bits", "Oracle"]
+    for backend in backends:
+        headers += [f"{backend} states", f"{backend} iters", f"{backend} s"]
+    rows = []
+    for r in summary["rows"]:
+        row = [r["name"], r["bits"], r["oracle_states"] if r["checked"] else "-"]
+        for backend in backends:
+            row += [
+                r[f"{backend}_states"],
+                r[f"{backend}_iterations"],
+                round(r[f"{backend}_time"], 3),
+            ]
+        rows.append(row)
+    table = format_table(
+        headers,
+        rows,
+        title=f"Reachability differential sweep ({summary['profile']} profile)",
+    )
+    footer = (
+        f"\n{summary['checked']}/{len(summary['rows'])} models verified "
+        f"against the explicit-state oracle"
+    )
+    return table + footer
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:  # pragma: no cover
+    """CLI entry: ``python -m repro.harness.reach``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Differential symbolic-vs-explicit reachability sweep."
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["bbdd", "bdd", "xmem", "all"],
+        default="all",
+        help="backend(s) under test (default: all three)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="larger FSM profile (up to 16 state bits; symbolic-only at the top)",
+    )
+    from repro.harness.report import add_stats_argument, emit_stats
+
+    add_stats_argument(parser)
+    args = parser.parse_args(argv)
+    if args.stats is not None:
+        from repro.obs import trace
+
+        trace.enable()
+    backends = DEFAULT_BACKENDS if args.backend == "all" else (args.backend,)
+    summary = run_reach(backends=backends, full=args.full, verbose=True)
+    print(render_reach(summary))
+    emit_stats(args.stats)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -3,8 +3,14 @@
 Supports the combinational subset used by the MCNC suite: ``.model``,
 ``.inputs``, ``.outputs``, ``.names`` with PLA-style single-output covers
 (including the constant covers), line continuations with ``\\`` and
-comments with ``#``.  Covers are expanded into AND/OR/INV primitives on
-read; the writer emits one ``.names`` block per gate.
+comments with ``#`` — plus the sequential ``.latch`` directive
+(``.latch data state [type control] [init]``): each latch's state
+signal joins the combinational core as an input and the
+``data -> state`` pairing is recorded on
+:attr:`repro.network.network.LogicNetwork.latches`, which is what the
+transition-relation builder of :mod:`repro.reach` consumes.  Covers
+are expanded into AND/OR/INV primitives on read; the writer emits one
+``.names`` block per gate and one ``.latch`` line per state element.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ def parse_blif(text: str) -> LogicNetwork:
     name = "blif"
     inputs: List[str] = []
     outputs: List[str] = []
+    latches: List[Tuple[str, str, int]] = []  # (data, state, init)
     names_blocks: List[Tuple[List[str], List[str]]] = []  # (signals, cover rows)
     current: Optional[Tuple[List[str], List[str]]] = None
 
@@ -54,10 +61,20 @@ def parse_blif(text: str) -> LogicNetwork:
             elif directive == ".names":
                 current = (parts[1:], [])
                 names_blocks.append(current)
+            elif directive == ".latch":
+                # .latch data state [type control] [init]; a trailing
+                # digit is the reset value (missing defaults to 0 so
+                # reachability always has a concrete initial state).
+                if len(parts) < 3:
+                    raise ValueError(f"malformed .latch line: {line!r}")
+                init = 0
+                if len(parts) > 3 and parts[-1] in ("0", "1", "2", "3"):
+                    init = int(parts[-1])
+                latches.append((parts[1], parts[2], init))
             elif directive == ".end":
                 break
-            elif directive in (".latch", ".subckt", ".gate"):
-                raise ValueError(f"unsupported BLIF directive for combinational flow: {directive}")
+            elif directive in (".subckt", ".gate"):
+                raise ValueError(f"unsupported BLIF directive for flat flow: {directive}")
             # Silently ignore housekeeping directives (.default_input_arrival etc.)
         else:
             if current is None:
@@ -66,6 +83,8 @@ def parse_blif(text: str) -> LogicNetwork:
 
     net = LogicNetwork(name)
     net.add_inputs(inputs)
+    for data, state, init in latches:
+        net.add_latch(data, state, init)
     net.reserve_names(outputs)
     for signals, _rows in names_blocks:
         net.reserve_names(signals)
@@ -73,7 +92,7 @@ def parse_blif(text: str) -> LogicNetwork:
     # .names blocks may reference each other in any order; define topologically
     # by deferring until fanins exist.
     pending = list(names_blocks)
-    defined = set(inputs)
+    defined = set(inputs) | {state for _data, state, _init in latches}
     guard = 0
     while pending:
         progressed = False
@@ -176,8 +195,14 @@ _COVERS = {
 def write_blif(network: LogicNetwork) -> str:
     """Serialize a network to BLIF text (gates as .names covers)."""
     out: List[str] = [f".model {network.name}"]
-    out.append(".inputs " + " ".join(network.inputs))
+    latch_states = {state for _data, state, _init in network.latches}
+    out.append(
+        ".inputs "
+        + " ".join(n for n in network.inputs if n not in latch_states)
+    )
     out.append(".outputs " + " ".join(name for name, _sig in network.outputs))
+    for data, state, init in network.latches:
+        out.append(f".latch {data} {state} {init}")
 
     alias: Dict[str, str] = {}
     for name, sig in network.outputs:

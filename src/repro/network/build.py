@@ -34,9 +34,19 @@ def _build(manager, network, make_manager_edge) -> Dict[str, object]:
 
 
 def _build_deferred(manager, network, make_manager_edge) -> Dict[str, object]:
+    from repro.core.exceptions import BBDDError
+
     edges: Dict[str, tuple] = {}
     for j, name in enumerate(network.inputs):
-        edges[name] = manager.literal_edge(j)
+        # Bind inputs by *name* when the manager knows them — a supplied
+        # manager may order its variables differently (or hold extras,
+        # e.g. the next-state variables of a transition-system order);
+        # managers with anonymous positional variables fall back to the
+        # input's position.
+        try:
+            edges[name] = manager.literal_edge(name)
+        except BBDDError:
+            edges[name] = manager.literal_edge(j)
 
     for signal in network.topological_order():
         gate = network.gates[signal]

@@ -109,6 +109,7 @@ class LogicNetwork:
         self._input_set: set = set()
         self.gates: Dict[str, Gate] = {}
         self.outputs: List[Tuple[str, str]] = []  # (output name, signal)
+        self.latches: List[Tuple[str, str, int]] = []  # (data, state, init)
         self._auto = 0
         self._reserved: set = set()
 
@@ -153,6 +154,21 @@ class LogicNetwork:
         if signal not in self.gates and signal not in self._input_set:
             raise ValueError(f"output {name!r} references unknown signal {signal!r}")
         self.outputs.append((name, signal))
+
+    def add_latch(self, data: str, state: str, init: int = 0) -> str:
+        """Register a state element: ``state`` holds last cycle's ``data``.
+
+        The latch output ``state`` becomes an input of the combinational
+        core (next-state logic reads it like a primary input), while the
+        latch itself records the ``data -> state`` next-state pairing and
+        the reset value ``init`` (0, 1, or 2/3 for don't-care, per BLIF).
+        ``data`` may be defined later; :meth:`validate` checks it.
+        """
+        if init not in (0, 1, 2, 3):
+            raise ValueError(f"latch init value must be 0..3, got {init!r}")
+        self.add_input(state)
+        self.latches.append((data, state, init))
+        return state
 
     # Convenience operator helpers used heavily by the generators.
 
@@ -247,6 +263,11 @@ class LogicNetwork:
         for name, sig in self.outputs:
             if sig not in self.gates and sig not in self._input_set:
                 raise ValueError(f"output {name!r} references unknown {sig!r}")
+        for data, state, _init in self.latches:
+            if data not in self.gates and data not in self._input_set:
+                raise ValueError(
+                    f"latch {state!r} references unknown data signal {data!r}"
+                )
 
     def gate_histogram(self) -> Dict[str, int]:
         hist: Dict[str, int] = {}
@@ -285,6 +306,7 @@ class LogicNetwork:
         net._input_set = set(self._input_set)
         net.gates = {s: Gate(g.op, g.fanins) for s, g in self.gates.items()}
         net.outputs = list(self.outputs)
+        net.latches = list(self.latches)
         net._auto = self._auto
         return net
 

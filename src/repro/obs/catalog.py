@@ -121,6 +121,20 @@ CATALOG: "Mapping[str, tuple]" = {
         "counter", "Shared-segment attachments made by pool workers.", (), None),
     "repro_par_attached_segments": (
         "gauge", "Segments currently attached in a worker.", (), None),
+    # -- wmc: weighted model counting ----------------------------------
+    "repro_wmc_sweeps_total": (
+        "counter", "Weighted-counting mass sweeps executed.", (), None),
+    # -- reach: symbolic reachability ----------------------------------
+    "repro_reach_iterations_total": (
+        "counter", "BFS fixpoint iterations across reachability runs.", (), None),
+    "repro_reach_images_total": (
+        "counter", "Relational-product image computations executed.", (), None),
+    "repro_reach_frontier_nodes_peak": (
+        "gauge", "Largest frontier diagram of the latest reachability run.",
+        (), None),
+    "repro_reach_visited_nodes_peak": (
+        "gauge", "Largest visited-set diagram of the latest reachability run.",
+        (), None),
 }
 
 _KINDS = {"counter", "gauge", "histogram"}

@@ -612,6 +612,82 @@ class ShmForest:
             count = (1 << (len(self._names) - p)) - count
         return count << p
 
+    # -- weighted counting ---------------------------------------------------
+
+    def _weighted(self, name: str, w1, w0, one, zero):
+        """One zero-copy mass sweep straight off the segment arrays."""
+        from repro.wmc import _count_sweeps
+        from repro.wmc.sweep import mass_sweep, total_mass
+
+        self._check_open()
+        ref = self._root(name)
+        _count_sweeps()
+        if ref == 1:
+            return total_mass(w1, w0, one)
+        if ref == -1:
+            return zero
+        root = -ref if ref < 0 else ref
+        return mass_sweep(
+            root,
+            ref < 0,
+            self._items(),
+            order=self._order,
+            positions=self._positions,
+            w1=w1,
+            w0=w0,
+            one=one,
+            zero=zero,
+        )
+
+    def weighted_count(self, name: str, weights=None, *, exact: bool = True):
+        """Weighted model count of function ``name`` (see :mod:`repro.wmc`).
+
+        Runs the levelized mass sweep directly over the shared arrays —
+        no manager, no decode, safe from any attached process.
+        """
+        from repro.wmc.sweep import resolve_weights
+
+        w1, w0, one, zero = resolve_weights(
+            self, weights, probabilities=False, exact=exact
+        )
+        return self._weighted(name, w1, w0, one, zero)
+
+    def p_one(self, name: str, weights=None, *, exact: bool = True):
+        """``p(name = 1)`` under independent per-variable probabilities."""
+        from repro.wmc.sweep import resolve_weights
+
+        w1, w0, one, zero = resolve_weights(
+            self, weights, probabilities=True, exact=exact
+        )
+        return self._weighted(name, w1, w0, one, zero)
+
+    def marginals(self, name: str, weights=None, variables=None, *, exact: bool = True):
+        """Posterior marginals ``p(v = 1 | name = 1)`` per support variable."""
+        from repro.wmc.sweep import WmcError, resolve_weights
+
+        w1, w0, one, zero = resolve_weights(
+            self, weights, probabilities=True, exact=exact
+        )
+        denominator = self._weighted(name, w1, w0, one, zero)
+        if not denominator:
+            raise WmcError(
+                "marginals are undefined: p(f = 1) is 0 under these weights"
+            )
+        if variables is None:
+            indices = sorted(self.support(name))
+        elif isinstance(variables, (str, int)):
+            indices = [self.var_index(variables)]
+        else:
+            indices = [self.var_index(v) for v in variables]
+        result = {}
+        for index in indices:
+            held = w0[index]
+            w0[index] = zero
+            joint = self._weighted(name, w1, w0, one, zero)
+            w0[index] = held
+            result[self.var_name(index)] = joint / denominator
+        return result
+
     # -- lifecycle -----------------------------------------------------------
 
     def _release_views(self) -> None:

@@ -1,0 +1,34 @@
+"""Symbolic reachability: transition systems, fixpoints and oracles.
+
+The second first-class query family (with :mod:`repro.wmc`) layered on
+the shared backend protocol: :func:`from_network` turns a sequential
+:class:`~repro.network.network.LogicNetwork` into a symbolic
+:class:`TransitionSystem`, :func:`reachable` drives the breadth-first
+least fixpoint through fused
+:meth:`~repro.api.base.FunctionBase.and_exists` relational products,
+and :mod:`repro.reach.oracle` / :mod:`repro.reach.models` supply the
+explicit-state ground truth and benchmark FSMs for the differential
+test harness.
+"""
+
+from repro.reach import models
+from repro.reach.fixpoint import ReachResult, reachable
+from repro.reach.oracle import explicit_reachable, initial_codes
+from repro.reach.transition import (
+    ReachError,
+    TransitionSystem,
+    from_network,
+    primed,
+)
+
+__all__ = [
+    "ReachError",
+    "ReachResult",
+    "TransitionSystem",
+    "explicit_reachable",
+    "from_network",
+    "initial_codes",
+    "models",
+    "primed",
+    "reachable",
+]

@@ -1,0 +1,93 @@
+"""The explicit-state BFS oracle for differential reachability testing.
+
+Ground truth for :func:`repro.reach.reachable`: enumerate states one at
+a time, but simulate *all* input combinations of a state at once with
+the bit-parallel integer words of
+:func:`repro.network.network.gate_eval` — one pass over the gates per
+state yields every successor.  Exponential in both state bits and
+inputs, so strictly a testing device for small systems.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from repro.network.network import gate_eval
+from repro.reach.transition import ReachError
+
+
+def initial_codes(network) -> List[int]:
+    """Explicit initial-state codes from the latch reset values.
+
+    Bit ``i`` of a code is latch ``i``'s value; don't-care resets (2/3)
+    expand into both values.
+    """
+    latches = list(network.latches)
+    if not latches:
+        raise ReachError(
+            f"network {network.name!r} has no latches - nothing to reach over"
+        )
+    codes = [0]
+    for bit, (_data, _state, init) in enumerate(latches):
+        if init == 1:
+            codes = [code | (1 << bit) for code in codes]
+        elif init not in (0, 1):
+            codes = codes + [code | (1 << bit) for code in codes]
+    return codes
+
+
+def explicit_reachable(network, init_states: Optional[Iterable[int]] = None) -> Set[int]:
+    """All reachable state codes of a sequential network, by explicit BFS.
+
+    ``init_states`` is an iterable of state codes (default: the latch
+    reset values via :func:`initial_codes`).  Returns the set of
+    reachable codes, initial states included.
+    """
+    latches = list(network.latches)
+    if not latches:
+        raise ReachError(
+            f"network {network.name!r} has no latches - nothing to reach over"
+        )
+    state_names = [state for _data, state, _init in latches]
+    data_names = [data for data, _state, _init in latches]
+    state_set = set(state_names)
+    inputs = [name for name in network.inputs if name not in state_set]
+    lanes = 1 << len(inputs)
+    mask = (1 << lanes) - 1
+    # Lane ``i`` carries input combination ``i``: input ``j``'s word has
+    # bit ``i`` set iff bit ``j`` of ``i`` is set.
+    patterns = []
+    for j in range(len(inputs)):
+        word = 0
+        for lane in range(lanes):
+            if lane >> j & 1:
+                word |= 1 << lane
+        patterns.append(word)
+    order = network.topological_order()
+    gates = network.gates
+    if init_states is None:
+        init_states = initial_codes(network)
+    seen: Set[int] = set(init_states)
+    queue = list(seen)
+    while queue:
+        code = queue.pop()
+        values = {}
+        for bit, name in enumerate(state_names):
+            values[name] = mask if code >> bit & 1 else 0
+        for j, name in enumerate(inputs):
+            values[name] = patterns[j]
+        for signal in order:
+            gate = gates[signal]
+            values[signal] = gate_eval(
+                gate.op, [values[fanin] for fanin in gate.fanins], mask
+            )
+        words = [values[data] for data in data_names]
+        for lane in range(lanes):
+            nxt = 0
+            for bit, word in enumerate(words):
+                if word >> lane & 1:
+                    nxt |= 1 << bit
+            if nxt not in seen:
+                seen.add(nxt)
+                queue.append(nxt)
+    return seen

@@ -111,6 +111,40 @@ class ForestHost:
             # thread-safe (worker processes are the parallelism axis).
             return f.evaluate_batch(assignments)
 
+    def p_one(self, path: str, name: str, weights: Optional[Mapping]) -> float:
+        """``P[f = 1]`` of one stored function under independent weights.
+
+        Float mode (``exact=False``) — the serving surface is JSON, so
+        probabilities travel as floats in both directions.
+        """
+        with self._lock:
+            _manager, functions = self._get_locked(path)
+            f = functions.get(name)
+            if f is None:
+                raise ServeError(
+                    f"no function {name!r} in {path!r}; "
+                    f"stored: {', '.join(sorted(functions))}"
+                )
+            return f.p_one(weights, exact=False)
+
+    def marginals(
+        self,
+        path: str,
+        name: str,
+        weights: Optional[Mapping],
+        variables: Optional[List] = None,
+    ) -> Dict[str, float]:
+        """Posterior marginals of one stored function (float mode)."""
+        with self._lock:
+            _manager, functions = self._get_locked(path)
+            f = functions.get(name)
+            if f is None:
+                raise ServeError(
+                    f"no function {name!r} in {path!r}; "
+                    f"stored: {', '.join(sorted(functions))}"
+                )
+            return f.marginals(weights, variables, exact=False)
+
     def attach_segment(self, segment: str):
         """The attached :class:`~repro.par.shm.ShmForest` for ``segment``.
 
@@ -191,6 +225,22 @@ def _worker_main(in_queue, reply, max_forests: int) -> None:
                 elif op == "eval_shm":
                     segment, name, assignments = payload
                     result = host.evaluate_segment(segment, name, assignments)
+                elif op == "p_one":
+                    path, name, weights = payload
+                    result = host.p_one(path, name, weights)
+                elif op == "p_one_shm":
+                    segment, name, weights = payload
+                    result = host.attach_segment(segment).p_one(
+                        name, weights, exact=False
+                    )
+                elif op == "marginals":
+                    path, name, weights, variables = payload
+                    result = host.marginals(path, name, weights, variables)
+                elif op == "marginals_shm":
+                    segment, name, weights, variables = payload
+                    result = host.attach_segment(segment).marginals(
+                        name, weights, variables, exact=False
+                    )
                 elif op == "warm":
                     result = host.names(payload)
                 elif op == "attach_shm":
@@ -541,6 +591,52 @@ class ForestPool:
     def evaluate(self, path, name: str, assignment: Mapping) -> bool:
         """Evaluate one assignment (a batch of one, through the cache)."""
         return self.evaluate_batch(path, name, [assignment])[0]
+
+    def _weighted(self, op: str, path, name: str, payload_tail: tuple):
+        """Dispatch one weighted-counting op to a worker (or inline).
+
+        In shared-memory mode the query runs zero-copy against the
+        frozen segment (``<op>_shm``); otherwise the worker's private
+        forest copy answers.  Inline pools call the host directly.
+        """
+        path = os.fspath(path)
+        if self._host is not None:
+            method = getattr(self._host, op)
+            return method(path, name, *payload_tail)
+        segment = self._segment_for(path)
+        worker_op = op if segment is None else op + "_shm"
+        target = path if segment is None else segment
+
+        def attempt():
+            task_id = self._crew.submit(worker_op, (target, name) + payload_tail)
+            return self._crew.collect_all([task_id])[0]
+
+        return self._crewed(attempt)
+
+    def p_one(self, path, name: str, weights: Optional[Mapping] = None) -> float:
+        """``P[f = 1]`` of one stored function under independent weights.
+
+        ``weights`` maps variable names (or indices) to marginal
+        probabilities ``P[x = 1]``; unlisted variables default to 1/2.
+        Float mode — this is the JSON serving surface of
+        :func:`repro.wmc.p_one`.
+        """
+        return self._weighted("p_one", path, name, (weights,))
+
+    def marginals(
+        self,
+        path,
+        name: str,
+        weights: Optional[Mapping] = None,
+        variables: Optional[List] = None,
+    ) -> Dict[str, float]:
+        """Posterior marginals ``P[x = 1 | f = 1]`` of one stored function.
+
+        ``variables`` restricts the query (default: the function's
+        support).  Float mode, keyed by variable name — the JSON serving
+        surface of :func:`repro.wmc.marginals`.
+        """
+        return self._weighted("marginals", path, name, (weights, variables))
 
     def _forest_counters(self) -> tuple:
         """``(loads, hits, shm_attaches)`` of the forest caches.

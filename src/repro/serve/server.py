@@ -162,13 +162,43 @@ class BatchingServer:
             *(run_group(name, group) for name, group in by_name.items())
         )
 
+    async def p_one(self, name: str, weights: Optional[Mapping] = None) -> float:
+        """``P[f = 1]`` of the stored function ``name`` (float mode).
+
+        One weighted sweep on the pool (zero-copy against the shared
+        segment where available), off the event loop.  ``weights`` maps
+        variable names to ``P[x = 1]``; unlisted variables default to
+        1/2.
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, self.pool.p_one, self.path, name, weights
+        )
+
+    async def marginals(
+        self,
+        name: str,
+        weights: Optional[Mapping] = None,
+        variables: Optional[List] = None,
+    ) -> dict:
+        """Posterior marginals ``P[x = 1 | f = 1]`` of ``name`` (float mode)."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, self.pool.marginals, self.path, name, weights, variables
+        )
+
     def latency_percentile(self, q: float) -> float:
         """The ``q``-th percentile (0..100) of query latencies.
 
         Estimated from the ``repro_serve_request_latency_seconds``
         histogram buckets (PromQL-style linear interpolation), so the
-        cost stays O(buckets) regardless of traffic volume.
+        cost stays O(buckets) regardless of traffic volume.  ``q``
+        outside 0..100 raises :class:`ServeError` — the interpolation
+        would otherwise silently extrapolate past the bucket range and
+        report a latency no query ever had.
         """
+        if not 0 <= q <= 100:
+            raise ServeError(f"percentile must be within 0..100, got {q!r}")
         if not self._latency_hist.count:
             return 0.0
         return self._latency_hist.quantile(q / 100.0)
@@ -203,6 +233,10 @@ async def handle_client(server: BatchingServer, reader, writer, on_request=None)
     """Serve one TCP client speaking newline-delimited JSON.
 
     Requests: ``{"f": name, "assignment": {...}, "id": any?}``,
+    ``{"op": "p_one", "f": name, "weights": {...}?}`` (the weighted
+    probability ``P[f = 1]``),
+    ``{"op": "marginals", "f": name, "weights": {...}?,
+    "variables": [...]?}`` (posterior variable marginals),
     ``{"op": "stats"}`` or ``{"op": "metrics"}`` (the merged
     dispatcher + workers metrics snapshot); responses echo ``id`` and
     carry ``result`` or ``error``.  Each request line is handled as its own task, so a
@@ -222,6 +256,16 @@ async def handle_client(server: BatchingServer, reader, writer, on_request=None)
                 response = {"id": request_id, "result": server.stats()}
             elif request.get("op") == "metrics":
                 response = {"id": request_id, "result": server.metrics_snapshot()}
+            elif request.get("op") == "p_one":
+                value = await server.p_one(request["f"], request.get("weights"))
+                response = {"id": request_id, "result": value}
+            elif request.get("op") == "marginals":
+                value = await server.marginals(
+                    request["f"],
+                    request.get("weights"),
+                    request.get("variables"),
+                )
+                response = {"id": request_id, "result": value}
             else:
                 value = await server.query(
                     request["f"], request.get("assignment", {})

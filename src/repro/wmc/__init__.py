@@ -1,0 +1,129 @@
+"""Weighted model counting and probabilistic inference (`repro.wmc`).
+
+Treats a decision diagram as the arithmetic circuit of its Boolean
+function (the "BDDs are a subset of Bayesian nets" view): per-variable
+weights flow through the same top-down levelized sweep batch
+evaluation uses, giving the weighted count, the probability
+``p(f = 1)`` under independent inputs, and per-variable posterior
+marginals — each in one ``O(nodes)`` pass per query, with exact
+:class:`fractions.Fraction` arithmetic by default.
+
+The conveniences here take :class:`repro.api.base.FunctionBase`
+handles; the same queries are methods on functions
+(``f.p_one(...)``, ``f.weighted_count(...)``, ``f.marginals(...)``),
+on managers (``manager.weighted_count(f, ...)``) and on frozen
+shared-memory forests (:class:`repro.par.shm.ShmForest` answers them
+zero-copy straight off the segment arrays).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.wmc.sweep import (
+    WmcError,
+    mass_sweep,
+    resolve_weights,
+    shannon_count,
+    total_mass,
+)
+
+__all__ = [
+    "WmcError",
+    "mass_sweep",
+    "marginals",
+    "p_one",
+    "resolve_weights",
+    "shannon_count",
+    "total_mass",
+    "weighted_count",
+]
+
+
+def _count_sweeps(count: int = 1) -> None:
+    """Bump the ``repro_wmc_sweeps_total`` observability counter."""
+    from repro import obs
+    from repro.obs.catalog import family
+
+    family(obs.REGISTRY, "repro_wmc_sweeps_total").inc(count)
+
+
+def weighted_count(f, weights: Optional[Mapping] = None, *, exact: bool = True):
+    """The weighted model count of ``f`` over all manager variables.
+
+    :param f: a function handle of any backend.
+    :param weights: mapping of variable to a ``(w1, w0)`` pair or a
+        single number ``p`` (shorthand for ``(p, 1 - p)``); unmentioned
+        variables weigh ``(1, 1)``, so with uniform ``1/2`` weights on
+        the support this equals ``sat_count / 2^|support|`` and with no
+        weights at all it is exactly ``sat_count``.
+    :param exact: exact Fraction arithmetic (default) or floats.
+    """
+    manager = f.manager
+    w1, w0, one, zero = resolve_weights(
+        manager, weights, probabilities=False, exact=exact
+    )
+    _count_sweeps()
+    return manager.weighted_count_edge(f.edge, w1, w0, one, zero)
+
+
+def p_one(f, weights: Optional[Mapping] = None, *, exact: bool = True):
+    """``p(f = 1)`` under independent per-variable probabilities.
+
+    :param f: a function handle of any backend.
+    :param weights: mapping of variable to ``p(v = 1)`` in ``[0, 1]``;
+        unmentioned variables default to ``1/2``.
+    :param exact: exact Fraction arithmetic (default) or floats.
+    """
+    manager = f.manager
+    w1, w0, one, zero = resolve_weights(
+        manager, weights, probabilities=True, exact=exact
+    )
+    _count_sweeps()
+    return manager.weighted_count_edge(f.edge, w1, w0, one, zero)
+
+
+def marginals(
+    f,
+    weights: Optional[Mapping] = None,
+    variables=None,
+    *,
+    exact: bool = True,
+) -> dict:
+    """Posterior marginals ``p(v = 1 | f = 1)`` per support variable.
+
+    Implemented as one conditioning re-sweep per variable: pinning
+    ``w0[v] = 0`` yields the joint ``p(f = 1, v = 1)``, divided by
+    ``p(f = 1)``.  :param variables: restricts/extends the queried set
+    (default: the support, in name order).
+
+    :raises WmcError: when ``p(f = 1)`` is zero — the posterior is
+        undefined.
+    """
+    manager = f.manager
+    w1, w0, one, zero = resolve_weights(
+        manager, weights, probabilities=True, exact=exact
+    )
+    denominator = manager.weighted_count_edge(f.edge, w1, w0, one, zero)
+    if not denominator:
+        raise WmcError(
+            "marginals are undefined: p(f = 1) is 0 under these weights"
+        )
+    if variables is None:
+        names = sorted(f.support())
+    elif isinstance(variables, (str, int)):
+        names = [variables]
+    else:
+        names = list(variables)
+    result = {}
+    sweeps = 1
+    for var in names:
+        index = manager.var_index(var)
+        held = w0[index]
+        w0[index] = zero
+        joint = manager.weighted_count_edge(f.edge, w1, w0, one, zero)
+        w0[index] = held
+        sweeps += 1
+        result[manager.var_name(index)] = joint / denominator
+    _count_sweeps(sweeps)
+    return result

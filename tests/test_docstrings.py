@@ -17,7 +17,7 @@ import os
 import pytest
 
 SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
-GATED_PACKAGES = ("api", "io", "obs", "par", "serve")
+GATED_PACKAGES = ("api", "io", "obs", "par", "reach", "serve", "wmc")
 FAIL_UNDER = 90.0
 
 

@@ -778,3 +778,117 @@ def test_serve_cli_metrics_port(forest_path):
         if process.poll() is None:
             process.kill()
         process.stdout.close()
+
+
+# ----------------------------------------------------------------------
+# weighted-counting query class and percentile validation
+# ----------------------------------------------------------------------
+
+
+def test_latency_percentile_rejects_out_of_range():
+    """q outside 0..100 raises instead of silently extrapolating."""
+
+    async def scenario():
+        pool = ForestPool(workers=0)
+        server = BatchingServer(pool, "unused.bbdd")
+        for bad in (-1, -0.001, 100.5, 101, 1e6):
+            with pytest.raises(ServeError, match="0..100"):
+                server.latency_percentile(bad)
+        # ...while boundary and interior values stay accepted (the
+        # latency histogram is process-global, so earlier tests may
+        # already have recorded traffic into it).
+        for good in (0, 50, 100):
+            assert server.latency_percentile(good) >= 0.0
+        pool.close()
+        return True
+
+    assert asyncio.run(scenario())
+
+
+def test_stats_percentiles_still_work_after_traffic(forest_path):
+    """stats() keeps calling the validated percentile path (50/99)."""
+
+    async def scenario():
+        pool = ForestPool(workers=0)
+        server = BatchingServer(pool, forest_path, batch_window=0.001)
+        await asyncio.gather(
+            *(server.query("f", a) for a in reference_batch(20, seed=3))
+        )
+        stats = server.stats()
+        pool.close()
+        return stats
+
+    stats = asyncio.run(scenario())
+    assert stats["p50_latency_s"] > 0
+    assert stats["p99_latency_s"] >= stats["p50_latency_s"]
+
+
+def wmc_reference(forest, name, weights=None, variables=None):
+    """Float-mode p_one/marginals straight off the stored function."""
+    from repro import io as rio
+
+    _manager, functions = rio.load(forest)
+    f = functions[name]
+    return f.p_one(weights, exact=False), f.marginals(
+        weights, variables, exact=False
+    )
+
+
+def test_pool_p_one_and_marginals_inline(forest_path):
+    weights = {"a": 0.25, "c": 0.75}
+    want_p, want_m = wmc_reference(forest_path, "f", weights)
+    with ForestPool(workers=0) as pool:
+        assert pool.p_one(forest_path, "f", weights) == pytest.approx(want_p)
+        got = pool.marginals(forest_path, "f", weights)
+        assert got == pytest.approx(want_m)
+        only = pool.marginals(forest_path, "f", weights, ["a"])
+        assert set(only) == {"a"}
+        with pytest.raises(ServeError, match="no function"):
+            pool.p_one(forest_path, "nope")
+
+
+@pytest.mark.timeout(60)
+def test_pool_p_one_and_marginals_workers(forest_path):
+    """Worker dispatch — zero-copy via the shared segment when available."""
+    want_p, want_m = wmc_reference(forest_path, "f")
+    with ForestPool(workers=2, timeout=20) as pool:
+        pool.warm(forest_path)
+        assert pool.p_one(forest_path, "f") == pytest.approx(want_p)
+        assert pool.marginals(forest_path, "f") == pytest.approx(want_m)
+        with pytest.raises(ServeError):
+            pool.p_one(forest_path, "nope")
+
+
+def test_tcp_p_one_and_marginals_ops(forest_path):
+    weights = {"a": 0.125}
+    want_p, want_m = wmc_reference(forest_path, "f", weights)
+
+    async def scenario():
+        pool = ForestPool(workers=0)
+        server = BatchingServer(pool, forest_path, batch_window=0.001)
+        tcp = await serve_tcp(server, "127.0.0.1", 0)
+        port = tcp.sockets[0].getsockname()[1]
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        requests = [
+            {"op": "p_one", "f": "f", "weights": weights, "id": 1},
+            {"op": "marginals", "f": "f", "weights": weights, "id": 2},
+            {"op": "p_one", "f": "f", "id": 3},
+            {"op": "p_one", "f": "missing", "id": 4},
+        ]
+        for request in requests:
+            writer.write(json.dumps(request).encode() + b"\n")
+        await writer.drain()
+        responses = [json.loads(await reader.readline()) for _ in requests]
+        writer.close()
+        tcp.close()
+        await tcp.wait_closed()
+        pool.close()
+        return responses
+
+    by_id = {r["id"]: r for r in asyncio.run(scenario())}
+    assert by_id[1]["result"] == pytest.approx(want_p)
+    assert by_id[2]["result"] == pytest.approx(want_m)
+    assert by_id[3]["result"] == pytest.approx(
+        wmc_reference(forest_path, "f")[0]
+    )
+    assert "no function 'missing'" in by_id[4]["error"]
